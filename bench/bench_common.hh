@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared infrastructure for the reproduction benchmarks.
+ *
+ * Every bench binary regenerates one figure or analytic table of
+ * the paper: it first prints the paper-style rows to stdout (so
+ * running all binaries reproduces the evaluation) and then runs
+ * google-benchmark timers over the simulator hot paths.
+ */
+
+#ifndef SAP_BENCH_BENCH_COMMON_HH
+#define SAP_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace sap {
+
+/** Print a section header for one reproduced artifact. */
+inline void
+printHeader(const std::string &experiment_id, const std::string &title)
+{
+    std::printf("\n=== %s: %s ===\n", experiment_id.c_str(),
+                title.c_str());
+}
+
+/**
+ * Standard main: emit the reproduction table(s), then run any
+ * registered google-benchmark timers.
+ */
+#define SAP_BENCH_MAIN(print_fn)                                        \
+    int main(int argc, char **argv)                                     \
+    {                                                                   \
+        print_fn();                                                     \
+        ::benchmark::Initialize(&argc, argv);                           \
+        ::benchmark::RunSpecifiedBenchmarks();                          \
+        return 0;                                                       \
+    }
+
+} // namespace sap
+
+#endif // SAP_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figures 1 and 2 reproduction: block structure of the mat-vec
+ * transformation. Prints the (Ū_k, L̄_k) provenance sequence, the
+ * occupancy picture of the transformed band, the transformed vector
+ * layout, and the optimal two-subproblem cut (the dotted line of
+ * Fig. 2.b) for the paper's worked case n=6, m=9, w=3.
+ */
+
+#include "bench/bench_common.hh"
+
+#include "base/math_util.hh"
+#include "dbt/matvec_transform.hh"
+#include "mat/generate.hh"
+#include "mat/io.hh"
+
+namespace sap {
+namespace {
+
+void
+printStructure(Index n, Index m, Index w)
+{
+    Dense<Scalar> a = coordinateCoded(n, m);
+    MatVecTransform t(a, w);
+    const MatVecDims &d = t.dims();
+
+    std::printf("n=%lld m=%lld w=%lld -> n̄=%lld m̄=%lld, "
+                "band %lldx%lld (bandwidth %lld)\n",
+                (long long)n, (long long)m, (long long)w,
+                (long long)d.nbar, (long long)d.mbar,
+                (long long)d.barRows(), (long long)d.barCols(),
+                (long long)w);
+
+    std::printf("band block sequence (paper Fig. 2.b):\n  k :");
+    for (Index k = 0; k < d.blockCount(); ++k)
+        std::printf(" %4lld", (long long)k);
+    std::printf("\n  Ū :");
+    for (Index k = 0; k < d.blockCount(); ++k)
+        std::printf(" U%lld,%lld", (long long)t.pair(k).uRow,
+                    (long long)t.pair(k).uCol);
+    std::printf("\n  L̄ :");
+    for (Index k = 0; k < d.blockCount(); ++k)
+        std::printf(" L%lld,%lld", (long long)t.pair(k).lRow,
+                    (long long)t.pair(k).lCol);
+    std::printf("\n  b̄ :");
+    for (Index k = 0; k < d.blockCount(); ++k)
+        std::printf(" %4s",
+                    t.bSourceOf(k) == BSource::External ? "b" : "fb");
+    std::printf("\n  ȳ :");
+    for (Index k = 0; k < d.blockCount(); ++k)
+        std::printf(" %4s", t.ySinkOf(k) == YSink::Emit ? "y" : "rec");
+    std::printf("\n");
+
+    if (d.nbar >= 2) {
+        Index cut = ceilDiv(d.nbar, 2) * d.mbar;
+        std::printf("optimal 2-subproblem cut (dotted line): after "
+                    "band block row %lld\n", (long long)(cut - 1));
+    }
+
+    std::printf("band occupancy ('#' = data, '.' = empty):\n%s",
+                occupancyPicture(t.abar()).c_str());
+    std::printf("band completely filled: %s\n",
+                t.abar().bandCompletelyFilled() ? "yes" : "no");
+}
+
+void
+print()
+{
+    printHeader("F1/F2", "block structure of the transformed "
+                         "matrix-vector problem");
+    printStructure(6, 9, 3); // the paper's worked example
+    std::printf("\ngeneric non-multiple case:\n");
+    printStructure(5, 7, 3);
+}
+
+void
+BM_TransformBuild(benchmark::State &state)
+{
+    Index n = state.range(0);
+    Dense<Scalar> a = randomIntDense(n, n, 1);
+    for (auto _ : state) {
+        MatVecTransform t(a, 4);
+        benchmark::DoNotOptimize(t.abar());
+    }
+}
+BENCHMARK(BM_TransformBuild)->Arg(16)->Arg(64)->Arg(256);
+
+} // namespace
+} // namespace sap
+
+SAP_BENCH_MAIN(sap::print)

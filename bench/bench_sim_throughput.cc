@@ -1,0 +1,83 @@
+/**
+ * @file
+ * PERF: wall-clock throughput of the simulators themselves (not a
+ * paper artifact — engineering data for users of the library):
+ * simulated cycles per second of the linear and hexagonal arrays,
+ * and scaling of the end-to-end plans.
+ */
+
+#include "bench/bench_common.hh"
+
+#include "dbt/matvec_plan.hh"
+#include "dbt/matmul_plan.hh"
+#include "mat/generate.hh"
+
+namespace sap {
+namespace {
+
+void
+print()
+{
+    printHeader("PERF", "simulator wall-clock throughput "
+                        "(google-benchmark timings follow)");
+}
+
+void
+BM_LinearArrayCyclesPerSec(benchmark::State &state)
+{
+    Index w = state.range(0);
+    Index s = 8 * w;
+    Dense<Scalar> a = randomIntDense(s, s, 1);
+    Vec<Scalar> x = randomIntVec(s, 2);
+    Vec<Scalar> b = randomIntVec(s, 3);
+    MatVecPlan plan(a, w);
+    Cycle cycles = 0;
+    for (auto _ : state) {
+        MatVecPlanResult r = plan.run(x, b);
+        cycles += r.stats.cycles;
+        benchmark::DoNotOptimize(r.y);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LinearArrayCyclesPerSec)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_HexArrayCyclesPerSec(benchmark::State &state)
+{
+    Index w = state.range(0);
+    Index s = 3 * w;
+    Dense<Scalar> a = randomIntDense(s, s, 1);
+    Dense<Scalar> b = randomIntDense(s, s, 2);
+    Dense<Scalar> e(s, s);
+    MatMulPlan plan(a, b, w);
+    Cycle cycles = 0;
+    for (auto _ : state) {
+        MatMulPlanResult r = plan.run(e);
+        cycles += r.totalCycles;
+        benchmark::DoNotOptimize(r.c);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HexArrayCyclesPerSec)->Arg(2)->Arg(3)->Arg(4);
+
+void
+BM_BlockOracleVsCycleSim(benchmark::State &state)
+{
+    Index s = state.range(0);
+    Dense<Scalar> a = randomIntDense(s, s, 1);
+    Dense<Scalar> b = randomIntDense(s, s, 2);
+    Dense<Scalar> e(s, s);
+    MatMulPlan plan(a, b, 3);
+    for (auto _ : state) {
+        MatMulExecResult r = plan.runBlockLevel(e);
+        benchmark::DoNotOptimize(r.c);
+    }
+}
+BENCHMARK(BM_BlockOracleVsCycleSim)->Arg(6)->Arg(12)->Arg(24);
+
+} // namespace
+} // namespace sap
+
+SAP_BENCH_MAIN(sap::print)

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * D-MM and M-MM reproduction: measured feedback delays (regular,
+ * main diagonal, the two irregular classes) and storage peaks of
+ * the hexagonal spiral feedback vs. the paper's published
+ * expressions. Our tightest linear schedule realizes the irregular
+ * classes as 3w(n̄−1)p̄+w and 3w·n̄p̄(m̄−1)+w, which coincide with the
+ * paper's 6(w−1)(n̄−1)p̄+w and 6n̄p̄(m̄−1)(w−1)+w at w = 2 (see
+ * EXPERIMENTS.md).
+ */
+
+#include "bench/bench_common.hh"
+
+#include <algorithm>
+
+#include "analysis/formulas.hh"
+#include "base/table.hh"
+#include "dbt/matmul_plan.hh"
+#include "mat/generate.hh"
+
+namespace sap {
+namespace {
+
+void
+print()
+{
+    printHeader("D-MM / M-MM",
+                "hexagonal feedback delays and memory elements");
+
+    Table t({"w", "n̄", "p̄", "m̄", "reg delay", "paper", "diag delay",
+             "paper", "irr U/L", "ours", "paper", "irr L-last",
+             "ours", "paper", "irr pool peak", "paper pool"});
+    for (Index w : {2, 3, 4}) {
+        for (Index nbar : {2, 3}) {
+            for (Index pbar : {2}) {
+                for (Index mbar : {2, 3}) {
+                    Dense<Scalar> a = randomIntDense(
+                        nbar * w, pbar * w, 90 + w + nbar);
+                    Dense<Scalar> b = randomIntDense(
+                        pbar * w, mbar * w, 91 + w + mbar);
+                    MatMulPlan plan(a, b, w);
+                    MatMulPlanResult r = plan.run(
+                        Dense<Scalar>(nbar * w, mbar * w));
+                    const SpiralFeedback &fb = *r.feedback;
+
+                    auto uniq = [](std::vector<Cycle> v) {
+                        std::sort(v.begin(), v.end());
+                        v.erase(std::unique(v.begin(), v.end()),
+                                v.end());
+                        std::string s;
+                        for (Cycle c : v)
+                            s += (s.empty() ? "" : "/") +
+                                 std::to_string(c);
+                        return s.empty() ? std::string("-") : s;
+                    };
+
+                    Cycle ours_restart =
+                        3 * w * (nbar - 1) * pbar + w;
+                    Cycle ours_llast =
+                        3 * w * nbar * pbar * (mbar - 1) + w;
+                    t.addRow(
+                        {std::to_string(w), std::to_string(nbar),
+                         std::to_string(pbar), std::to_string(mbar),
+                         uniq(fb.pairDelays()),
+                         std::to_string(
+                             formulas::hexRegularDelay(w)),
+                         uniq(fb.mainDiagDelays()),
+                         std::to_string(formulas::hexMemMainDiag(w)),
+                         uniq(fb.irregularDelays()),
+                         std::to_string(ours_restart),
+                         std::to_string(formulas::hexDelayU0j(
+                             w, nbar, pbar)),
+                         uniq(fb.irregularDelays()),
+                         std::to_string(ours_llast),
+                         std::to_string(formulas::hexDelayLlast(
+                             w, nbar, pbar, mbar)),
+                         std::to_string(fb.peakIrregularOccupancy()),
+                         std::to_string(
+                             formulas::hexMemIrregular(w))});
+                }
+            }
+        }
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("regular delay = w and main-diagonal delay = 2w hold "
+                "exactly for every shape (paper claims).\n");
+}
+
+void
+BM_FeedbackHeavyRun(benchmark::State &state)
+{
+    Index w = state.range(0);
+    Dense<Scalar> a = randomIntDense(3 * w, 2 * w, 1);
+    Dense<Scalar> b = randomIntDense(2 * w, 3 * w, 2);
+    MatMulPlan plan(a, b, w);
+    Dense<Scalar> e(3 * w, 3 * w);
+    for (auto _ : state) {
+        MatMulPlanResult r = plan.run(e);
+        benchmark::DoNotOptimize(r.feedback->transferCount());
+    }
+}
+BENCHMARK(BM_FeedbackHeavyRun)->Arg(2)->Arg(3)->Arg(4);
+
+} // namespace
+} // namespace sap
+
+SAP_BENCH_MAIN(sap::print)

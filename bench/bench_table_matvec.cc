@@ -1,0 +1,88 @@
+/**
+ * @file
+ * §2 analytic results reproduction (T-MV and E-MV): measured step
+ * counts and PE utilizations of the linear array vs. the paper's
+ * formulas, over a (w, n̄, m̄) sweep, including the overlapped mode
+ * and PE grouping.
+ */
+
+#include "bench/bench_common.hh"
+
+#include "analysis/formulas.hh"
+#include "analysis/sweep.hh"
+#include "base/string_util.hh"
+#include "base/table.hh"
+#include "dbt/matvec_plan.hh"
+#include "mat/generate.hh"
+
+namespace sap {
+namespace {
+
+void
+print()
+{
+    printHeader("T-MV / E-MV",
+                "mat-vec steps and utilization vs. paper formulas");
+
+    Table t({"w", "n̄", "m̄", "T sim", "T paper", "e sim", "e paper",
+             "T ovl sim", "T ovl paper", "e ovl sim", "e ovl paper",
+             "e grouped"});
+    for (const MatVecConfig &cfg : standardMatVecSweep()) {
+        Dense<Scalar> a = randomIntDense(cfg.n, cfg.m,
+                                         17 + cfg.n + cfg.m + cfg.w);
+        Vec<Scalar> x = randomIntVec(cfg.m, 1);
+        Vec<Scalar> b = randomIntVec(cfg.n, 2);
+        MatVecPlan plan(a, cfg.w);
+        const MatVecDims &d = plan.dims();
+        MatVecPlanResult run = plan.run(x, b);
+
+        std::string t_ovl_sim = "-", t_ovl_paper = "-",
+                    e_ovl_sim = "-", e_ovl_paper = "-";
+        if (d.nbar >= 2 && d.nbar % 2 == 0) {
+            MatVecPlanResult ovl = plan.runOverlapped(x, b);
+            t_ovl_sim = std::to_string(ovl.stats.cycles);
+            t_ovl_paper = std::to_string(
+                formulas::tMatVecOverlap(d.w, d.nbar, d.mbar));
+            e_ovl_sim = formatReal(ovl.stats.utilization(), 4);
+            e_ovl_paper = formatReal(
+                formulas::eMatVecOverlap(d.w, d.nbar, d.mbar), 4);
+        }
+        GroupedRunResult grouped = plan.runGroupedPlan(x, b);
+
+        t.addRow({std::to_string(d.w), std::to_string(d.nbar),
+                  std::to_string(d.mbar),
+                  std::to_string(run.stats.cycles),
+                  std::to_string(formulas::tMatVec(d.w, d.nbar,
+                                                   d.mbar)),
+                  formatReal(run.stats.utilization(), 4),
+                  formatReal(formulas::eMatVec(d.w, d.nbar, d.mbar),
+                             4),
+                  t_ovl_sim, t_ovl_paper, e_ovl_sim, e_ovl_paper,
+                  formatReal(grouped.grouped.utilization(), 4)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("asymptotics: e -> 1/2 (plain), e -> 1 (overlap and "
+                "grouping), as n̄m̄ grows.\n");
+}
+
+void
+BM_MatVecPlanRun(benchmark::State &state)
+{
+    Index s = state.range(0);
+    Dense<Scalar> a = randomIntDense(s, s, 3);
+    Vec<Scalar> x = randomIntVec(s, 4);
+    Vec<Scalar> b = randomIntVec(s, 5);
+    MatVecPlan plan(a, 4);
+    for (auto _ : state) {
+        MatVecPlanResult r = plan.run(x, b);
+        benchmark::DoNotOptimize(r.y);
+    }
+    state.SetComplexityN(s);
+}
+BENCHMARK(BM_MatVecPlanRun)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Complexity(benchmark::oNSquared);
+
+} // namespace
+} // namespace sap
+
+SAP_BENCH_MAIN(sap::print)

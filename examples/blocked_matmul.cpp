@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Matrix-matrix scenario: C = A·B + E on the w×w hexagonal array
+ * with spiral feedback — every accumulation happens inside the
+ * array; the host only routes fed-back values at their scheduled
+ * cycles.
+ *
+ * Also demonstrates the measurement hooks: step counts vs the
+ * paper's formula, feedback delay classes, and storage peaks.
+ */
+
+#include <cstdio>
+
+#include "analysis/formulas.hh"
+#include "dbt/matmul_plan.hh"
+#include "mat/generate.hh"
+#include "mat/ops.hh"
+
+using namespace sap;
+
+int
+main()
+{
+    const Index n = 8, p = 10, m = 6, w = 3;
+    Dense<Scalar> a = randomIntDense(n, p, 7);
+    Dense<Scalar> b = randomIntDense(p, m, 8);
+    Dense<Scalar> e = randomIntDense(n, m, 9);
+
+    MatMulPlan plan(a, b, w);
+    const MatMulDims &d = plan.dims();
+    std::printf("C(%lldx%lld) = A(%lldx%lld)·B(%lldx%lld) + E on a "
+                "%lldx%lld hex array\n",
+                (long long)n, (long long)m, (long long)n,
+                (long long)p, (long long)p, (long long)m,
+                (long long)w, (long long)w);
+    std::printf("transformed bands: order N = %lld, %lld block rows "
+                "(+tail)\n",
+                (long long)d.order(), (long long)d.blockCount());
+
+    MatMulPlanResult r = plan.run(e);
+    Dense<Scalar> expect = matMulAdd(a, b, e);
+    std::printf("result exact: %s\n",
+                maxAbsDiff(r.c, expect) == 0.0 ? "yes" : "NO");
+    std::printf("steps: %lld (formula 3w·p̄n̄m̄+4w-5 = %lld)\n",
+                (long long)r.stats.cycles,
+                (long long)formulas::tMatMul(w, d.pbar, d.nbar,
+                                             d.mbar));
+    std::printf("utilization: %.4f (-> 1/3)\n",
+                r.stats.utilization());
+
+    const SpiralFeedback &fb = *r.feedback;
+    std::printf("feedback: %lld transfers, topology respected: %s\n",
+                (long long)fb.transferCount(),
+                fb.topologyRespected() ? "yes" : "NO");
+    if (!fb.pairDelays().empty())
+        std::printf("  regular pair delay: %lld (= w)\n",
+                    (long long)fb.pairDelays().front());
+    if (!fb.mainDiagDelays().empty())
+        std::printf("  main diagonal delay: %lld (= 2w)\n",
+                    (long long)fb.mainDiagDelays().front());
+    std::printf("  irregular transfers: %zu, pool peak: %lld "
+                "(paper bound w(w-1)·3/2 = %lld)\n",
+                fb.irregularDelays().size(),
+                (long long)fb.peakIrregularOccupancy(),
+                (long long)formulas::hexMemIrregular(w));
+    return maxAbsDiff(r.c, expect) == 0.0 ? 0 : 1;
+}

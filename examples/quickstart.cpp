@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quickstart: solve y = A·x + b for an arbitrarily-sized dense
+ * matrix on a fixed-size simulated systolic array.
+ *
+ * The problem (17×23) does not remotely fit the 4-PE array — that
+ * is the point of the paper: DBT reshapes any dense matrix into a
+ * bandwidth-w band whose band is completely filled, so the fixed
+ * array runs at its best possible utilization and all partial
+ * results stay inside the array via the w-register feedback loop.
+ */
+
+#include <cstdio>
+
+#include "analysis/formulas.hh"
+#include "dbt/matvec_plan.hh"
+#include "mat/generate.hh"
+#include "mat/ops.hh"
+
+using namespace sap;
+
+int
+main()
+{
+    // An arbitrary problem size and a small fixed array.
+    const Index n = 17, m = 23, w = 4;
+    Dense<Scalar> a = randomIntDense(n, m, /*seed=*/42);
+    Vec<Scalar> x = randomIntVec(m, 43);
+    Vec<Scalar> b = randomIntVec(n, 44);
+
+    // 1. Build the plan: applies DBT-by-rows once for this matrix.
+    MatVecPlan plan(a, w);
+    const MatVecDims &d = plan.dims();
+    std::printf("A is %lldx%lld, array has %lld PEs -> n̄=%lld m̄=%lld "
+                "band of %lld block rows\n",
+                (long long)n, (long long)m, (long long)w,
+                (long long)d.nbar, (long long)d.mbar,
+                (long long)d.blockCount());
+
+    // 2. Run it on the cycle-accurate simulated array.
+    MatVecPlanResult r = plan.run(x, b);
+
+    // 3. Check against the host oracle.
+    Vec<Scalar> expect = matVec(a, x, b);
+    std::printf("result exact: %s\n",
+                maxAbsDiff(r.y, expect) == 0.0 ? "yes" : "NO");
+    std::printf("steps: %lld (formula 2w·n̄m̄+2w-3 = %lld)\n",
+                (long long)r.stats.cycles,
+                (long long)formulas::tMatVec(w, d.nbar, d.mbar));
+    std::printf("PE utilization: %.4f (-> 1/2 for large problems)\n",
+                r.stats.utilization());
+    std::printf("feedback: delay %lld cycles through %lld registers "
+                "(= w)\n",
+                (long long)r.observedFeedbackDelay,
+                (long long)r.feedbackRegisters);
+
+    // 4. The overlapped schedule doubles utilization.
+    MatVecPlanResult ovl = plan.runOverlapped(x, b);
+    std::printf("overlapped: steps %lld, utilization %.4f (-> 1)\n",
+                (long long)ovl.stats.cycles,
+                ovl.stats.utilization());
+    return maxAbsDiff(r.y, expect) == 0.0 ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Sparsity scenario (the paper's conclusions): a block-sparse
+ * operator — e.g. a banded-plus-corners coupling matrix — runs
+ * through the sparsity-aware DBT, which drops zero block rows from
+ * the transformed band and shortens the schedule accordingly.
+ */
+
+#include <cstdio>
+
+#include "dbt/matvec_plan.hh"
+#include "dbt/sparse_dbt.hh"
+#include "mat/generate.hh"
+#include "mat/ops.hh"
+
+using namespace sap;
+
+int
+main()
+{
+    const Index n = 24, w = 4;
+
+    // Block tridiagonal operator with corner coupling blocks — a
+    // typical discretization stencil shape.
+    Dense<Scalar> a(n, n);
+    Rng rng(21);
+    auto fill_block = [&](Index bi, Index bj) {
+        for (Index i = 0; i < w; ++i)
+            for (Index j = 0; j < w; ++j)
+                a(bi * w + i, bj * w + j) =
+                    static_cast<Scalar>(rng.uniformInt(1, 9));
+    };
+    const Index nb = n / w;
+    for (Index d = 0; d < nb; ++d) {
+        fill_block(d, d);
+        if (d + 1 < nb) {
+            fill_block(d, d + 1);
+            fill_block(d + 1, d);
+        }
+    }
+    fill_block(0, nb - 1);
+    fill_block(nb - 1, 0);
+
+    Vec<Scalar> x = randomIntVec(n, 22);
+    Vec<Scalar> b = randomIntVec(n, 23);
+
+    SparseDbt sparse(a, w);
+    MatVecPlan dense_plan(a, w);
+
+    BandMatVecSpec spec = sparse.spec(x, b);
+    LinearRunResult run = runBandMatVec(spec);
+    Vec<Scalar> y = sparse.extractY(run.ybar);
+    MatVecPlanResult dense_run = dense_plan.run(x, b);
+
+    std::printf("block-tridiagonal + corners, %lldx%lld, w=%lld\n",
+                (long long)n, (long long)n, (long long)w);
+    std::printf("band block rows: %lld kept of %lld dense\n",
+                (long long)sparse.keptBlocks(),
+                (long long)sparse.denseBlocks());
+    std::printf("steps: %lld sparse vs %lld dense (%.2fx)\n",
+                (long long)run.stats.cycles,
+                (long long)dense_run.stats.cycles,
+                static_cast<double>(dense_run.stats.cycles) /
+                    static_cast<double>(run.stats.cycles));
+    bool exact = maxAbsDiff(y, matVec(a, x, b)) == 0.0;
+    std::printf("result exact: %s\n", exact ? "yes" : "NO");
+    return exact ? 0 : 1;
+}

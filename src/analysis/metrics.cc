@@ -1,0 +1,15 @@
+#include "analysis/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sap {
+
+double
+relDiff(double a, double b)
+{
+    double denom = std::max({std::abs(a), std::abs(b), 1.0});
+    return std::abs(a - b) / denom;
+}
+
+} // namespace sap

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Measured execution metrics, collected by the simulators and
+ * compared against the paper's analytic formulas.
+ */
+
+#ifndef SAP_ANALYSIS_METRICS_HH
+#define SAP_ANALYSIS_METRICS_HH
+
+#include "base/types.hh"
+
+namespace sap {
+
+/**
+ * Aggregate run statistics for one systolic execution.
+ *
+ * `usefulMacs` counts PE cycles that processed a *valid* sample
+ * (valid-bit tracking in the simulator), so utilization here is a
+ * measurement, not the formula being validated.
+ */
+struct RunStats
+{
+    /** Total simulated cycles from first input to last output. */
+    Cycle cycles = 0;
+    /** Number of PEs in the array (A in the paper). */
+    Index peCount = 0;
+    /** PE-cycles that performed a useful multiply-accumulate. */
+    Index usefulMacs = 0;
+
+    /** Measured utilization e = usefulMacs / (peCount * cycles). */
+    double
+    utilization() const
+    {
+        if (peCount == 0 || cycles == 0)
+            return 0.0;
+        return static_cast<double>(usefulMacs) /
+               (static_cast<double>(peCount) *
+                static_cast<double>(cycles));
+    }
+};
+
+/**
+ * Relative difference |a-b| / max(|a|,|b|,1); used when comparing a
+ * measured quantity with a formula that has convention-dependent
+ * additive constants.
+ */
+double relDiff(double a, double b);
+
+} // namespace sap
+
+#endif // SAP_ANALYSIS_METRICS_HH

@@ -1,0 +1,41 @@
+#include "analysis/sweep.hh"
+
+namespace sap {
+
+std::vector<MatVecConfig>
+standardMatVecSweep()
+{
+    std::vector<MatVecConfig> out;
+    for (Index w : {2, 3, 4, 5, 8}) {
+        for (Index nbar : {1, 2, 4, 8}) {
+            for (Index mbar : {1, 2, 4, 8}) {
+                out.push_back({w, nbar * w, mbar * w});
+            }
+        }
+    }
+    // Non-multiple shapes exercise the zero-padding path.
+    out.push_back({3, 6, 9});   // the paper's worked example
+    out.push_back({3, 7, 10});
+    out.push_back({4, 5, 13});
+    return out;
+}
+
+std::vector<MatMulConfig>
+standardMatMulSweep()
+{
+    std::vector<MatMulConfig> out;
+    for (Index w : {2, 3, 4}) {
+        for (Index nbar : {1, 2, 3}) {
+            for (Index pbar : {1, 2, 3}) {
+                for (Index mbar : {1, 2, 3}) {
+                    out.push_back({w, nbar * w, pbar * w, mbar * w});
+                }
+            }
+        }
+    }
+    out.push_back({3, 6, 6, 9});  // the paper's Fig. 4 shape (n̄=2,p̄=2,m̄=3)
+    out.push_back({2, 3, 5, 7});  // padding path
+    return out;
+}
+
+} // namespace sap

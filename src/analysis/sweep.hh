@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Parameter-sweep descriptors shared by the table benchmarks.
+ */
+
+#ifndef SAP_ANALYSIS_SWEEP_HH
+#define SAP_ANALYSIS_SWEEP_HH
+
+#include <vector>
+
+#include "base/types.hh"
+
+namespace sap {
+
+/** One (w, n̄, m̄) mat-vec configuration. */
+struct MatVecConfig
+{
+    Index w;
+    Index n;
+    Index m;
+};
+
+/** One (w, n̄, p̄, m̄) mat-mul configuration. */
+struct MatMulConfig
+{
+    Index w;
+    Index n;
+    Index p;
+    Index m;
+};
+
+/**
+ * Standard sweep grids used by the reproduction benchmarks: small
+ * enough to run in seconds, wide enough to show the asymptotics the
+ * paper claims (utilization → 1/2, 1, 1/3).
+ */
+std::vector<MatVecConfig> standardMatVecSweep();
+
+/** @copydoc standardMatVecSweep() */
+std::vector<MatMulConfig> standardMatMulSweep();
+
+} // namespace sap
+
+#endif // SAP_ANALYSIS_SWEEP_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Status/error reporting facilities, modeled after gem5's logging
+ * conventions.
+ *
+ * Severity policy:
+ *  - panic():  an internal invariant of the library is broken (a bug
+ *              in this code base). Aborts so a debugger/core dump can
+ *              capture the state.
+ *  - fatal():  the *user* asked for something impossible (bad sizes,
+ *              inconsistent configuration). Exits with status 1.
+ *  - warn():   something is suspicious but the run can continue.
+ *  - inform(): purely informational progress/status output.
+ */
+
+#ifndef SAP_BASE_LOGGING_HH
+#define SAP_BASE_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sap {
+
+/** Internal helpers; use the macros below instead. */
+namespace logging_detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Concatenate a list of stream-printable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace logging_detail
+
+} // namespace sap
+
+/** Report an internal library bug and abort. */
+#define SAP_PANIC(...)                                                  \
+    ::sap::logging_detail::panicImpl(                                   \
+        __FILE__, __LINE__, ::sap::logging_detail::concat(__VA_ARGS__))
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+#define SAP_FATAL(...)                                                  \
+    ::sap::logging_detail::fatalImpl(                                   \
+        __FILE__, __LINE__, ::sap::logging_detail::concat(__VA_ARGS__))
+
+/** Print a warning; execution continues. */
+#define SAP_WARN(...)                                                   \
+    ::sap::logging_detail::warnImpl(                                    \
+        ::sap::logging_detail::concat(__VA_ARGS__))
+
+/** Print an informational message. */
+#define SAP_INFORM(...)                                                 \
+    ::sap::logging_detail::informImpl(                                  \
+        ::sap::logging_detail::concat(__VA_ARGS__))
+
+/**
+ * Invariant check that stays on in release builds.
+ *
+ * Used for cheap structural invariants (index bounds, schedule
+ * consistency). Violations are library bugs, hence panic semantics.
+ */
+#define SAP_ASSERT(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            SAP_PANIC("assertion failed: ", #cond, ": ",                \
+                      ::sap::logging_detail::concat(__VA_ARGS__));      \
+        }                                                               \
+    } while (0)
+
+#endif // SAP_BASE_LOGGING_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Small integer math helpers used throughout the transformation and
+ * scheduling code.
+ */
+
+#ifndef SAP_BASE_MATH_UTIL_HH
+#define SAP_BASE_MATH_UTIL_HH
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace sap {
+
+/** @return ceil(a / b) for positive b. */
+constexpr Index
+ceilDiv(Index a, Index b)
+{
+    return (a + b - 1) / b;
+}
+
+/** @return a rounded up to the next multiple of b (b > 0). */
+constexpr Index
+roundUp(Index a, Index b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+/**
+ * Mathematical modulus with non-negative result.
+ *
+ * C++ `%` is implementation-friendly but returns negative values for
+ * negative operands; index arithmetic in the DBT rules needs the
+ * wrap-around (cyclic successor) semantics.
+ */
+constexpr Index
+posMod(Index a, Index b)
+{
+    Index r = a % b;
+    return r < 0 ? r + b : r;
+}
+
+/** @return x*x. */
+constexpr Index
+square(Index x)
+{
+    return x * x;
+}
+
+/**
+ * Number of elements in a strict triangle of a w-by-w block,
+ * i.e. w*(w-1)/2.
+ */
+constexpr Index
+strictTriangleCount(Index w)
+{
+    return w * (w - 1) / 2;
+}
+
+} // namespace sap
+
+#endif // SAP_BASE_MATH_UTIL_HH

@@ -1,0 +1,4 @@
+#include "base/random.hh"
+
+// Header-only for now; this translation unit anchors the component in
+// the build so future non-inline additions have a home.

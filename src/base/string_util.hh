@@ -1,0 +1,31 @@
+/**
+ * @file
+ * String formatting helpers for human-readable reports.
+ */
+
+#ifndef SAP_BASE_STRING_UTIL_HH
+#define SAP_BASE_STRING_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace sap {
+
+/** Format a double with the given number of significant decimals. */
+std::string formatReal(double v, int decimals = 4);
+
+/** Left-pad @p s with spaces to width @p width. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Right-pad @p s with spaces to width @p width. */
+std::string padRight(const std::string &s, std::size_t width);
+
+/** Join the strings in @p parts with @p sep between elements. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+} // namespace sap
+
+#endif // SAP_BASE_STRING_UTIL_HH

@@ -1,0 +1,55 @@
+#include "base/table.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/string_util.hh"
+
+namespace sap {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    SAP_ASSERT(!headers_.empty(), "a table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    SAP_ASSERT(cells.size() == headers_.size(),
+               "row has ", cells.size(), " cells, table has ",
+               headers_.size(), " columns");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::string out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += padLeft(row[c], widths[c]);
+            out += (c + 1 < row.size()) ? "  " : "";
+        }
+        out += '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out += std::string(total, '-');
+    out += '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return out;
+}
+
+} // namespace sap

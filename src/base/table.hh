@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table rendering for benchmark reports.
+ *
+ * Every reproduction benchmark prints its figure/table in this
+ * format so the regenerated evaluation is easy to diff against
+ * EXPERIMENTS.md.
+ */
+
+#ifndef SAP_BASE_TABLE_HH
+#define SAP_BASE_TABLE_HH
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sap {
+
+/**
+ * Column-aligned ASCII table builder.
+ *
+ * Usage:
+ * @code
+ *   Table t({"w", "T measured", "T paper"});
+ *   t.addRow({"3", "39", "39"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** @param headers Column titles; fixes the column count. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have exactly the header column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render with aligned columns, header underline, trailing \n. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sap
+
+#endif // SAP_BASE_TABLE_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Fundamental scalar and index types shared across the library.
+ */
+
+#ifndef SAP_BASE_TYPES_HH
+#define SAP_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace sap {
+
+/** Default numeric element type for matrices and array data paths. */
+using Scalar = double;
+
+/**
+ * Signed index type for matrix dimensions and systolic cycle counts.
+ *
+ * Signed so that band offsets (which are negative on sub-diagonals)
+ * and "one before the first cycle" sentinels are representable
+ * without casts.
+ */
+using Index = std::int64_t;
+
+/** Simulated clock cycle number (0-based). */
+using Cycle = std::int64_t;
+
+} // namespace sap
+
+#endif // SAP_BASE_TYPES_HH

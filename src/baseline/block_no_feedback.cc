@@ -1,0 +1,52 @@
+#include "baseline/block_no_feedback.hh"
+
+#include "base/logging.hh"
+#include "base/math_util.hh"
+#include "dbt/matvec_plan.hh"
+#include "mat/block.hh"
+
+namespace sap {
+
+BlockNoFeedbackResult
+runBlockNoFeedback(const Dense<Scalar> &a, const Vec<Scalar> &x,
+                   const Vec<Scalar> &b, Index w)
+{
+    SAP_ASSERT(x.size() == a.cols() && b.size() == a.rows(),
+               "shape mismatch");
+    BlockPartition<Scalar> part(a, w);
+    const Index nbar = part.blockRows();
+    const Index mbar = part.blockCols();
+    Vec<Scalar> xp = x.paddedTo(mbar * w);
+
+    Vec<Scalar> y_acc(nbar * w);
+    BlockNoFeedbackResult res;
+    res.stats.peCount = w;
+
+    for (Index i = 0; i < nbar; ++i) {
+        for (Index j = 0; j < mbar; ++j) {
+            // Run block (i, j) as an isolated PRT problem with a
+            // zero additive vector; accumulate on the host.
+            MatVecPlan plan(part.block(i, j), w);
+            Vec<Scalar> xb = xp.slice(j * w, w);
+            MatVecPlanResult r = plan.run(xb, Vec<Scalar>(w));
+            for (Index t = 0; t < w; ++t) {
+                y_acc[i * w + t] += r.y[t];
+                ++res.hostAdds;
+            }
+            res.perBlockCycles = r.stats.cycles;
+            // Blocks run back to back: full fill + drain each time.
+            res.stats.cycles += r.stats.cycles;
+            res.stats.usefulMacs += r.stats.usefulMacs;
+        }
+    }
+
+    // Fold in b on the host as well (no injection path).
+    res.y = Vec<Scalar>(a.rows());
+    for (Index i = 0; i < a.rows(); ++i) {
+        res.y[i] = y_acc[i] + b[i];
+        ++res.hostAdds;
+    }
+    return res;
+}
+
+} // namespace sap

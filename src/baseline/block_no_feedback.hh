@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Baseline: blocked mat-vec WITHOUT the paper's feedback.
+ *
+ * Each w×w block A_ij is PRT-packed and run through the array as an
+ * independent band problem; partial results are accumulated on the
+ * host ("calculation external to the array", which the paper's
+ * feedback eliminates). Consecutive block problems cannot overlap in
+ * the array — a fresh problem's y stream would collide with the
+ * previous one's — so each block pays the full pipeline fill/drain,
+ * and the host performs n̄·m̄·w additional adds.
+ *
+ * This is the natural straw-man the paper improves on: same
+ * triangular packing, no inter-block chaining.
+ */
+
+#ifndef SAP_BASELINE_BLOCK_NO_FEEDBACK_HH
+#define SAP_BASELINE_BLOCK_NO_FEEDBACK_HH
+
+#include "analysis/metrics.hh"
+#include "mat/dense.hh"
+#include "mat/vector.hh"
+
+namespace sap {
+
+/** Result of the no-feedback blocked execution. */
+struct BlockNoFeedbackResult
+{
+    Vec<Scalar> y;        ///< y = A·x + b
+    RunStats stats;       ///< combined over all block runs
+    Index hostAdds = 0;   ///< accumulations done outside the array
+    Cycle perBlockCycles = 0; ///< array steps per block problem
+};
+
+/**
+ * Solve y = A·x + b by running every w×w block separately and
+ * summing on the host.
+ */
+BlockNoFeedbackResult runBlockNoFeedback(const Dense<Scalar> &a,
+                                         const Vec<Scalar> &x,
+                                         const Vec<Scalar> &b, Index w);
+
+} // namespace sap
+
+#endif // SAP_BASELINE_BLOCK_NO_FEEDBACK_HH

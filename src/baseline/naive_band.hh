@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Baseline: naive dense-as-band embedding.
+ *
+ * A dense n×m matrix has n+m−1 nonzero diagonals, so running it
+ * directly on a Kung/Leiserson band array requires an array of size
+ * n+m−1 — the array size *grows with the problem*, which is exactly
+ * the size-dependence the paper eliminates. For a fixed array of
+ * size w this embedding simply does not fit once n+m−1 > w.
+ *
+ * The module quantifies that: the required array size, the step
+ * count of the oversized array, and its PE utilization, compared
+ * with DBT on the fixed-w array.
+ */
+
+#ifndef SAP_BASELINE_NAIVE_BAND_HH
+#define SAP_BASELINE_NAIVE_BAND_HH
+
+#include "analysis/metrics.hh"
+#include "base/types.hh"
+#include "mat/dense.hh"
+#include "mat/vector.hh"
+
+namespace sap {
+
+/** Cost model of the naive embedding. */
+struct NaiveBandCost
+{
+    Index arraySize = 0;   ///< PEs required: n + m − 1
+    Cycle steps = 0;       ///< measured steps on that array
+    double utilization = 0; ///< measured MACs / (A·T)
+    bool fitsFixedArray = false; ///< arraySize <= w?
+};
+
+/**
+ * Run (or cost out) the naive embedding of y = A·x + b.
+ *
+ * The dense matrix is treated as a band matrix of bandwidth
+ * n+m−1 and executed on an (n+m−1)-PE contraflow array via the
+ * standard band schedule.
+ *
+ * @param w The fixed array size being compared against.
+ */
+NaiveBandCost runNaiveBand(const Dense<Scalar> &a, const Vec<Scalar> &x,
+                           const Vec<Scalar> &b, Index w,
+                           Vec<Scalar> *y_out = nullptr);
+
+} // namespace sap
+
+#endif // SAP_BASELINE_NAIVE_BAND_HH

@@ -1,0 +1,32 @@
+#include "baseline/prt.hh"
+
+#include "base/logging.hh"
+
+namespace sap {
+
+PrtResult
+runPrt(const Dense<Scalar> &a, const Vec<Scalar> &x, const Vec<Scalar> &b)
+{
+    SAP_ASSERT(a.rows() == a.cols(),
+               "PRT applies to square matrices only");
+    // PRT == DBT-by-rows with n̄ = m̄ = 1 (validated in tests): one
+    // (U00, L00) pair, the trailing x^∂ replicating the leading
+    // elements of x, all b external, all y final.
+    MatVecPlan plan(a, a.rows());
+    SAP_ASSERT(plan.dims().nbar == 1 && plan.dims().mbar == 1,
+               "PRT precondition violated");
+    MatVecPlanResult r = plan.run(x, b);
+
+    PrtResult out;
+    out.y = r.y;
+    out.stats = r.stats;
+    return out;
+}
+
+Index
+naiveDenseArraySize(Index w)
+{
+    return 2 * w - 1;
+}
+
+} // namespace sap

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The PRT transformation of Priester, Whitehouse, Bromley and Clary
+ * ("Signal Processing with Systolic Arrays", ICPP 1981, the paper's
+ * reference /6/).
+ *
+ * PRT packs one dense w×w matrix into a bandwidth-w band by folding
+ * the strictly lower triangle next to the upper triangle — which the
+ * paper identifies as exactly the n̄ = m̄ = 1 special case of
+ * DBT-by-rows. Compared against the naive dense-as-band embedding it
+ * halves the required array size (w instead of 2w−1) with no time
+ * overhead.
+ *
+ * This module provides PRT as an independent entry point (prior
+ * art baseline) plus the check that it coincides with DBT.
+ */
+
+#ifndef SAP_BASELINE_PRT_HH
+#define SAP_BASELINE_PRT_HH
+
+#include "dbt/matvec_plan.hh"
+#include "mat/dense.hh"
+
+namespace sap {
+
+/** Result of a PRT execution. */
+struct PrtResult
+{
+    Vec<Scalar> y;   ///< y = A·x + b
+    RunStats stats;  ///< measured on the w-PE array
+};
+
+/**
+ * Solve y = A·x + b for a single dense w×w matrix using the PRT
+ * band packing on a w-PE linear array.
+ *
+ * @pre A is square and w = A.rows() (PRT has no blocking; that is
+ *      the paper's generalization).
+ */
+PrtResult runPrt(const Dense<Scalar> &a, const Vec<Scalar> &x,
+                 const Vec<Scalar> &b);
+
+/**
+ * Array size required by the naive dense-as-band embedding of a
+ * w×w dense matrix: 2w−1 (every diagonal of A becomes a band
+ * diagonal). PRT's w is the "50% size reduction" of the paper.
+ */
+Index naiveDenseArraySize(Index w);
+
+} // namespace sap
+
+#endif // SAP_BASELINE_PRT_HH

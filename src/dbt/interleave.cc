@@ -1,0 +1,78 @@
+#include "dbt/interleave.hh"
+
+#include "base/logging.hh"
+#include "base/math_util.hh"
+
+namespace sap {
+
+SplitProblem::SplitProblem(const MatVecTransform &t, const Vec<Scalar> &x,
+                           const Vec<Scalar> &b)
+    : t_(t)
+{
+    const MatVecDims &d = t.dims();
+    SAP_ASSERT(d.nbar >= 2,
+               "cannot split a problem with a single block row");
+
+    // Cut after ⌈n̄/2⌉ original block rows = a multiple of m̄ band
+    // block rows, so no feedback chain crosses the cut.
+    Index half_rows = ceilDiv(d.nbar, 2);
+    cut_blocks_ = half_rows * d.mbar;
+
+    buildHalf(0, cut_blocks_, band_first_, spec_first_, x, b);
+    buildHalf(cut_blocks_, d.blockCount(), band_second_, spec_second_,
+              x, b);
+}
+
+void
+SplitProblem::buildHalf(Index k0, Index k1, Band<Scalar> &band,
+                        BandMatVecSpec &spec, const Vec<Scalar> &x,
+                        const Vec<Scalar> &b)
+{
+    const MatVecDims &d = t_.dims();
+    const Index w = d.w;
+    const Index rows = (k1 - k0) * w;
+
+    band = Band<Scalar>(rows, rows + w - 1, 0, w - 1);
+    for (Index i = 0; i < rows; ++i) {
+        Index gi = k0 * w + i;
+        for (Index off = 0; off <= w - 1; ++off)
+            band.ref(i, i + off) = t_.abar().at(gi, gi + off);
+    }
+
+    Vec<Scalar> xbar_full = t_.transformX(x);
+    spec.abar = &band;
+    spec.xbar = xbar_full.slice(k0 * w, rows + w - 1);
+    spec.bIsExternal.assign(static_cast<std::size_t>(rows), 0);
+    spec.yIsFinal.assign(static_cast<std::size_t>(rows), 0);
+    spec.externalB = Vec<Scalar>(rows);
+    for (Index i = 0; i < rows; ++i) {
+        Index gi = k0 * w + i;
+        spec.bIsExternal[i] = t_.scalarIsExternalB(gi) ? 1 : 0;
+        spec.yIsFinal[i] = t_.scalarIsFinalY(gi) ? 1 : 0;
+        if (spec.bIsExternal[i])
+            spec.externalB[i] = t_.externalB(b, gi);
+    }
+}
+
+BandMatVecSpec
+SplitProblem::first() const
+{
+    return spec_first_;
+}
+
+BandMatVecSpec
+SplitProblem::second() const
+{
+    return spec_second_;
+}
+
+Vec<Scalar>
+SplitProblem::extractY(const Vec<Scalar> &ybar_first,
+                       const Vec<Scalar> &ybar_second) const
+{
+    Vec<Scalar> full = ybar_first;
+    full.append(ybar_second);
+    return t_.extractY(full);
+}
+
+} // namespace sap

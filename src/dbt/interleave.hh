@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Partitioning of a transformed problem into two disjoint
+ * sub-problems (the dotted line in the paper's Fig. 2.b).
+ *
+ * Feedback chains run along the band block rows of one original
+ * block row r (k = r·m̄ .. r·m̄+m̄−1), so any cut at a multiple of m̄
+ * yields two independent band problems that can be interleaved on
+ * alternate cycles of the same array.
+ */
+
+#ifndef SAP_DBT_INTERLEAVE_HH
+#define SAP_DBT_INTERLEAVE_HH
+
+#include "dbt/matvec_transform.hh"
+#include "sim/linear_driver.hh"
+
+namespace sap {
+
+/**
+ * Owned storage for the two sub-problems of a split transformed
+ * problem. Non-copyable: the specs returned by first()/second()
+ * point into this object.
+ */
+class SplitProblem
+{
+  public:
+    /**
+     * Split the transformed problem after original block row
+     * ⌈n̄/2⌉ (the paper's optimal balanced cut).
+     *
+     * @param t The DBT transform of A.
+     * @param x Original input vector (length m).
+     * @param b Original additive vector (length n).
+     * @pre t.dims().nbar >= 2.
+     */
+    SplitProblem(const MatVecTransform &t, const Vec<Scalar> &x,
+                 const Vec<Scalar> &b);
+
+    SplitProblem(const SplitProblem &) = delete;
+    SplitProblem &operator=(const SplitProblem &) = delete;
+
+    /** Array-ready spec of the first half (band rows [0, cut)). */
+    BandMatVecSpec first() const;
+    /** Array-ready spec of the second half. */
+    BandMatVecSpec second() const;
+
+    /** Block row count of the first half (multiple of m̄). */
+    Index cutBlocks() const { return cut_blocks_; }
+
+    /**
+     * Merge the two half results back into the full ȳ ordering and
+     * extract the final y (length n).
+     */
+    Vec<Scalar> extractY(const Vec<Scalar> &ybar_first,
+                         const Vec<Scalar> &ybar_second) const;
+
+  private:
+    /** Build the band slice for block rows [k0, k1). */
+    void buildHalf(Index k0, Index k1, Band<Scalar> &band,
+                   BandMatVecSpec &spec, const Vec<Scalar> &x,
+                   const Vec<Scalar> &b);
+
+    const MatVecTransform &t_;
+    Index cut_blocks_;
+    Band<Scalar> band_first_;
+    Band<Scalar> band_second_;
+    BandMatVecSpec spec_first_;
+    BandMatVecSpec spec_second_;
+};
+
+} // namespace sap
+
+#endif // SAP_DBT_INTERLEAVE_HH

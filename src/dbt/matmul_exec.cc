@@ -1,0 +1,151 @@
+#include "dbt/matmul_exec.hh"
+
+#include "base/logging.hh"
+#include "mat/ops.hh"
+#include "mat/triangular.hh"
+
+namespace sap {
+
+namespace {
+
+/** The triangular shape class of each band part. */
+TriPart
+shapeOf(BandPart part)
+{
+    switch (part) {
+      case BandPart::USub:
+      case BandPart::UDiag:  return TriPart::UpperStrict;
+      case BandPart::LDiag:
+      case BandPart::LSuper: return TriPart::LowerStrict;
+      case BandPart::Diag:   return TriPart::DiagOnly;
+    }
+    return TriPart::DiagOnly;
+}
+
+/** Fetch a stored O part block. */
+const Dense<Scalar> &
+oPartOf(const std::vector<OBandRow> &oband, Index k, BandPart part)
+{
+    const OBandRow &row = oband.at(static_cast<std::size_t>(k));
+    switch (part) {
+      case BandPart::USub:   return row.uSub;
+      case BandPart::LDiag:  return row.lDiag;
+      case BandPart::Diag:   return row.diag;
+      case BandPart::UDiag:  return row.uDiag;
+      case BandPart::LSuper: return row.lSuper;
+    }
+    SAP_PANIC("unreachable");
+}
+
+} // namespace
+
+MatMulExecResult
+execTransformedMatMul(const MatMulTransform &t, const Dense<Scalar> &e)
+{
+    const MatMulDims &d = t.dims();
+    const Index K = d.blockCount();
+    const Index w = d.w;
+    SAP_ASSERT(e.rows() == d.n && e.cols() == d.m,
+               "E must be n×m = ", d.n, "x", d.m);
+
+    IoComposer composer(d);
+    Dense<Scalar> e_pad = e.paddedTo(d.nbar * w, d.mbar * w);
+
+    // Resolve one I-band part block.
+    auto input_block = [&](Index k, BandPart part) -> Dense<Scalar> {
+        IoSource src = composer.inputSource(k, part);
+        switch (src.kind) {
+          case IoSource::Kind::Zero:
+            return Dense<Scalar>(w, w);
+          case IoSource::Kind::FromE: {
+            Dense<Scalar> blk(w, w);
+            for (Index i = 0; i < w; ++i)
+                for (Index j = 0; j < w; ++j)
+                    if (inTriPart(shapeOf(part), i, j))
+                        blk(i, j) = e_pad(src.eRow * w + i,
+                                          src.eCol * w + j);
+            return blk;
+          }
+          case IoSource::Kind::FromO:
+            return Dense<Scalar>(); // resolved by caller from oband
+        }
+        SAP_PANIC("unreachable");
+    };
+
+    MatMulExecResult res;
+    res.oband.resize(static_cast<std::size_t>(K + 1));
+
+    auto resolve = [&](Index k, BandPart part) -> Dense<Scalar> {
+        IoSource src = composer.inputSource(k, part);
+        if (src.kind == IoSource::Kind::FromO) {
+            const Dense<Scalar> &o = oPartOf(res.oband, src.oRow,
+                                             src.oPart);
+            SAP_ASSERT(o.rows() == w, "O part (", src.oRow,
+                       ") consumed before it was produced");
+            return o;
+        }
+        return input_block(k, part);
+    };
+
+    for (Index k = 0; k <= K; ++k) {
+        OBandRow &row = res.oband[static_cast<std::size_t>(k)];
+
+        // Sub-diagonal position (k, k−1): Ū_k · U⁻_k + I.
+        if (k >= 1) {
+            Dense<Scalar> prod = matMul(t.aDiagBlock(k), t.bSubBlock(k));
+            SAP_ASSERT(conformsToTriPart(prod, TriPart::UpperStrict),
+                       "sub-diagonal product must be strictly upper");
+            row.uSub = add(prod, resolve(k, BandPart::USub));
+        } else {
+            row.uSub = Dense<Scalar>(w, w);
+        }
+
+        // Diagonal position (k, k): Ū_k·L⁺_k + L̄_k·U⁻_{k+1} + I.
+        {
+            Dense<Scalar> prod = matMul(t.aDiagBlock(k),
+                                        t.bDiagBlock(k));
+            if (k + 1 <= K)
+                prod = add(prod, matMul(t.aSuperBlock(k),
+                                        t.bSubBlock(k + 1)));
+            Dense<Scalar> full =
+                add(add(prod, resolve(k, BandPart::LDiag)),
+                    add(resolve(k, BandPart::Diag),
+                        resolve(k, BandPart::UDiag)));
+            row.lDiag = triPartOf(full, TriPart::LowerStrict);
+            row.diag = triPartOf(full, TriPart::DiagOnly);
+            row.uDiag = triPartOf(full, TriPart::UpperStrict);
+        }
+
+        // Super-diagonal position (k, k+1): L̄_k · L⁺_{k+1} + I.
+        if (k <= K - 1) {
+            Dense<Scalar> prod = matMul(t.aSuperBlock(k),
+                                        t.bDiagBlock(k + 1));
+            SAP_ASSERT(conformsToTriPart(prod, TriPart::LowerStrict),
+                       "super-diagonal product must be strictly lower");
+            row.lSuper = add(prod, resolve(k, BandPart::LSuper));
+        } else {
+            row.lSuper = Dense<Scalar>(w, w);
+        }
+    }
+
+    // Extraction: assemble every C block from its O slots.
+    Dense<Scalar> c_pad(d.nbar * w, d.mbar * w);
+    for (Index i = 0; i < d.nbar; ++i) {
+        for (Index j = 0; j < d.mbar; ++j) {
+            for (BandPart part : {BandPart::UDiag, BandPart::Diag,
+                                  BandPart::LDiag}) {
+                ExtractSource src = composer.extractSource(i, j, part);
+                const Dense<Scalar> &o = oPartOf(res.oband, src.oRow,
+                                                 src.oPart);
+                for (Index bi = 0; bi < w; ++bi)
+                    for (Index bj = 0; bj < w; ++bj)
+                        if (inTriPart(shapeOf(part), bi, bj))
+                            c_pad(i * w + bi, j * w + bj) = o(bi, bj);
+            }
+        }
+    }
+    res.c = c_pad.topLeft(d.n, d.m);
+    return res;
+}
+
+} // namespace sap

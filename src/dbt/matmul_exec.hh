@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Block-level executor of the transformed matrix-matrix problem:
+ * computes the output band O = band(Ā·B̄) + I with I composed from E
+ * and fed-back O per the Appendix rules, then extracts C = A·B + E.
+ *
+ * This is the algebraic oracle for the cycle-accurate hexagonal
+ * simulator and the engine behind large parameter sweeps.
+ */
+
+#ifndef SAP_DBT_MATMUL_EXEC_HH
+#define SAP_DBT_MATMUL_EXEC_HH
+
+#include <vector>
+
+#include "dbt/matmul_io.hh"
+#include "dbt/matmul_transform.hh"
+
+namespace sap {
+
+/** The five per-row part blocks of the output band O. */
+struct OBandRow
+{
+    Dense<Scalar> uSub;   ///< U_{k,0}: strictly upper shaped
+    Dense<Scalar> lDiag;  ///< L_{k,0}
+    Dense<Scalar> diag;   ///< D_k (stored as a full block, off-diag 0)
+    Dense<Scalar> uDiag;  ///< U_{k,1}
+    Dense<Scalar> lSuper; ///< L_{k,1}: strictly lower shaped
+};
+
+/** Result of a block-level transformed mat-mul execution. */
+struct MatMulExecResult
+{
+    /** Final C = A·B + E (original n×m shape). */
+    Dense<Scalar> c;
+    /** The full output band, for inspection and cross-checking. */
+    std::vector<OBandRow> oband;
+};
+
+/**
+ * Execute the transformed problem.
+ *
+ * @param t The DBT mat-mul transform of (A, B).
+ * @param e Additive matrix E (n×m); pass a zero matrix for C = A·B.
+ */
+MatMulExecResult execTransformedMatMul(const MatMulTransform &t,
+                                       const Dense<Scalar> &e);
+
+} // namespace sap
+
+#endif // SAP_DBT_MATMUL_EXEC_HH

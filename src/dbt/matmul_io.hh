@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The paper's Appendix: composition of the hexagonal array input
+ * band I from the data matrix E and the fed-back output band O, and
+ * extraction of the final C blocks from O.
+ *
+ * Band notation (Fig. 6): the I/O bands are 2w−1 wide; block row k
+ * holds, left to right:
+ *
+ *   U_{k,0}  strictly-upper-shaped block at block column k−1
+ *   L_{k,0}  strictly lower part of the diagonal block (k,k)
+ *   D_k      diagonal of the diagonal block
+ *   U_{k,1}  strictly upper part of the diagonal block
+ *   L_{k,1}  strictly-lower-shaped block at block column k+1
+ *
+ * Composition rules (cleaned from the scanned text; `K = p̄n̄m̄`,
+ * indices r = ⌊(k mod n̄p̄)/p̄⌋, c = ⌊k/(n̄p̄)⌋):
+ *
+ *   U^I_{k,0} = U^O_{k−p̄(n̄−1)−1, 1}  if k mod p̄n̄ == 0   (irregular)
+ *             = U^E_{r, c}            if k mod p̄ == 0
+ *             = U^O_{k−1, 1}          otherwise
+ *   U^I_{k,1} = U^E_{0, c}            if k mod p̄n̄ == 0
+ *             = U^O_{k, 0}            otherwise
+ *   D^I_k     = D^E_{r, c}            if k mod p̄ == 0
+ *             = D^O_{k−1}             otherwise
+ *   L^I_{k,0} = L^O_{k−p̄(n̄−1)−1, 1}  if (k+p̄) mod p̄n̄ == 0
+ *                                       and k != p̄(n̄−1)  (irregular)
+ *             = L^E_{r, c}            if k mod p̄ == 0
+ *             = L^O_{k−1, 1}          otherwise
+ *   L^I_{k,1} = L^O_{p̄n̄−1, 0}        if k == K−1         (irregular)
+ *             = L^E_{n̄−1, (k+1)/p̄n̄}  if (k+1) mod p̄n̄ == 0
+ *             = L^O_{k, 0}            otherwise
+ *
+ * Extraction:
+ *
+ *   U^C_{i,j} = U^O_{(j+1)p̄n̄, 0}           if i == 0
+ *             = U^O_{(i+jn̄+1)p̄−1, 1}       otherwise
+ *   D^C_{i,j} = D^O_{(i+jn̄+1)p̄−1}
+ *   L^C_{i,j} = L^O_{K−1, 1}               if (i,j) == (n̄−1, 0)
+ *             = L^O_{(j+1)p̄n̄−1, 0}         if i == n̄−1, j > 0
+ *             = L^O_{(i+jn̄+1)p̄−1, 1}       otherwise
+ *
+ * E-blocks referenced out of range (only possible at the tail row
+ * k == K) denote zero inputs whose outputs are discarded.
+ */
+
+#ifndef SAP_DBT_MATMUL_IO_HH
+#define SAP_DBT_MATMUL_IO_HH
+
+#include "base/types.hh"
+#include "dbt/matmul_transform.hh"
+
+namespace sap {
+
+/** The five part classes of an I/O band block row (Fig. 6). */
+enum class BandPart
+{
+    USub,   ///< U_{k,0}: strictly-upper block at block column k−1
+    LDiag,  ///< L_{k,0}: strictly lower part of the diagonal block
+    Diag,   ///< D_k: diagonal of the diagonal block
+    UDiag,  ///< U_{k,1}: strictly upper part of the diagonal block
+    LSuper, ///< L_{k,1}: strictly-lower block at block column k+1
+};
+
+/** Printable part name ("U_{k,0}" style). */
+std::string bandPartName(BandPart part);
+
+/** Where one I-band block comes from. */
+struct IoSource
+{
+    enum class Kind
+    {
+        Zero,     ///< no input (tail corner cases)
+        FromE,    ///< block (eRow, eCol) of the data matrix E
+        FromO,    ///< fed-back output block (oRow, oPart)
+    };
+
+    Kind kind = Kind::Zero;
+    Index eRow = -1;     ///< E block row (FromE)
+    Index eCol = -1;     ///< E block column (FromE)
+    Index oRow = -1;     ///< O band block row (FromO)
+    BandPart oPart = BandPart::Diag; ///< O part class (FromO)
+    bool irregular = false; ///< true for the long-delay feedbacks
+};
+
+/** Where one final C block part is read from. */
+struct ExtractSource
+{
+    Index oRow = -1;
+    BandPart oPart = BandPart::Diag;
+};
+
+/**
+ * Implements the Appendix rules for a given problem shape.
+ *
+ * The composer is pure index arithmetic: it never touches values.
+ * Executors (block-level and cycle-level) query it to route data.
+ */
+class IoComposer
+{
+  public:
+    explicit IoComposer(const MatMulDims &dims);
+
+    /**
+     * Source of I-band part @p part at block row @p k.
+     *
+     * @pre k in [0, K] (K = tail row); USub requires k >= 1,
+     *      LSuper requires k <= K−1.
+     */
+    IoSource inputSource(Index k, BandPart part) const;
+
+    /** Extraction location of C block (i, j) part @p part. */
+    ExtractSource extractSource(Index i, Index j, BandPart part) const;
+
+    /**
+     * True if the O-band part (k, part) is consumed by some later
+     * I-band slot (i.e. it recirculates rather than being final or
+     * discarded).
+     */
+    bool outputIsRecirculated(Index k, BandPart part) const;
+
+    /**
+     * Verify global consistency: every O block is consumed at most
+     * once, every C block is extracted from a distinct O slot, and
+     * every E block is injected exactly once per part class.
+     */
+    bool validate() const;
+
+  private:
+    MatMulDims dims_;
+};
+
+} // namespace sap
+
+#endif // SAP_DBT_MATMUL_IO_HH

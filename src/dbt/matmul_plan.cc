@@ -1,0 +1,162 @@
+#include "dbt/matmul_plan.hh"
+
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "mat/triangular.hh"
+
+namespace sap {
+
+namespace {
+
+/** Classify a scalar band position (i, j) into (block row, part). */
+struct PartPos
+{
+    Index k;       ///< band block row
+    BandPart part; ///< part class
+    Index il, jl;  ///< local coordinates inside the w×w block
+};
+
+PartPos
+classify(Index i, Index j, Index w)
+{
+    PartPos p;
+    p.k = i / w;
+    p.il = i % w;
+    p.jl = j % w;
+    Index jblk = j / w;
+    if (jblk == p.k - 1) {
+        p.part = BandPart::USub;
+    } else if (jblk == p.k + 1) {
+        p.part = BandPart::LSuper;
+    } else {
+        SAP_ASSERT(jblk == p.k, "position (", i, ",", j,
+                   ") outside the block band");
+        p.part = p.jl > p.il    ? BandPart::UDiag
+                 : p.jl < p.il  ? BandPart::LDiag
+                                : BandPart::Diag;
+    }
+    return p;
+}
+
+/** Scalar coordinates of an O slot (row k, part) element (il, jl). */
+std::pair<Index, Index>
+oScalarCoords(Index k, BandPart part, Index il, Index jl, Index w)
+{
+    Index i = k * w + il;
+    Index jblk = k;
+    if (part == BandPart::USub)
+        jblk = k - 1;
+    else if (part == BandPart::LSuper)
+        jblk = k + 1;
+    return {i, jblk * w + jl};
+}
+
+} // namespace
+
+MatMulPlan::MatMulPlan(const Dense<Scalar> &a, const Dense<Scalar> &b,
+                       Index w)
+    : transform_(a, b, w), composer_(transform_.dims())
+{
+    SAP_ASSERT(transform_.validate(), "mat-mul transform is malformed");
+    SAP_ASSERT(composer_.validate(), "I/O composition is inconsistent");
+}
+
+MatMulExecResult
+MatMulPlan::runBlockLevel(const Dense<Scalar> &e) const
+{
+    return execTransformedMatMul(transform_, e);
+}
+
+MatMulPlanResult
+MatMulPlan::run(const Dense<Scalar> &e) const
+{
+    const MatMulDims &d = dims();
+    const Index w = d.w;
+    const Index N = d.order();
+    SAP_ASSERT(e.rows() == d.n && e.cols() == d.m,
+               "E must be n×m = ", d.n, "x", d.m);
+    Dense<Scalar> e_pad = e.paddedTo(d.nbar * w, d.mbar * w);
+
+    auto feedback = std::make_shared<SpiralFeedback>(w);
+
+    // Captured O values, keyed by scalar band position.
+    auto key_of = [N](Index i, Index j) { return i * N + j; };
+    std::unordered_map<Index, std::pair<Scalar, Cycle>> captured;
+
+    // Extraction routing: O scalar position -> padded C position.
+    std::unordered_map<Index, std::pair<Index, Index>> extract_map;
+    for (Index bi = 0; bi < d.nbar; ++bi) {
+        for (Index bj = 0; bj < d.mbar; ++bj) {
+            for (BandPart part : {BandPart::UDiag, BandPart::Diag,
+                                  BandPart::LDiag}) {
+                ExtractSource src = composer_.extractSource(bi, bj,
+                                                            part);
+                TriPart shape = part == BandPart::UDiag
+                                    ? TriPart::UpperStrict
+                                : part == BandPart::LDiag
+                                    ? TriPart::LowerStrict
+                                    : TriPart::DiagOnly;
+                for (Index il = 0; il < w; ++il) {
+                    for (Index jl = 0; jl < w; ++jl) {
+                        if (!inTriPart(shape, il, jl))
+                            continue;
+                        auto [oi, oj] = oScalarCoords(src.oRow,
+                                                      src.oPart, il,
+                                                      jl, w);
+                        extract_map[key_of(oi, oj)] = {bi * w + il,
+                                                       bj * w + jl};
+                    }
+                }
+            }
+        }
+    }
+
+    Dense<Scalar> c_pad(d.nbar * w, d.mbar * w);
+
+    HexBandSpec spec;
+    spec.abar = &transform_.abar();
+    spec.bbar = &transform_.bbar();
+    spec.inputValue = [&](Index i, Index j) -> Scalar {
+        PartPos pos = classify(i, j, w);
+        IoSource src = composer_.inputSource(pos.k, pos.part);
+        switch (src.kind) {
+          case IoSource::Kind::Zero:
+            return 0;
+          case IoSource::Kind::FromE:
+            return e_pad(src.eRow * w + pos.il, src.eCol * w + pos.jl);
+          case IoSource::Kind::FromO: {
+            auto [oi, oj] = oScalarCoords(src.oRow, src.oPart, pos.il,
+                                          pos.jl, w);
+            auto it = captured.find(key_of(oi, oj));
+            SAP_ASSERT(it != captured.end(), "feedback for (", i, ",",
+                       j, ") consumed before (", oi, ",", oj,
+                       ") was produced");
+            Cycle enter = i + j + std::max(i, j) + w - 1;
+            feedback->recordTransfer(oj - oi, j - i, it->second.second,
+                                     enter, src.irregular);
+            return it->second.first;
+          }
+        }
+        SAP_PANIC("unreachable");
+    };
+    spec.onOutput = [&](Index i, Index j, Scalar v, Cycle exit_cycle) {
+        captured[key_of(i, j)] = {v, exit_cycle};
+        auto it = extract_map.find(key_of(i, j));
+        if (it != extract_map.end())
+            c_pad(it->second.first, it->second.second) = v;
+    };
+
+    HexRunResult hex = runHexBandMatMul(spec);
+    SAP_ASSERT(feedback->topologyRespected(),
+               "a feedback transfer left its spiral loop");
+
+    MatMulPlanResult res;
+    res.c = c_pad.topLeft(d.n, d.m);
+    res.stats = hex.stats;
+    res.totalCycles = hex.totalCycles;
+    res.feedback = feedback;
+    return res;
+}
+
+} // namespace sap

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * End-to-end mat-mul execution plan: DBT transformation, cycle-
+ * accurate hexagonal execution with spiral feedback, and result
+ * extraction. The user-facing API for C = A·B + E on a fixed w×w
+ * hexagonal array.
+ */
+
+#ifndef SAP_DBT_MATMUL_PLAN_HH
+#define SAP_DBT_MATMUL_PLAN_HH
+
+#include <memory>
+
+#include "dbt/matmul_exec.hh"
+#include "dbt/matmul_io.hh"
+#include "dbt/matmul_transform.hh"
+#include "sim/hex_driver.hh"
+#include "sim/spiral_feedback.hh"
+
+namespace sap {
+
+/** Result of a planned systolic mat-mul execution. */
+struct MatMulPlanResult
+{
+    /** The final C = A·B + E (original n×m shape). */
+    Dense<Scalar> c;
+    /** Measured statistics (paper step-count convention). */
+    RunStats stats;
+    /** Raw edge-to-edge cycles. */
+    Cycle totalCycles = 0;
+    /** Feedback measurements (delays, storage, topology audit). */
+    std::shared_ptr<SpiralFeedback> feedback;
+};
+
+/**
+ * Reusable execution plan for one (A, B) pair on one array size.
+ */
+class MatMulPlan
+{
+  public:
+    /**
+     * @param a Dense A (n×p).
+     * @param b Dense B (p×m).
+     * @param w Hexagonal array size.
+     */
+    MatMulPlan(const Dense<Scalar> &a, const Dense<Scalar> &b, Index w);
+
+    /** The underlying transform. */
+    const MatMulTransform &transform() const { return transform_; }
+    /** The Appendix I/O composer. */
+    const IoComposer &composer() const { return composer_; }
+    /** Dimensions record. */
+    const MatMulDims &dims() const { return transform_.dims(); }
+
+    /**
+     * Execute C = A·B + E on the simulated hexagonal array with
+     * spiral feedback. Every addition happens inside the array; the
+     * host only routes the feedback values at their scheduled
+     * cycles.
+     *
+     * @param e Additive matrix (n×m); zero matrix for plain C = A·B.
+     */
+    MatMulPlanResult run(const Dense<Scalar> &e) const;
+
+    /** Fast block-level execution (the algebraic oracle). */
+    MatMulExecResult runBlockLevel(const Dense<Scalar> &e) const;
+
+  private:
+    MatMulTransform transform_;
+    IoComposer composer_;
+};
+
+} // namespace sap
+
+#endif // SAP_DBT_MATMUL_PLAN_HH

@@ -1,0 +1,186 @@
+#include "dbt/matmul_transform.hh"
+
+#include "base/logging.hh"
+#include "base/math_util.hh"
+#include "mat/triangular.hh"
+
+namespace sap {
+
+MatMulTransform::MatMulTransform(const Dense<Scalar> &a,
+                                 const Dense<Scalar> &b, Index w)
+    : dims_{a.rows(), a.cols(), b.cols(), w,
+            ceilDiv(a.rows(), w), ceilDiv(a.cols(), w),
+            ceilDiv(b.cols(), w)},
+      ablocks_(a, w), bblocks_(b, w),
+      abar_(dims_.order(), dims_.order(), 0, w - 1),
+      bbar_(dims_.order(), dims_.order(), w - 1, 0)
+{
+    SAP_ASSERT(a.cols() == b.rows(), "A cols ", a.cols(),
+               " != B rows ", b.rows());
+    const Index K = dims_.blockCount();
+    const Index N = dims_.order();
+
+    // ---- Ā -------------------------------------------------------
+    // Interior block rows: Ū_k on the diagonal, L̄_k one block right.
+    for (Index k = 0; k < K; ++k) {
+        Dense<Scalar> u = ablocks_.block(rOf(k), sOf(k));
+        Dense<Scalar> l = ablocks_.block(rOf(k), (sOf(k) + 1)
+                                         % dims_.pbar);
+        for (Index i = 0; i < w; ++i) {
+            for (Index j = i; j < w; ++j)      // upper incl. diagonal
+                abar_.ref(k * w + i, k * w + j) = u(i, j);
+            for (Index j = 0; j < i; ++j)      // strictly lower
+                abar_.ref(k * w + i, (k + 1) * w + j) = l(i, j);
+        }
+    }
+    // Tail U': leading (w−1)×(w−1) corner of U^A_{0,0}.
+    {
+        Dense<Scalar> u0 = ablocks_.block(0, 0);
+        for (Index i = 0; i < w - 1; ++i)
+            for (Index j = i; j < w - 1; ++j)
+                abar_.ref(K * w + i, K * w + j) = u0(i, j);
+    }
+
+    // ---- B̄ -------------------------------------------------------
+    // Interior: L⁺ on the diagonal, U⁻ one block left (k >= 1).
+    for (Index k = 0; k < K; ++k) {
+        Dense<Scalar> lp = bblocks_.block(sOf(k), cOf(k));
+        for (Index i = 0; i < w; ++i)
+            for (Index j = 0; j <= i; ++j)     // lower incl. diagonal
+                bbar_.ref(k * w + i, k * w + j) = lp(i, j);
+    }
+    for (Index k = 1; k <= K; ++k) {
+        // U⁻ block: B block (k mod p̄, ⌊(k−1)/(n̄p̄)⌋), strictly upper.
+        Dense<Scalar> um = bSubBlock(k);
+        for (Index i = 0; i < w; ++i) {
+            if (k * w + i >= N)
+                break; // the tail row has only w−1 rows
+            for (Index j = i + 1; j < w; ++j)
+                bbar_.ref(k * w + i, (k - 1) * w + j) = um(i, j);
+        }
+    }
+    // Tail L': leading (w−1)×(w−1) corner of L⁺_{0,0}.
+    {
+        Dense<Scalar> l0 = bblocks_.block(0, 0);
+        for (Index i = 0; i < w - 1; ++i)
+            for (Index j = 0; j <= i; ++j)
+                bbar_.ref(K * w + i, K * w + j) = l0(i, j);
+    }
+}
+
+Index
+MatMulTransform::rOf(Index k) const
+{
+    return (k % (dims_.nbar * dims_.pbar)) / dims_.pbar;
+}
+
+Index
+MatMulTransform::sOf(Index k) const
+{
+    return k % dims_.pbar;
+}
+
+Index
+MatMulTransform::cOf(Index k) const
+{
+    return k / (dims_.nbar * dims_.pbar);
+}
+
+Dense<Scalar>
+MatMulTransform::aDiagBlock(Index k) const
+{
+    const Index K = dims_.blockCount();
+    SAP_ASSERT(k >= 0 && k <= K, "block row ", k, " out of range");
+    if (k < K)
+        return triPartOf(ablocks_.block(rOf(k), sOf(k)),
+                         TriPart::UpperWithDiag);
+    // Tail U': U^A_{0,0} with its last row and column zeroed. The
+    // clipped row/column contribute nothing to the products the tail
+    // participates in (see DESIGN.md §4.3).
+    Dense<Scalar> u = triPartOf(ablocks_.block(0, 0),
+                                TriPart::UpperWithDiag);
+    for (Index t = 0; t < dims_.w; ++t) {
+        u(dims_.w - 1, t) = 0;
+        u(t, dims_.w - 1) = 0;
+    }
+    return u;
+}
+
+Dense<Scalar>
+MatMulTransform::aSuperBlock(Index k) const
+{
+    const Index K = dims_.blockCount();
+    SAP_ASSERT(k >= 0 && k <= K, "block row ", k, " out of range");
+    if (k == K)
+        return Dense<Scalar>(dims_.w, dims_.w); // no super block at tail
+    return triPartOf(ablocks_.block(rOf(k), (sOf(k) + 1) % dims_.pbar),
+                     TriPart::LowerStrict);
+}
+
+Dense<Scalar>
+MatMulTransform::bDiagBlock(Index k) const
+{
+    const Index K = dims_.blockCount();
+    SAP_ASSERT(k >= 0 && k <= K, "block row ", k, " out of range");
+    if (k < K)
+        return triPartOf(bblocks_.block(sOf(k), cOf(k)),
+                         TriPart::LowerWithDiag);
+    // Tail L': L⁺_{0,0} with last row/column zeroed.
+    Dense<Scalar> l = triPartOf(bblocks_.block(0, 0),
+                                TriPart::LowerWithDiag);
+    for (Index t = 0; t < dims_.w; ++t) {
+        l(dims_.w - 1, t) = 0;
+        l(t, dims_.w - 1) = 0;
+    }
+    return l;
+}
+
+Dense<Scalar>
+MatMulTransform::bSubBlock(Index k) const
+{
+    const Index K = dims_.blockCount();
+    SAP_ASSERT(k >= 1 && k <= K, "sub block row ", k, " out of range");
+    Index s = k % dims_.pbar; // == sOf(k) for k < K; 0 at the tail
+    Index c = (k - 1) / (dims_.nbar * dims_.pbar);
+    return triPartOf(bblocks_.block(s, c), TriPart::UpperStrict);
+}
+
+bool
+MatMulTransform::validate() const
+{
+    const Index K = dims_.blockCount();
+    const Index w = dims_.w;
+
+    // Reconstruction: the band content must equal the provenance
+    // blocks placed at their positions.
+    for (Index k = 0; k <= K; ++k) {
+        Dense<Scalar> u = aDiagBlock(k);
+        for (Index i = 0; i < w; ++i) {
+            for (Index j = i; j < w; ++j) {
+                Index row = k * w + i, col = k * w + j;
+                if (row >= dims_.order() || col >= dims_.order())
+                    continue;
+                if (abar_.at(row, col) != u(i, j))
+                    return false;
+            }
+        }
+    }
+
+    // Coverage: every U^A block appears exactly m̄ times (once per
+    // copy); every L⁺^B block appears exactly n̄ times.
+    std::vector<Index> u_count(dims_.nbar * dims_.pbar, 0);
+    std::vector<Index> l_count(dims_.pbar * dims_.mbar, 0);
+    for (Index k = 0; k < K; ++k) {
+        ++u_count[rOf(k) * dims_.pbar + sOf(k)];
+        ++l_count[sOf(k) * dims_.mbar + cOf(k)];
+    }
+    for (Index v : u_count)
+        if (v != dims_.mbar)
+            return false;
+    for (Index v : l_count)
+        if (v != dims_.nbar)
+            return false;
+    return true;
+}
+
+} // namespace sap

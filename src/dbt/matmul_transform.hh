@@ -1,0 +1,118 @@
+/**
+ * @file
+ * DBT transformations for matrix-matrix multiplication (§3 of the
+ * paper): C = A·B + E on the w-by-w hexagonal array.
+ *
+ * Ā (upper band, bandwidth w, square of order N = w·p̄n̄m̄ + w − 1):
+ *   1. apply DBT-by-rows to A            -> band period Ā^b
+ *   2. juxtapose m̄ copies of Ā^b, append the triangular tail U'
+ *      (the leading (w−1)×(w−1) corner of Ā^b).
+ *
+ * B̄ (lower band, bandwidth w, same order):
+ *   1. split B into m̄ column blocks B_c (p × w)
+ *   2. B̄^b_c = (DBT-by-rows(B_cᵀ))ᵀ      -> lower band period
+ *   3. juxtapose n̄ copies of each B̄^b_c  -> B̄^d_c
+ *   4. concatenate B̄^d_0 … B̄^d_{m̄−1}, append the tail L'
+ *      (the leading (w−1)×(w−1) corner of B̄^b_0).
+ *
+ * Block-level provenance (all derived in DESIGN.md §4.3): for band
+ * block row k with r = ⌊(k mod n̄p̄)/p̄⌋, s = k mod p̄, c = ⌊k/(n̄p̄)⌋:
+ *
+ *   Ā(k,k)   = U^A_{r,s}        Ā(k,k+1) = L^A_{r,(s+1) mod p̄}
+ *   B̄(k,k)   = L⁺^B_{s,c}       B̄(k,k−1) = U⁻^B_{s,⌊(k−1)/(n̄p̄)⌋}
+ *
+ * where U^A/L^A split A-blocks with the diagonal in U, and
+ * L⁺/U⁻ split B-blocks with the diagonal in L.
+ */
+
+#ifndef SAP_DBT_MATMUL_TRANSFORM_HH
+#define SAP_DBT_MATMUL_TRANSFORM_HH
+
+#include "base/types.hh"
+#include "mat/band.hh"
+#include "mat/block.hh"
+#include "mat/dense.hh"
+
+namespace sap {
+
+/** Problem dimensions of a DBT mat-mul instance. */
+struct MatMulDims
+{
+    Index n;    ///< rows of A and C
+    Index p;    ///< cols of A = rows of B
+    Index m;    ///< cols of B and C
+    Index w;    ///< hexagonal array size (w×w PEs)
+    Index nbar; ///< ⌈n/w⌉
+    Index pbar; ///< ⌈p/w⌉
+    Index mbar; ///< ⌈m/w⌉
+
+    /** Band block rows before the tail: K = p̄·n̄·m̄. */
+    Index blockCount() const { return pbar * nbar * mbar; }
+    /** Scalar order of Ā and B̄: N = w·K + w − 1. */
+    Index order() const { return blockCount() * w + w - 1; }
+};
+
+/**
+ * The transformed pair (Ā, B̄) plus provenance accessors.
+ */
+class MatMulTransform
+{
+  public:
+    /**
+     * @param a Dense A (n×p).
+     * @param b Dense B (p×m).
+     * @param w Hexagonal array size.
+     */
+    MatMulTransform(const Dense<Scalar> &a, const Dense<Scalar> &b,
+                    Index w);
+
+    const MatMulDims &dims() const { return dims_; }
+
+    /** Ā: square upper band, bandwidth w. */
+    const Band<Scalar> &abar() const { return abar_; }
+    /** B̄: square lower band, bandwidth w. */
+    const Band<Scalar> &bbar() const { return bbar_; }
+
+    //-----------------------------------------------------------------
+    // Block-level provenance (k in [0, blockCount()], where
+    // blockCount() is the tail row).
+    //-----------------------------------------------------------------
+
+    /** Original A block-row index r of band block row k. */
+    Index rOf(Index k) const;
+    /** Original A block-column (= B block-row) index s of row k. */
+    Index sOf(Index k) const;
+    /** Original B block-column index c of row k. */
+    Index cOf(Index k) const;
+
+    /** Ā(k,k): the U^A block (w×w dense copy; tail-clipped at K). */
+    Dense<Scalar> aDiagBlock(Index k) const;
+    /** Ā(k,k+1): the L^A block; zero block at the tail. */
+    Dense<Scalar> aSuperBlock(Index k) const;
+    /** B̄(k,k): the L⁺ block (tail-clipped at K). */
+    Dense<Scalar> bDiagBlock(Index k) const;
+    /** B̄(k,k−1): the U⁻ block (k in [1, blockCount()]). */
+    Dense<Scalar> bSubBlock(Index k) const;
+
+    /** The padded block partitions of A and B. */
+    const BlockPartition<Scalar> &aBlocks() const { return ablocks_; }
+    /** @copydoc aBlocks() */
+    const BlockPartition<Scalar> &bBlocks() const { return bblocks_; }
+
+    /**
+     * Structural validation: band occupancy, single-copy coverage,
+     * and exact reconstruction of the band from provenance blocks.
+     */
+    bool validate() const;
+
+  private:
+    MatMulDims dims_;
+    BlockPartition<Scalar> ablocks_;
+    BlockPartition<Scalar> bblocks_;
+    Band<Scalar> abar_;
+    Band<Scalar> bbar_;
+};
+
+} // namespace sap
+
+#endif // SAP_DBT_MATMUL_TRANSFORM_HH

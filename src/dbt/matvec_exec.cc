@@ -1,0 +1,37 @@
+#include "dbt/matvec_exec.hh"
+
+#include "base/logging.hh"
+
+namespace sap {
+
+MatVecExecResult
+execTransformed(const MatVecTransform &t, const Vec<Scalar> &x,
+                const Vec<Scalar> &b)
+{
+    const MatVecDims &d = t.dims();
+    const Band<Scalar> &abar = t.abar();
+    Vec<Scalar> xbar = t.transformX(x);
+
+    Vec<Scalar> ybar(d.barRows());
+    for (Index i = 0; i < d.barRows(); ++i) {
+        // b̄_i: external injection or feedback of ȳ_{i−w} (the scalar
+        // w rows earlier — same in-block offset, previous block row).
+        Scalar acc;
+        if (t.scalarIsExternalB(i)) {
+            acc = t.externalB(b, i);
+        } else {
+            SAP_ASSERT(i - d.w >= 0, "feedback before first block");
+            acc = ybar[i - d.w];
+        }
+        for (Index off = 0; off <= d.w - 1; ++off) {
+            Index j = i + off;
+            if (j < d.barCols())
+                acc += abar.at(i, j) * xbar[j];
+        }
+        ybar[i] = acc;
+    }
+
+    return {ybar, t.extractY(ybar)};
+}
+
+} // namespace sap

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Block-level algebraic executor for the transformed mat-vec
+ * problem.
+ *
+ * Computes ȳ = Ā·x̄ + b̄ sequentially, honoring the feedback
+ * semantics (b̄ of a fed-back block row *is* the previous block
+ * row's ȳ). This is the fast oracle used to cross-check the
+ * cycle-accurate simulator and to run large parameter sweeps.
+ */
+
+#ifndef SAP_DBT_MATVEC_EXEC_HH
+#define SAP_DBT_MATVEC_EXEC_HH
+
+#include "dbt/matvec_transform.hh"
+#include "mat/vector.hh"
+
+namespace sap {
+
+/** Result of an algebraic transformed-problem execution. */
+struct MatVecExecResult
+{
+    Vec<Scalar> ybar; ///< full transformed result vector
+    Vec<Scalar> y;    ///< extracted original result (length n)
+};
+
+/**
+ * Execute the transformed problem ȳ = Ā·x̄ + b̄ with feedback.
+ *
+ * @param t The DBT transform of A.
+ * @param x Original x (length m).
+ * @param b Original b (length n).
+ */
+MatVecExecResult execTransformed(const MatVecTransform &t,
+                                 const Vec<Scalar> &x,
+                                 const Vec<Scalar> &b);
+
+} // namespace sap
+
+#endif // SAP_DBT_MATVEC_EXEC_HH

@@ -1,0 +1,171 @@
+#include "dbt/matvec_transform.hh"
+
+#include "base/logging.hh"
+#include "base/math_util.hh"
+#include "mat/triangular.hh"
+
+namespace sap {
+
+MatVecTransform::MatVecTransform(const Dense<Scalar> &a, Index w)
+    : dims_{a.rows(), a.cols(), w,
+            ceilDiv(a.rows(), w), ceilDiv(a.cols(), w)},
+      partition_(a, w),
+      abar_(dims_.barRows(), dims_.barCols(), /*sub=*/0, /*super=*/w - 1)
+{
+    const Index mbar = dims_.mbar;
+    const Index blocks = dims_.blockCount();
+    pairs_.reserve(blocks);
+
+    // DBT-by-rows block selection (paper §2, rules a).
+    for (Index k = 0; k < blocks; ++k) {
+        Index r = k / mbar;
+        Index s = k % mbar;
+        Index s_next = (s + 1) % mbar;
+        pairs_.push_back({r, s, r, s_next});
+    }
+
+    // Materialize the band: block row k holds Ū_k at block column k
+    // (offsets 0..w-1-i per local row i) and L̄_k at block column k+1
+    // (offsets w-i..w-1). Together they fill the whole band.
+    for (Index k = 0; k < blocks; ++k) {
+        const BlockPair &p = pairs_[k];
+        Dense<Scalar> blk_u = partition_.block(p.uRow, p.uCol);
+        Dense<Scalar> blk_l = partition_.block(p.lRow, p.lCol);
+        for (Index i = 0; i < w; ++i) {
+            Index row = k * w + i;
+            for (Index j = i; j < w; ++j)          // U part, j >= i
+                abar_.ref(row, k * w + j) = blk_u(i, j);
+            for (Index j = 0; j < i; ++j)          // L part, j < i
+                abar_.ref(row, (k + 1) * w + j) = blk_l(i, j);
+        }
+    }
+}
+
+BSource
+MatVecTransform::bSourceOf(Index k) const
+{
+    SAP_ASSERT(k >= 0 && k < dims_.blockCount(), "block ", k,
+               " out of range");
+    return (k % dims_.mbar == 0) ? BSource::External : BSource::Feedback;
+}
+
+YSink
+MatVecTransform::ySinkOf(Index k) const
+{
+    SAP_ASSERT(k >= 0 && k < dims_.blockCount(), "block ", k,
+               " out of range");
+    return ((k + 1) % dims_.mbar == 0) ? YSink::Emit
+                                       : YSink::Recirculate;
+}
+
+Vec<Scalar>
+MatVecTransform::transformX(const Vec<Scalar> &x) const
+{
+    SAP_ASSERT(x.size() == dims_.m, "x has ", x.size(),
+               " elements, expected ", dims_.m);
+    Vec<Scalar> xp = x.paddedTo(dims_.mbar * dims_.w);
+
+    Vec<Scalar> xbar(dims_.barCols());
+    Index pos = 0;
+    for (Index k = 0; k < dims_.blockCount(); ++k) {
+        Index s = k % dims_.mbar;
+        for (Index t = 0; t < dims_.w; ++t)
+            xbar[pos++] = xp[s * dims_.w + t];
+    }
+    // Tail x^∂: the first w-1 elements of the block that follows the
+    // last L̄ (for DBT-by-rows this is x_0).
+    Index s_tail = dims_.blockCount() % dims_.mbar; // == 0
+    for (Index t = 0; t < dims_.w - 1; ++t)
+        xbar[pos++] = xp[s_tail * dims_.w + t];
+    SAP_ASSERT(pos == dims_.barCols(), "x̄ fill mismatch");
+    return xbar;
+}
+
+bool
+MatVecTransform::scalarIsExternalB(Index i) const
+{
+    SAP_ASSERT(i >= 0 && i < dims_.barRows(), "scalar row ", i,
+               " out of range");
+    return bSourceOf(i / dims_.w) == BSource::External;
+}
+
+Scalar
+MatVecTransform::externalB(const Vec<Scalar> &b, Index i) const
+{
+    SAP_ASSERT(scalarIsExternalB(i), "row ", i, " is fed back");
+    SAP_ASSERT(b.size() == dims_.n, "b has ", b.size(),
+               " elements, expected ", dims_.n);
+    Index k = i / dims_.w;
+    Index t = i % dims_.w;
+    Index r = k / dims_.mbar;
+    Index src = r * dims_.w + t;
+    // Padded rows take a zero initial value.
+    return src < dims_.n ? b[src] : Scalar{0};
+}
+
+bool
+MatVecTransform::scalarIsFinalY(Index i) const
+{
+    SAP_ASSERT(i >= 0 && i < dims_.barRows(), "scalar row ", i,
+               " out of range");
+    return ySinkOf(i / dims_.w) == YSink::Emit;
+}
+
+Index
+MatVecTransform::finalYIndex(Index i) const
+{
+    SAP_ASSERT(scalarIsFinalY(i), "row ", i, " recirculates");
+    Index k = i / dims_.w;
+    Index t = i % dims_.w;
+    Index r = k / dims_.mbar;
+    return r * dims_.w + t;
+}
+
+Vec<Scalar>
+MatVecTransform::extractY(const Vec<Scalar> &ybar) const
+{
+    SAP_ASSERT(ybar.size() == dims_.barRows(), "ȳ has ", ybar.size(),
+               " elements, expected ", dims_.barRows());
+    Vec<Scalar> y(dims_.n);
+    for (Index i = 0; i < dims_.barRows(); ++i) {
+        if (!scalarIsFinalY(i))
+            continue;
+        Index dst = finalYIndex(i);
+        if (dst < dims_.n)
+            y[dst] = ybar[i];
+    }
+    return y;
+}
+
+bool
+MatVecTransform::validate(bool check_filled) const
+{
+    const Index blocks = dims_.blockCount();
+
+    // Condition 1: Ū_k and L̄_k come from the same original block row.
+    for (Index k = 0; k < blocks; ++k)
+        if (pairs_[k].uRow != pairs_[k].lRow)
+            return false;
+
+    // Condition 2: L̄_k and Ū_{k+1} come from the same original block
+    // column (they share the x sub-vector flowing between them).
+    for (Index k = 0; k + 1 < blocks; ++k)
+        if (pairs_[k].lCol != pairs_[k + 1].uCol)
+            return false;
+
+    // Condition 3: exactly one copy of every U_ij and every L_ij.
+    std::vector<int> seen_u(blocks, 0), seen_l(blocks, 0);
+    for (Index k = 0; k < blocks; ++k) {
+        ++seen_u[pairs_[k].uRow * dims_.mbar + pairs_[k].uCol];
+        ++seen_l[pairs_[k].lRow * dims_.mbar + pairs_[k].lCol];
+    }
+    for (Index q = 0; q < blocks; ++q)
+        if (seen_u[q] != 1 || seen_l[q] != 1)
+            return false;
+
+    if (check_filled && !abar_.bandCompletelyFilled())
+        return false;
+    return true;
+}
+
+} // namespace sap

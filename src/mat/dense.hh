@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Dense row-major matrix container.
+ *
+ * This is the substrate data structure the DBT transformation
+ * consumes: a plain dense matrix of arbitrary (n, m) shape. The
+ * container is templated on the element type so tests can use exact
+ * integer arithmetic while simulations use doubles.
+ */
+
+#ifndef SAP_MAT_DENSE_HH
+#define SAP_MAT_DENSE_HH
+
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace sap {
+
+/**
+ * Row-major dense matrix.
+ *
+ * Invariants: rows() >= 0, cols() >= 0, storage size == rows*cols.
+ */
+template <typename T = Scalar>
+class Dense
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Dense() = default;
+
+    /** @param rows,cols Shape; elements value-initialized to T{}. */
+    Dense(Index rows, Index cols)
+        : rows_(rows), cols_(cols),
+          data_(static_cast<std::size_t>(rows * cols), T{})
+    {
+        SAP_ASSERT(rows >= 0 && cols >= 0, "negative dimension");
+    }
+
+    /** Shape accessors. */
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+
+    /** Element access with bounds assertion. */
+    T &
+    operator()(Index r, Index c)
+    {
+        SAP_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                   "index (", r, ",", c, ") out of ", rows_, "x", cols_);
+        return data_[static_cast<std::size_t>(r * cols_ + c)];
+    }
+
+    /** @copydoc operator()(Index,Index) */
+    const T &
+    operator()(Index r, Index c) const
+    {
+        SAP_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                   "index (", r, ",", c, ") out of ", rows_, "x", cols_);
+        return data_[static_cast<std::size_t>(r * cols_ + c)];
+    }
+
+    /** Raw storage access (row-major). */
+    const std::vector<T> &data() const { return data_; }
+
+    /** @return a new matrix that is the transpose of this one. */
+    Dense
+    transposed() const
+    {
+        Dense t(cols_, rows_);
+        for (Index r = 0; r < rows_; ++r)
+            for (Index c = 0; c < cols_; ++c)
+                t(c, r) = (*this)(r, c);
+        return t;
+    }
+
+    /**
+     * Copy of this matrix padded with T{} to the given shape.
+     *
+     * @pre new_rows >= rows() and new_cols >= cols().
+     */
+    Dense
+    paddedTo(Index new_rows, Index new_cols) const
+    {
+        SAP_ASSERT(new_rows >= rows_ && new_cols >= cols_,
+                   "padding must not shrink the matrix");
+        Dense p(new_rows, new_cols);
+        for (Index r = 0; r < rows_; ++r)
+            for (Index c = 0; c < cols_; ++c)
+                p(r, c) = (*this)(r, c);
+        return p;
+    }
+
+    /** Copy of the leading submatrix of the given shape. */
+    Dense
+    topLeft(Index new_rows, Index new_cols) const
+    {
+        SAP_ASSERT(new_rows <= rows_ && new_cols <= cols_,
+                   "topLeft must not grow the matrix");
+        Dense s(new_rows, new_cols);
+        for (Index r = 0; r < new_rows; ++r)
+            for (Index c = 0; c < new_cols; ++c)
+                s(r, c) = (*this)(r, c);
+        return s;
+    }
+
+    /** Exact element-wise equality (use for integer workloads). */
+    bool
+    operator==(const Dense &o) const
+    {
+        return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+    }
+
+    /** True if every element equals T{}. */
+    bool
+    isZero() const
+    {
+        for (const T &v : data_)
+            if (v != T{})
+                return false;
+        return true;
+    }
+
+  private:
+    Index rows_ = 0;
+    Index cols_ = 0;
+    std::vector<T> data_;
+};
+
+/** Largest absolute element-wise difference between two matrices. */
+template <typename T>
+double
+maxAbsDiff(const Dense<T> &a, const Dense<T> &b)
+{
+    SAP_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+               "shape mismatch in maxAbsDiff");
+    double worst = 0.0;
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index c = 0; c < a.cols(); ++c) {
+            double d = static_cast<double>(a(r, c)) -
+                       static_cast<double>(b(r, c));
+            if (d < 0)
+                d = -d;
+            if (d > worst)
+                worst = d;
+        }
+    }
+    return worst;
+}
+
+} // namespace sap
+
+#endif // SAP_MAT_DENSE_HH

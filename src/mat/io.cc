@@ -1,0 +1,60 @@
+#include "mat/io.hh"
+
+#include "base/string_util.hh"
+
+namespace sap {
+
+std::string
+toString(const Dense<Scalar> &a, int decimals)
+{
+    // First pass: column width.
+    std::size_t width = 1;
+    for (Index r = 0; r < a.rows(); ++r)
+        for (Index c = 0; c < a.cols(); ++c)
+            width = std::max(width,
+                             formatReal(a(r, c), decimals).size());
+
+    std::string out;
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index c = 0; c < a.cols(); ++c) {
+            out += padLeft(formatReal(a(r, c), decimals), width);
+            if (c + 1 < a.cols())
+                out += ' ';
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+toString(const Vec<Scalar> &v, int decimals)
+{
+    std::string out = "[";
+    for (Index i = 0; i < v.size(); ++i) {
+        out += formatReal(v[i], decimals);
+        if (i + 1 < v.size())
+            out += ' ';
+    }
+    out += "]";
+    return out;
+}
+
+std::string
+occupancyPicture(const Dense<Scalar> &a)
+{
+    std::string out;
+    for (Index r = 0; r < a.rows(); ++r) {
+        for (Index c = 0; c < a.cols(); ++c)
+            out += (a(r, c) != 0 ? '#' : '.');
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+occupancyPicture(const Band<Scalar> &a)
+{
+    return occupancyPicture(a.toDense());
+}
+
+} // namespace sap

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Structure dumps and pretty printers.
+ *
+ * The paper's figures 1, 2 and 4 are *structural* drawings (which
+ * triangular block sits where in the band). These helpers render the
+ * equivalent ASCII pictures, which the figure benchmarks print and
+ * the golden tests compare against.
+ */
+
+#ifndef SAP_MAT_IO_HH
+#define SAP_MAT_IO_HH
+
+#include <string>
+
+#include "mat/band.hh"
+#include "mat/dense.hh"
+#include "mat/vector.hh"
+
+namespace sap {
+
+/** Render a dense matrix with fixed column width. */
+std::string toString(const Dense<Scalar> &a, int decimals = 0);
+
+/** Render a vector on one line. */
+std::string toString(const Vec<Scalar> &v, int decimals = 0);
+
+/**
+ * Render the *occupancy* pattern of a matrix: '#' for nonzero, '.'
+ * for zero. Visualizes triangular block layouts (Figs. 1, 2, 4).
+ */
+std::string occupancyPicture(const Dense<Scalar> &a);
+
+/** Occupancy picture of a band matrix expanded to dense. */
+std::string occupancyPicture(const Band<Scalar> &a);
+
+} // namespace sap
+
+#endif // SAP_MAT_IO_HH

@@ -1,0 +1,4 @@
+#include "mat/ops.hh"
+
+// Template implementations live in the header; this translation unit
+// anchors the component in the build.

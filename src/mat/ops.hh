@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Reference ("oracle") linear-algebra operations.
+ *
+ * Every systolic result in the repository is validated against these
+ * straightforward host implementations. They are intentionally naive
+ * and obviously correct.
+ */
+
+#ifndef SAP_MAT_OPS_HH
+#define SAP_MAT_OPS_HH
+
+#include "base/logging.hh"
+#include "mat/dense.hh"
+#include "mat/vector.hh"
+
+namespace sap {
+
+/** y = A*x + b (shapes: A n-by-m, x m, b n). */
+template <typename T>
+Vec<T>
+matVec(const Dense<T> &a, const Vec<T> &x, const Vec<T> &b)
+{
+    SAP_ASSERT(a.cols() == x.size(), "A cols ", a.cols(),
+               " != x size ", x.size());
+    SAP_ASSERT(a.rows() == b.size(), "A rows ", a.rows(),
+               " != b size ", b.size());
+    Vec<T> y(a.rows());
+    for (Index i = 0; i < a.rows(); ++i) {
+        T acc = b[i];
+        for (Index j = 0; j < a.cols(); ++j)
+            acc += a(i, j) * x[j];
+        y[i] = acc;
+    }
+    return y;
+}
+
+/** C = A*B (shapes: A n-by-p, B p-by-m). */
+template <typename T>
+Dense<T>
+matMul(const Dense<T> &a, const Dense<T> &b)
+{
+    SAP_ASSERT(a.cols() == b.rows(), "A cols ", a.cols(),
+               " != B rows ", b.rows());
+    Dense<T> c(a.rows(), b.cols());
+    for (Index i = 0; i < a.rows(); ++i) {
+        for (Index k = 0; k < a.cols(); ++k) {
+            T aik = a(i, k);
+            if (aik == T{})
+                continue;
+            for (Index j = 0; j < b.cols(); ++j)
+                c(i, j) += aik * b(k, j);
+        }
+    }
+    return c;
+}
+
+/** C = A*B + E. */
+template <typename T>
+Dense<T>
+matMulAdd(const Dense<T> &a, const Dense<T> &b, const Dense<T> &e)
+{
+    Dense<T> c = matMul(a, b);
+    SAP_ASSERT(c.rows() == e.rows() && c.cols() == e.cols(),
+               "E shape mismatch");
+    for (Index i = 0; i < c.rows(); ++i)
+        for (Index j = 0; j < c.cols(); ++j)
+            c(i, j) += e(i, j);
+    return c;
+}
+
+/** Element-wise sum. */
+template <typename T>
+Dense<T>
+add(const Dense<T> &a, const Dense<T> &b)
+{
+    SAP_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+               "shape mismatch in add");
+    Dense<T> c(a.rows(), a.cols());
+    for (Index i = 0; i < a.rows(); ++i)
+        for (Index j = 0; j < a.cols(); ++j)
+            c(i, j) = a(i, j) + b(i, j);
+    return c;
+}
+
+/**
+ * Solve L*x = b by forward substitution.
+ *
+ * @pre L is square lower-triangular with nonzero diagonal.
+ */
+template <typename T>
+Vec<T>
+forwardSolve(const Dense<T> &l, const Vec<T> &b)
+{
+    SAP_ASSERT(l.rows() == l.cols(), "L must be square");
+    SAP_ASSERT(l.rows() == b.size(), "shape mismatch");
+    Vec<T> x(b.size());
+    for (Index i = 0; i < l.rows(); ++i) {
+        T acc = b[i];
+        for (Index j = 0; j < i; ++j)
+            acc -= l(i, j) * x[j];
+        SAP_ASSERT(l(i, i) != T{}, "zero diagonal at ", i);
+        x[i] = acc / l(i, i);
+    }
+    return x;
+}
+
+/** Identity matrix of order n. */
+template <typename T>
+Dense<T>
+identity(Index n)
+{
+    Dense<T> id(n, n);
+    for (Index i = 0; i < n; ++i)
+        id(i, i) = T{1};
+    return id;
+}
+
+/** Frobenius-style max-norm of A - B (declared in dense.hh as
+ *  maxAbsDiff; re-exported here for discoverability). */
+
+} // namespace sap
+
+#endif // SAP_MAT_OPS_HH

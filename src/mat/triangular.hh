@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Triangular block splitting — the primitive operation of the DBT
+ * transformation (§2.b of the paper): every w-by-w block A_ij is
+ * split into an upper-triangular part U_ij (including the main
+ * diagonal) and a strictly lower-triangular part L_ij.
+ */
+
+#ifndef SAP_MAT_TRIANGULAR_HH
+#define SAP_MAT_TRIANGULAR_HH
+
+#include <utility>
+
+#include "base/logging.hh"
+#include "mat/dense.hh"
+
+namespace sap {
+
+/** Which triangular part of a square block to take. */
+enum class TriPart
+{
+    /** Upper triangle including the main diagonal: j >= i. */
+    UpperWithDiag,
+    /** Strictly upper triangle: j > i. */
+    UpperStrict,
+    /** Lower triangle including the main diagonal: j <= i. */
+    LowerWithDiag,
+    /** Strictly lower triangle: j < i. */
+    LowerStrict,
+    /** Main diagonal only: j == i. */
+    DiagOnly,
+};
+
+/** @return true if (i, j) belongs to the given triangular part. */
+constexpr bool
+inTriPart(TriPart part, Index i, Index j)
+{
+    switch (part) {
+      case TriPart::UpperWithDiag: return j >= i;
+      case TriPart::UpperStrict:   return j > i;
+      case TriPart::LowerWithDiag: return j <= i;
+      case TriPart::LowerStrict:   return j < i;
+      case TriPart::DiagOnly:      return j == i;
+    }
+    return false;
+}
+
+/** Copy of @p block with elements outside @p part zeroed. */
+template <typename T>
+Dense<T>
+triPartOf(const Dense<T> &block, TriPart part)
+{
+    SAP_ASSERT(block.rows() == block.cols(),
+               "triangular split needs a square block");
+    Dense<T> out(block.rows(), block.cols());
+    for (Index i = 0; i < block.rows(); ++i)
+        for (Index j = 0; j < block.cols(); ++j)
+            if (inTriPart(part, i, j))
+                out(i, j) = block(i, j);
+    return out;
+}
+
+/**
+ * Split a square block into (U, L) per the paper's convention:
+ * U holds the main diagonal, L is strictly lower.
+ */
+template <typename T>
+std::pair<Dense<T>, Dense<T>>
+splitUL(const Dense<T> &block)
+{
+    return {triPartOf(block, TriPart::UpperWithDiag),
+            triPartOf(block, TriPart::LowerStrict)};
+}
+
+/** @return true if @p block is zero outside @p part. */
+template <typename T>
+bool
+conformsToTriPart(const Dense<T> &block, TriPart part)
+{
+    if (block.rows() != block.cols())
+        return false;
+    for (Index i = 0; i < block.rows(); ++i)
+        for (Index j = 0; j < block.cols(); ++j)
+            if (!inTriPart(part, i, j) && block(i, j) != T{})
+                return false;
+    return true;
+}
+
+} // namespace sap
+
+#endif // SAP_MAT_TRIANGULAR_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fixed-latency register chain (shift register).
+ *
+ * Models the feedback path of the linear array: the paper implements
+ * the y-feedback with `w` registers, giving a delay equal to the
+ * array size.
+ */
+
+#ifndef SAP_SIM_DELAY_LINE_HH
+#define SAP_SIM_DELAY_LINE_HH
+
+#include <vector>
+
+#include "base/logging.hh"
+#include "sim/sample.hh"
+
+namespace sap {
+
+/**
+ * A chain of @p depth registers: a sample pushed at cycle t emerges
+ * from pop() at cycle t + depth (with one push/pop pair per cycle).
+ */
+class DelayLine
+{
+  public:
+    /** @param depth Number of registers (>= 1). */
+    explicit DelayLine(Index depth)
+        : regs_(static_cast<std::size_t>(depth))
+    {
+        SAP_ASSERT(depth >= 1, "delay line needs at least one register");
+    }
+
+    /** Number of registers in the chain. */
+    Index depth() const { return static_cast<Index>(regs_.size()); }
+
+    /**
+     * Advance one cycle: shift in @p in, shift out and return the
+     * oldest sample.
+     */
+    Sample
+    shift(Sample in)
+    {
+        Sample out = regs_.back();
+        for (std::size_t i = regs_.size() - 1; i > 0; --i)
+            regs_[i] = regs_[i - 1];
+        regs_[0] = in;
+        return out;
+    }
+
+    /** Count of currently valid samples held (storage occupancy). */
+    Index
+    occupancy() const
+    {
+        Index n = 0;
+        for (const Sample &s : regs_)
+            if (s.valid)
+                ++n;
+        return n;
+    }
+
+  private:
+    std::vector<Sample> regs_;
+};
+
+} // namespace sap
+
+#endif // SAP_SIM_DELAY_LINE_HH

@@ -1,0 +1,97 @@
+#include "sim/hex_array.hh"
+
+#include "base/logging.hh"
+
+namespace sap {
+
+HexArray::HexArray(Index w)
+    : w_(w),
+      a_reg_(static_cast<std::size_t>(w * w)),
+      b_reg_(static_cast<std::size_t>(w * w)),
+      c_reg_(static_cast<std::size_t>(w * w)),
+      a_in_(static_cast<std::size_t>(w)),
+      b_in_(static_cast<std::size_t>(w)),
+      c_in_(static_cast<std::size_t>(2 * w - 1))
+{
+    SAP_ASSERT(w >= 1, "hex array needs at least one PE");
+}
+
+void
+HexArray::setAIn(Index r, Sample s)
+{
+    SAP_ASSERT(r >= 0 && r < w_, "a row ", r, " out of range");
+    a_in_[static_cast<std::size_t>(r)] = s;
+}
+
+void
+HexArray::setBIn(Index q, Sample s)
+{
+    SAP_ASSERT(q >= 0 && q < w_, "b column ", q, " out of range");
+    b_in_[static_cast<std::size_t>(q)] = s;
+}
+
+void
+HexArray::setCIn(Index delta, Sample s)
+{
+    SAP_ASSERT(delta > -w_ && delta < w_, "diagonal ", delta,
+               " out of range");
+    c_in_[static_cast<std::size_t>(delta + w_ - 1)] = s;
+}
+
+Sample
+HexArray::cOut(Index delta) const
+{
+    SAP_ASSERT(delta > -w_ && delta < w_, "diagonal ", delta,
+               " out of range");
+    Index r = delta >= 0 ? w_ - 1 : w_ - 1 + delta;
+    Index q = delta >= 0 ? w_ - 1 - delta : w_ - 1;
+    return c_reg_[idx(r, q)];
+}
+
+void
+HexArray::step()
+{
+    const std::size_t cells = static_cast<std::size_t>(w_ * w_);
+    std::vector<Sample> a_next(cells), b_next(cells), c_next(cells);
+
+    for (Index r = 0; r < w_; ++r) {
+        for (Index q = 0; q < w_; ++q) {
+            // Combinational input wires of PE (r, q).
+            Sample a = (q == w_ - 1) ? a_in_[r] : a_reg_[idx(r, q + 1)];
+            Sample b = (r == w_ - 1) ? b_in_[q] : b_reg_[idx(r + 1, q)];
+            Sample c;
+            if (r == 0 || q == 0)
+                c = c_in_[static_cast<std::size_t>((r - q) + w_ - 1)];
+            else
+                c = c_reg_[idx(r - 1, q - 1)];
+
+            // Inner product step.
+            Sample c_out = c;
+            if (a.valid && b.valid && c.valid) {
+                c_out = Sample::of(c.value + a.value * b.value);
+                ++useful_macs_;
+                if (first_mac_ < 0)
+                    first_mac_ = now_;
+            }
+
+            a_next[idx(r, q)] = a;
+            b_next[idx(r, q)] = b;
+            c_next[idx(r, q)] = c_out;
+        }
+    }
+
+    a_reg_.swap(a_next);
+    b_reg_.swap(b_next);
+    c_reg_.swap(c_next);
+
+    for (Index r = 0; r < w_; ++r)
+        a_in_[r] = Sample::bubble();
+    for (Index q = 0; q < w_; ++q)
+        b_in_[q] = Sample::bubble();
+    for (Index dlt = 0; dlt < 2 * w_ - 1; ++dlt)
+        c_in_[static_cast<std::size_t>(dlt)] = Sample::bubble();
+
+    ++now_;
+}
+
+} // namespace sap

@@ -1,0 +1,73 @@
+#include "sim/linear_array.hh"
+
+#include "base/logging.hh"
+
+namespace sap {
+
+LinearArray::LinearArray(Index w)
+    : w_(w), x_regs_(static_cast<std::size_t>(w)),
+      y_regs_(static_cast<std::size_t>(w)),
+      a_in_(static_cast<std::size_t>(w)),
+      pe_macs_(static_cast<std::size_t>(w), 0),
+      last_active_(static_cast<std::size_t>(w), false)
+{
+    SAP_ASSERT(w >= 1, "array needs at least one PE");
+}
+
+void
+LinearArray::setAIn(Index p, Sample s)
+{
+    SAP_ASSERT(p >= 0 && p < w_, "PE ", p, " out of range");
+    a_in_[static_cast<std::size_t>(p)] = s;
+}
+
+void
+LinearArray::step()
+{
+    // Combinational input wires for this cycle.
+    //   x wire of PE p: external x_in for p == 0, else x_regs_[p-1].
+    //   y wire of PE p: external y_in for p == w-1, else y_regs_[p+1].
+    std::vector<Sample> x_wire(static_cast<std::size_t>(w_));
+    std::vector<Sample> y_wire(static_cast<std::size_t>(w_));
+    for (Index p = 0; p < w_; ++p) {
+        x_wire[p] = (p == 0) ? x_in_ : x_regs_[p - 1];
+        y_wire[p] = (p == w_ - 1) ? y_in_ : y_regs_[p + 1];
+    }
+
+    // Compute: inner product step in every PE.
+    std::vector<Sample> y_next(static_cast<std::size_t>(w_));
+    for (Index p = 0; p < w_; ++p) {
+        Sample a = a_in_[p];
+        Sample x = x_wire[p];
+        Sample y = y_wire[p];
+        last_active_[p] = a.valid && x.valid && y.valid;
+        if (a.valid && x.valid && y.valid) {
+            y_next[p] = Sample::of(y.value + a.value * x.value);
+            ++useful_macs_;
+            ++pe_macs_[p];
+        } else {
+            // No coefficient (or no partner): the y sample passes
+            // through unchanged; a lone coefficient is dropped.
+            y_next[p] = y;
+        }
+    }
+
+    // Commit registers (synchronous update).
+    x_out_ = x_regs_[w_ - 1];
+    y_out_ = y_next[0];
+    for (Index p = w_ - 1; p > 0; --p)
+        x_regs_[p] = x_regs_[p - 1];
+    x_regs_[0] = x_in_;
+    for (Index p = 0; p < w_; ++p)
+        y_regs_[p] = y_next[p];
+
+    // Inputs are consumed; clear for the next cycle.
+    x_in_ = Sample::bubble();
+    y_in_ = Sample::bubble();
+    for (Index p = 0; p < w_; ++p)
+        a_in_[p] = Sample::bubble();
+
+    ++now_;
+}
+
+} // namespace sap

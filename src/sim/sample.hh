@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Valid-bit tracked data samples flowing through the simulated
+ * arrays.
+ *
+ * Utilization is *measured* by counting cycles in which a PE sees
+ * valid operands, so the simulator distinguishes real data from
+ * pipeline bubbles explicitly instead of using magic values.
+ */
+
+#ifndef SAP_SIM_SAMPLE_HH
+#define SAP_SIM_SAMPLE_HH
+
+#include "base/types.hh"
+
+namespace sap {
+
+/** One datum on a systolic wire: a value plus a validity flag. */
+struct Sample
+{
+    Scalar value = 0; ///< payload (meaningless when !valid)
+    bool valid = false; ///< true if this slot carries real data
+
+    /** An invalid (bubble) sample. */
+    static Sample bubble() { return {}; }
+
+    /** A valid sample carrying @p v. */
+    static Sample
+    of(Scalar v)
+    {
+        return {v, true};
+    }
+};
+
+} // namespace sap
+
+#endif // SAP_SIM_SAMPLE_HH

@@ -1,0 +1,30 @@
+#include "sim/trace.hh"
+
+namespace sap {
+
+std::string
+portName(Port p)
+{
+    switch (p) {
+      case Port::XIn:  return "x_in";
+      case Port::BIn:  return "b_in";
+      case Port::FbIn: return "fb_in";
+      case Port::YOut: return "y_out";
+      case Port::AIn:  return "a_in";
+      case Port::CIn:  return "c_in";
+      case Port::COut: return "c_out";
+    }
+    return "?";
+}
+
+std::vector<TraceEvent>
+Trace::onPort(Port p) const
+{
+    std::vector<TraceEvent> out;
+    for (const TraceEvent &e : events_)
+        if (e.port == p)
+            out.push_back(e);
+    return out;
+}
+
+} // namespace sap

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Port-level event traces of a systolic execution.
+ *
+ * The Fig. 3 reproduction prints, for every clock, which data enter
+ * and leave the array. The simulator records neutral events (port,
+ * transformed scalar index, value); the DBT layer re-labels indices
+ * in the paper's notation.
+ */
+
+#ifndef SAP_SIM_TRACE_HH
+#define SAP_SIM_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace sap {
+
+/** Logical I/O ports of the simulated arrays. */
+enum class Port
+{
+    XIn,       ///< x stream input (linear array PE 0)
+    BIn,       ///< external b injection on the y input
+    FbIn,      ///< fed-back partial result on the y input
+    YOut,      ///< y stream output (final or recirculated)
+    AIn,       ///< coefficient input (any PE)
+    CIn,       ///< hex array c/E input
+    COut,      ///< hex array c output
+};
+
+/** Printable port name. */
+std::string portName(Port p);
+
+/** One I/O event. */
+struct TraceEvent
+{
+    Cycle cycle;  ///< 0-based clock of the event
+    Port port;    ///< which port
+    Index index;  ///< transformed scalar index on that stream
+    Scalar value; ///< payload
+};
+
+/** Append-only event log. */
+class Trace
+{
+  public:
+    /** Record one event. */
+    void
+    add(Cycle cycle, Port port, Index index, Scalar value)
+    {
+        events_.push_back({cycle, port, index, value});
+    }
+
+    /** All recorded events in insertion order. */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Events on one port, in time order. */
+    std::vector<TraceEvent> onPort(Port p) const;
+
+    bool empty() const { return events_.empty(); }
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace sap
+
+#endif // SAP_SIM_TRACE_HH

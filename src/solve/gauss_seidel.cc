@@ -1,0 +1,58 @@
+#include "solve/gauss_seidel.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "dbt/matvec_plan.hh"
+#include "mat/ops.hh"
+#include "mat/triangular.hh"
+#include "solve/trisolve.hh"
+
+namespace sap {
+
+GaussSeidelResult
+gaussSeidel(const Dense<Scalar> &a, const Vec<Scalar> &b, Index w,
+            double tol, Index max_sweeps)
+{
+    const Index n = a.rows();
+    SAP_ASSERT(a.cols() == n && b.size() == n, "shape mismatch");
+
+    Dense<Scalar> upper = triPartOf(a, TriPart::UpperStrict);
+    Dense<Scalar> lower_diag = triPartOf(a, TriPart::LowerWithDiag);
+    MatVecPlan upper_plan(upper, w);
+
+    GaussSeidelResult res;
+    res.arrayStats.peCount = w;
+    res.x = Vec<Scalar>(n); // start from zero
+
+    for (Index sweep = 0; sweep < max_sweeps; ++sweep) {
+        // rhs = b − U·x^k on the array (negated via x scaling).
+        MatVecPlanResult up = upper_plan.run(res.x, Vec<Scalar>(n));
+        res.arrayStats.cycles += up.stats.cycles;
+        res.arrayStats.usefulMacs += up.stats.usefulMacs;
+        Vec<Scalar> rhs(n);
+        for (Index i = 0; i < n; ++i)
+            rhs[i] = b[i] - up.y[i];
+
+        // (L+D)·x^{k+1} = rhs via the blocked array-backed solver.
+        TriSolveResult tri = triSolve(lower_diag, rhs, w);
+        res.arrayStats.cycles += tri.arrayStats.cycles;
+        res.arrayStats.usefulMacs += tri.arrayStats.usefulMacs;
+        res.x = tri.y;
+        ++res.sweeps;
+
+        // Convergence check on the host.
+        Vec<Scalar> ax = matVec(a, res.x, Vec<Scalar>(n));
+        double worst = 0;
+        for (Index i = 0; i < n; ++i)
+            worst = std::max(worst, std::abs(b[i] - ax[i]));
+        res.residual = worst;
+        if (worst < tol) {
+            res.converged = true;
+            break;
+        }
+    }
+    return res;
+}
+
+} // namespace sap

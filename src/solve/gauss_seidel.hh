@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Gauss-Seidel iteration on the fixed-size array — another of the
+ * paper's §4 applications.
+ *
+ * Each sweep solves (L+D)·x^{k+1} = b − U·x^k: the strictly-upper
+ * product runs on the systolic array through a DBT mat-vec plan and
+ * the triangular solve reuses the blocked array-backed solver.
+ */
+
+#ifndef SAP_SOLVE_GAUSS_SEIDEL_HH
+#define SAP_SOLVE_GAUSS_SEIDEL_HH
+
+#include "analysis/metrics.hh"
+#include "mat/dense.hh"
+#include "mat/vector.hh"
+
+namespace sap {
+
+/** Result of a Gauss-Seidel run. */
+struct GaussSeidelResult
+{
+    Vec<Scalar> x;         ///< final iterate
+    Index sweeps = 0;      ///< sweeps executed
+    double residual = 0;   ///< max-norm of b − A·x at exit
+    bool converged = false;
+    RunStats arrayStats;   ///< accumulated array work
+};
+
+/**
+ * Iterate until the max-norm residual drops below @p tol or
+ * @p max_sweeps is reached.
+ *
+ * @param a System matrix (diagonally dominant recommended).
+ * @param b Right-hand side.
+ * @param w Array size.
+ */
+GaussSeidelResult gaussSeidel(const Dense<Scalar> &a,
+                              const Vec<Scalar> &b, Index w,
+                              double tol = 1e-10,
+                              Index max_sweeps = 200);
+
+} // namespace sap
+
+#endif // SAP_SOLVE_GAUSS_SEIDEL_HH

@@ -1,0 +1,102 @@
+#include "solve/inverse.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "dbt/matmul_plan.hh"
+#include "mat/ops.hh"
+#include "solve/trisolve.hh"
+
+namespace sap {
+
+TriInverseResult
+triInverse(const Dense<Scalar> &l, Index w)
+{
+    const Index n = l.rows();
+    SAP_ASSERT(l.cols() == n, "L must be square");
+
+    TriInverseResult res;
+    res.inv = Dense<Scalar>(n, n);
+    res.arrayStats.peCount = w;
+    for (Index col = 0; col < n; ++col) {
+        Vec<Scalar> e(n);
+        e[col] = 1;
+        TriSolveResult s = triSolve(l, e, w);
+        for (Index i = 0; i < n; ++i)
+            res.inv(i, col) = s.y[i];
+        res.arrayStats.cycles += s.arrayStats.cycles;
+        res.arrayStats.usefulMacs += s.arrayStats.usefulMacs;
+    }
+    return res;
+}
+
+NewtonInverseResult
+newtonInverse(const Dense<Scalar> &a, Index w, double tol,
+              Index max_iters)
+{
+    const Index n = a.rows();
+    SAP_ASSERT(a.cols() == n, "A must be square");
+
+    // Classic scaling X0 = Aᵀ / (‖A‖₁·‖A‖∞) guarantees convergence
+    // for nonsingular A with a modest condition number.
+    double norm1 = 0, norm_inf = 0;
+    for (Index j = 0; j < n; ++j) {
+        double col_sum = 0;
+        for (Index i = 0; i < n; ++i)
+            col_sum += std::abs(a(i, j));
+        norm1 = std::max(norm1, col_sum);
+    }
+    for (Index i = 0; i < n; ++i) {
+        double row_sum = 0;
+        for (Index j = 0; j < n; ++j)
+            row_sum += std::abs(a(i, j));
+        norm_inf = std::max(norm_inf, row_sum);
+    }
+    SAP_ASSERT(norm1 > 0 && norm_inf > 0, "A must be nonzero");
+
+    Dense<Scalar> x = a.transposed();
+    for (Index i = 0; i < n; ++i)
+        for (Index j = 0; j < n; ++j)
+            x(i, j) /= norm1 * norm_inf;
+
+    NewtonInverseResult res;
+    res.arrayStats.peCount = w * w;
+    Dense<Scalar> id = identity<Scalar>(n);
+
+    for (Index it = 0; it < max_iters; ++it) {
+        // M = A·X on the hexagonal array (E = 0).
+        MatMulPlan pm(a, x, w);
+        MatMulPlanResult m = pm.run(Dense<Scalar>(n, n));
+        res.arrayStats.cycles += m.stats.cycles;
+        res.arrayStats.usefulMacs += m.stats.usefulMacs;
+
+        // R = 2I − M; convergence when ‖I − M‖∞ small.
+        double worst = 0;
+        Dense<Scalar> rmat(n, n);
+        for (Index i = 0; i < n; ++i) {
+            for (Index j = 0; j < n; ++j) {
+                Scalar target = (i == j) ? 1.0 : 0.0;
+                worst = std::max(worst,
+                                 std::abs(target - m.c(i, j)));
+                rmat(i, j) = 2 * target - m.c(i, j);
+            }
+        }
+        res.residual = worst;
+        ++res.iterations;
+        if (worst < tol) {
+            res.converged = true;
+            break;
+        }
+
+        // X = X·R on the hexagonal array.
+        MatMulPlan px(x, rmat, w);
+        MatMulPlanResult xr = px.run(Dense<Scalar>(n, n));
+        res.arrayStats.cycles += xr.stats.cycles;
+        res.arrayStats.usefulMacs += xr.stats.usefulMacs;
+        x = xr.c;
+    }
+    res.inv = x;
+    return res;
+}
+
+} // namespace sap

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Matrix inversion on the fixed-size arrays — the last of the
+ * paper's §4 applications ("inverses of triangular and dense
+ * matrices").
+ *
+ *  - Triangular inverse: column-by-column via the blocked
+ *    array-backed forward solver.
+ *  - Dense inverse: Newton-Schulz iteration X_{k+1} = X_k(2I − A·X_k)
+ *    where both products of every step run on the simulated
+ *    hexagonal array through DBT mat-mul plans.
+ */
+
+#ifndef SAP_SOLVE_INVERSE_HH
+#define SAP_SOLVE_INVERSE_HH
+
+#include "analysis/metrics.hh"
+#include "mat/dense.hh"
+
+namespace sap {
+
+/** Result of a triangular inversion. */
+struct TriInverseResult
+{
+    Dense<Scalar> inv;
+    RunStats arrayStats;
+};
+
+/** Invert a lower-triangular matrix with nonzero diagonal. */
+TriInverseResult triInverse(const Dense<Scalar> &l, Index w);
+
+/** Result of a Newton-Schulz dense inversion. */
+struct NewtonInverseResult
+{
+    Dense<Scalar> inv;
+    Index iterations = 0;
+    double residual = 0;   ///< max-norm of I − A·X at exit
+    bool converged = false;
+    RunStats arrayStats;   ///< accumulated hexagonal-array work
+};
+
+/**
+ * Invert a well-conditioned square matrix by Newton-Schulz
+ * iteration with systolic mat-mul steps.
+ *
+ * @param a Square matrix.
+ * @param w Hexagonal array size.
+ * @param tol Convergence threshold on the residual max-norm.
+ * @param max_iters Iteration cap.
+ */
+NewtonInverseResult newtonInverse(const Dense<Scalar> &a, Index w,
+                                  double tol = 1e-10,
+                                  Index max_iters = 60);
+
+} // namespace sap
+
+#endif // SAP_SOLVE_INVERSE_HH

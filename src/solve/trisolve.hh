@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Blocked triangular system solver on the fixed-size array — the
+ * first of the further applications listed in the paper's
+ * conclusions ("Triangular systems of linear and matrix
+ * equations").
+ *
+ * Scheme: classic panel-and-update forward substitution by w-wide
+ * block rows. The O(n²) update work (b_r −= Σ_{s<r} L_{r,s}·y_s) is
+ * executed on the simulated systolic array through DBT mat-vec
+ * plans; only the n/w diagonal w×w triangular solves (O(n·w) work)
+ * run on the host, mirroring how a real deployment would pair the
+ * array with a small scalar unit.
+ */
+
+#ifndef SAP_SOLVE_TRISOLVE_HH
+#define SAP_SOLVE_TRISOLVE_HH
+
+#include "analysis/metrics.hh"
+#include "mat/dense.hh"
+#include "mat/vector.hh"
+
+namespace sap {
+
+/** Result of a blocked triangular solve. */
+struct TriSolveResult
+{
+    Vec<Scalar> y;       ///< solution of L·y = b
+    RunStats arrayStats; ///< accumulated over all array runs
+    Index hostOps = 0;   ///< scalar ops done on the host
+};
+
+/**
+ * Solve L·y = b with L lower-triangular (nonzero diagonal) using
+ * the w-PE systolic array for the update products.
+ *
+ * @param l Lower-triangular matrix (n×n).
+ * @param b Right-hand side (n).
+ * @param w Array size.
+ */
+TriSolveResult triSolve(const Dense<Scalar> &l, const Vec<Scalar> &b,
+                        Index w);
+
+} // namespace sap
+
+#endif // SAP_SOLVE_TRISOLVE_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the base utilities (math, strings, tables, RNG).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/math_util.hh"
+#include "base/random.hh"
+#include "base/string_util.hh"
+#include "base/table.hh"
+
+namespace sap {
+namespace {
+
+TEST(MathUtil, CeilDivExact)
+{
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(12, 4), 3);
+}
+
+TEST(MathUtil, CeilDivRoundsUp)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(1, 5), 1);
+    EXPECT_EQ(ceilDiv(0, 5), 0);
+}
+
+TEST(MathUtil, RoundUp)
+{
+    EXPECT_EQ(roundUp(10, 4), 12);
+    EXPECT_EQ(roundUp(8, 4), 8);
+    EXPECT_EQ(roundUp(0, 4), 0);
+}
+
+TEST(MathUtil, PosModWrapsNegative)
+{
+    EXPECT_EQ(posMod(-1, 3), 2);
+    EXPECT_EQ(posMod(-3, 3), 0);
+    EXPECT_EQ(posMod(5, 3), 2);
+}
+
+TEST(MathUtil, StrictTriangleCount)
+{
+    EXPECT_EQ(strictTriangleCount(1), 0);
+    EXPECT_EQ(strictTriangleCount(3), 3);
+    EXPECT_EQ(strictTriangleCount(5), 10);
+}
+
+TEST(StringUtil, FormatReal)
+{
+    EXPECT_EQ(formatReal(1.0, 2), "1.00");
+    EXPECT_EQ(formatReal(0.5, 0), "0"); // rounds to even
+    EXPECT_EQ(formatReal(2.25, 1), "2.2");
+}
+
+TEST(StringUtil, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("abcd", 2), "abcd");
+}
+
+TEST(StringUtil, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ", "), "");
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"w", "T"});
+    t.addRow({"3", "39"});
+    t.addRow({"10", "5"});
+    std::string out = t.render();
+    EXPECT_NE(out.find(" w   T"), std::string::npos);
+    EXPECT_NE(out.find(" 3  39"), std::string::npos);
+    EXPECT_NE(out.find("10   5"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000), b.uniformInt(0, 1000));
+}
+
+TEST(Rng, RangeRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        Index v = rng.uniformInt(3, 9);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniformInt(0, 1 << 30) == b.uniformInt(0, 1 << 30))
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+} // namespace
+} // namespace sap

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the baselines (PRT, block-no-feedback, naive band
+ * embedding), the sparsity-aware DBT, and the §4 application
+ * solvers (triangular solve, Gauss-Seidel, inverses).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/formulas.hh"
+#include "baseline/block_no_feedback.hh"
+#include "baseline/naive_band.hh"
+#include "baseline/prt.hh"
+#include "dbt/matvec_plan.hh"
+#include "dbt/sparse_dbt.hh"
+#include "mat/generate.hh"
+#include "mat/ops.hh"
+#include "mat/triangular.hh"
+#include "solve/gauss_seidel.hh"
+#include "solve/inverse.hh"
+#include "solve/trisolve.hh"
+
+namespace sap {
+namespace {
+
+//---------------------------------------------------------------------
+// Baselines
+//---------------------------------------------------------------------
+
+TEST(Prt, MatchesOracle)
+{
+    for (Index w : {2, 3, 5}) {
+        Dense<Scalar> a = randomIntDense(w, w, 200 + w);
+        Vec<Scalar> x = randomIntVec(w, 201 + w);
+        Vec<Scalar> b = randomIntVec(w, 202 + w);
+        PrtResult r = runPrt(a, x, b);
+        EXPECT_EQ(maxAbsDiff(r.y, matVec(a, x, b)), 0.0);
+        // PRT runs a w×w dense matrix on only w PEs, half the naive
+        // 2w−1 requirement (the paper's "50% size reduction").
+        EXPECT_EQ(naiveDenseArraySize(w), 2 * w - 1);
+        EXPECT_EQ(r.stats.peCount, w);
+    }
+}
+
+TEST(Prt, IsTheSingleBlockDbtSpecialCase)
+{
+    Dense<Scalar> a = randomIntDense(4, 4, 210);
+    Vec<Scalar> x = randomIntVec(4, 211);
+    Vec<Scalar> b = randomIntVec(4, 212);
+    MatVecPlan dbt(a, 4);
+    EXPECT_EQ(maxAbsDiff(runPrt(a, x, b).y, dbt.run(x, b).y), 0.0);
+    EXPECT_EQ(runPrt(a, x, b).stats.cycles, dbt.run(x, b).stats.cycles);
+}
+
+TEST(BlockNoFeedback, CorrectButSlowerAndHostBound)
+{
+    Dense<Scalar> a = randomIntDense(9, 9, 220);
+    Vec<Scalar> x = randomIntVec(9, 221);
+    Vec<Scalar> b = randomIntVec(9, 222);
+    const Index w = 3;
+
+    BlockNoFeedbackResult nf = runBlockNoFeedback(a, x, b, w);
+    EXPECT_EQ(maxAbsDiff(nf.y, matVec(a, x, b)), 0.0);
+    EXPECT_GT(nf.hostAdds, 0);
+
+    MatVecPlan plan(a, w);
+    MatVecPlanResult dbt = plan.run(x, b);
+    // DBT needs no host adds and strictly fewer array steps.
+    EXPECT_LT(dbt.stats.cycles, nf.stats.cycles);
+    EXPECT_GT(nf.stats.cycles,
+              formulas::tMatVec(w, 3, 3)); // 9 isolated fills/drains
+}
+
+TEST(NaiveBand, RequiresGrowingArray)
+{
+    Dense<Scalar> a = randomIntDense(6, 9, 230);
+    Vec<Scalar> x = randomIntVec(9, 231);
+    Vec<Scalar> b = randomIntVec(6, 232);
+    Vec<Scalar> y;
+    NaiveBandCost cost = runNaiveBand(a, x, b, 3, &y);
+    EXPECT_EQ(cost.arraySize, 14); // n+m−1, grows with the problem
+    EXPECT_FALSE(cost.fitsFixedArray);
+    EXPECT_EQ(maxAbsDiff(y, matVec(a, x, b)), 0.0);
+    // Utilization of the oversized array is far below DBT's.
+    MatVecPlan plan(a, 3);
+    MatVecPlanResult dbt = plan.run(x, b);
+    EXPECT_LT(cost.utilization, 0.5 * dbt.stats.utilization());
+}
+
+//---------------------------------------------------------------------
+// Sparsity-aware DBT
+//---------------------------------------------------------------------
+
+TEST(SparseDbtTest, MatchesOracleOnBlockSparse)
+{
+    for (std::uint64_t seed : {240, 241, 242, 243, 244, 245}) {
+        Dense<Scalar> a = randomBlockSparse(12, 12, 3, 0.5, seed);
+        Vec<Scalar> x = randomIntVec(12, seed + 10);
+        Vec<Scalar> b = randomIntVec(12, seed + 20);
+        SparseDbt sparse(a, 3);
+        BandMatVecSpec spec = sparse.spec(x, b);
+        LinearRunResult r = runBandMatVec(spec);
+        EXPECT_EQ(maxAbsDiff(sparse.extractY(r.ybar), matVec(a, x, b)),
+                  0.0)
+            << "seed=" << seed;
+    }
+}
+
+TEST(SparseDbtTest, DropsZeroBlocksAndSavesTime)
+{
+    Dense<Scalar> a = randomBlockSparse(18, 18, 3, 0.6, 250);
+    Vec<Scalar> x = randomIntVec(18, 251);
+    Vec<Scalar> b = randomIntVec(18, 252);
+    SparseDbt sparse(a, 3);
+    EXPECT_LT(sparse.keptBlocks(), sparse.denseBlocks());
+
+    BandMatVecSpec spec = sparse.spec(x, b);
+    LinearRunResult r = runBandMatVec(spec);
+    MatVecPlan densePlan(a, 3);
+    MatVecPlanResult full = densePlan.run(x, b);
+    EXPECT_EQ(maxAbsDiff(sparse.extractY(r.ybar), full.y), 0.0);
+    EXPECT_LT(r.stats.cycles, full.stats.cycles);
+}
+
+TEST(SparseDbtTest, DenseInputKeepsEverything)
+{
+    Dense<Scalar> a = randomIntDense(9, 9, 260);
+    SparseDbt sparse(a, 3);
+    EXPECT_EQ(sparse.keptBlocks(), sparse.denseBlocks());
+}
+
+TEST(SparseDbtTest, AllZeroMatrixYieldsB)
+{
+    Dense<Scalar> a(6, 6);
+    Vec<Scalar> x = randomIntVec(6, 270);
+    Vec<Scalar> b = randomIntVec(6, 271);
+    SparseDbt sparse(a, 3);
+    EXPECT_EQ(sparse.keptBlocks(), 0);
+    BandMatVecSpec spec = sparse.spec(x, b);
+    (void)spec; // nothing to run
+    EXPECT_EQ(maxAbsDiff(sparse.extractY(Vec<Scalar>(0)), b), 0.0);
+}
+
+//---------------------------------------------------------------------
+// §4 applications
+//---------------------------------------------------------------------
+
+TEST(TriSolve, MatchesForwardSubstitution)
+{
+    for (Index n : {3, 6, 9, 10}) {
+        for (Index w : {2, 3}) {
+            Dense<Scalar> l = randomLowerTriangular(n, 300 + n + w);
+            Vec<Scalar> b = randomIntVec(n, 301 + n + w);
+            TriSolveResult r = triSolve(l, b, w);
+            EXPECT_LT(maxAbsDiff(r.y, forwardSolve(l, b)), 1e-9)
+                << "n=" << n << " w=" << w;
+        }
+    }
+}
+
+TEST(TriSolve, ArrayCarriesTheUpdateWork)
+{
+    Dense<Scalar> l = randomLowerTriangular(12, 310);
+    Vec<Scalar> b = randomIntVec(12, 311);
+    TriSolveResult r = triSolve(l, b, 3);
+    // The array performs the O(n²) panel products...
+    EXPECT_GT(r.arrayStats.usefulMacs, 0);
+    // ...while the host does only O(n·w) work.
+    EXPECT_LT(r.hostOps, 12 * 3 * 4);
+}
+
+TEST(GaussSeidelTest, ConvergesOnDiagDominant)
+{
+    Dense<Scalar> a = randomDiagDominant(9, 320);
+    Vec<Scalar> x_ref = randomIntVec(9, 321);
+    Vec<Scalar> b = matVec(a, x_ref, Vec<Scalar>(9));
+    GaussSeidelResult r = gaussSeidel(a, b, 3, 1e-9, 100);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(maxAbsDiff(r.x, x_ref), 1e-7);
+    EXPECT_GT(r.arrayStats.usefulMacs, 0);
+}
+
+TEST(TriInverse, InvertsLowerTriangular)
+{
+    Dense<Scalar> l = randomLowerTriangular(6, 330);
+    TriInverseResult r = triInverse(l, 3);
+    EXPECT_LT(maxAbsDiff(matMul(l, r.inv), identity<Scalar>(6)), 1e-9);
+}
+
+TEST(NewtonInverse, InvertsWellConditioned)
+{
+    // Diagonally dominant matrices are well conditioned enough for
+    // Newton-Schulz to converge quickly.
+    Dense<Scalar> a = randomDiagDominant(6, 340);
+    NewtonInverseResult r = newtonInverse(a, 3, 1e-10, 80);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(maxAbsDiff(matMul(a, r.inv), identity<Scalar>(6)), 1e-8);
+    EXPECT_GT(r.arrayStats.usefulMacs, 0);
+}
+
+} // namespace
+} // namespace sap
