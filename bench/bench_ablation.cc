@@ -35,19 +35,20 @@ print()
         const Index w = 4;
         for (Index nb : {2, 4, 6, 8}) {
             Index s = nb * w;
-            Dense<Scalar> a = randomIntDense(s, s, 50 + nb);
-            Vec<Scalar> x = randomIntVec(s, 1);
-            Vec<Scalar> b = randomIntVec(s, 2);
-            MatVecPlan plan(a, w);
-            MatVecPlanResult plain = plan.run(x, b);
-            MatVecPlanResult ovl = plan.runOverlapped(x, b);
-            GroupedRunResult grp = plan.runGroupedPlan(x, b);
+            // One plan, three topologies, one harness: the engine
+            // registry replaces the per-topology driver calls.
+            EnginePlan plan = EnginePlan::matVec(
+                randomIntDense(s, s, 50 + nb), randomIntVec(s, 1),
+                randomIntVec(s, 2), w);
+            EngineRunResult plain = runOnEngine("linear", plan);
+            EngineRunResult ovl = runOnEngine("overlapped", plan);
+            EngineRunResult grp = runOnEngine("grouped", plan);
             t.addRow({std::to_string(nb),
                       std::to_string(plain.stats.cycles),
                       formatReal(plain.stats.utilization(), 4),
                       std::to_string(ovl.stats.cycles),
                       formatReal(ovl.stats.utilization(), 4),
-                      formatReal(grp.grouped.utilization(), 4)});
+                      formatReal(grp.stats.utilization(), 4)});
         }
         std::printf("%s", t.render().c_str());
     }

@@ -6,6 +6,12 @@
  * the paper: it first prints the paper-style rows to stdout (so
  * running all binaries reproduces the evaluation) and then runs
  * google-benchmark timers over the simulator hot paths.
+ *
+ * Benchmarks drive the simulators through the unified engine layer
+ * (engine/registry.hh) instead of hand-rolled per-topology loops:
+ * a plan factory plus an engine name is a complete benchmark, and
+ * newly registered topologies are picked up automatically by
+ * registerEngineSweep().
  */
 
 #ifndef SAP_BENCH_BENCH_COMMON_HH
@@ -14,7 +20,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <functional>
 #include <string>
+
+#include "base/logging.hh"
+#include "engine/engine.hh"
+#include "engine/registry.hh"
 
 namespace sap {
 
@@ -26,6 +37,80 @@ printHeader(const std::string &experiment_id, const std::string &title)
                 title.c_str());
 }
 
+/** Print one measured engine run as a paper-style table row. */
+inline void
+printEngineRow(const std::string &engine, const EngineRunResult &r)
+{
+    std::printf("%-10s  A=%-5lld T=%-7lld macs=%-8lld e=%.4f\n",
+                engine.c_str(), (long long)r.stats.peCount,
+                (long long)r.stats.cycles,
+                (long long)r.stats.usefulMacs, r.stats.utilization());
+}
+
+/** Instantiate a registered engine or die with a clear message. */
+inline std::unique_ptr<SystolicEngine>
+requireEngine(const std::string &name)
+{
+    auto engine = makeEngine(name);
+    if (!engine)
+        SAP_FATAL("engine '", name, "' is not registered");
+    return engine;
+}
+
+/** Run @p plan once through the named engine. */
+inline EngineRunResult
+runOnEngine(const std::string &name, const EnginePlan &plan)
+{
+    return requireEngine(name)->run(plan);
+}
+
+/**
+ * Time one (engine, plan) pair: the body every engine benchmark
+ * shares. Reports raw edge-to-edge simulated cycles per wall-clock
+ * second (totalCycles, matching the historic per-topology benches).
+ *
+ * Note this measures the *end-to-end* engine cost: each run()
+ * rebuilds the DBT plan from the dense matrix before stepping the
+ * array (plan caching is a ROADMAP item). For the simulator-only
+ * hot-loop numbers, hoist a MatVecPlan/MatMulPlan out of the loop
+ * as BM_LinearArrayCyclesPerSec / BM_HexArrayCyclesPerSec do.
+ */
+inline void
+timeEngine(benchmark::State &state, const std::string &name,
+           const EnginePlan &plan)
+{
+    auto engine = requireEngine(name);
+    Cycle cycles = 0;
+    for (auto _ : state) {
+        EngineRunResult r = engine->run(plan);
+        cycles += r.totalCycles;
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+/**
+ * Register one google-benchmark timer per registered engine of
+ * @p kind, each running the plan produced by @p make_plan. Call
+ * from main() before benchmark::Initialize (see SAP_BENCH_MAIN).
+ *
+ * @param label Benchmark family name, e.g. "engine_matvec".
+ * @param make_plan Factory invoked once per engine registration.
+ */
+inline void
+registerEngineSweep(const std::string &label, ProblemKind kind,
+                    const std::function<EnginePlan()> &make_plan)
+{
+    for (const std::string &name : engineNames(kind)) {
+        benchmark::RegisterBenchmark(
+            (label + "/" + name).c_str(),
+            [name, make_plan](benchmark::State &state) {
+                timeEngine(state, name, make_plan());
+            });
+    }
+}
+
 /**
  * Standard main: emit the reproduction table(s), then run any
  * registered google-benchmark timers.
@@ -34,6 +119,21 @@ printHeader(const std::string &experiment_id, const std::string &title)
     int main(int argc, char **argv)                                     \
     {                                                                   \
         print_fn();                                                     \
+        ::benchmark::Initialize(&argc, argv);                           \
+        ::benchmark::RunSpecifiedBenchmarks();                          \
+        return 0;                                                       \
+    }
+
+/**
+ * Main for benches that also register per-engine sweeps at runtime:
+ * @p register_fn runs before benchmark::Initialize so registered
+ * timers honor --benchmark_filter.
+ */
+#define SAP_BENCH_MAIN_WITH_REGISTRATION(print_fn, register_fn)         \
+    int main(int argc, char **argv)                                     \
+    {                                                                   \
+        print_fn();                                                     \
+        register_fn();                                                  \
         ::benchmark::Initialize(&argc, argv);                           \
         ::benchmark::RunSpecifiedBenchmarks();                          \
         return 0;                                                       \

@@ -2,14 +2,17 @@
  * @file
  * PERF: wall-clock throughput of the simulators themselves (not a
  * paper artifact — engineering data for users of the library):
- * simulated cycles per second of the linear and hexagonal arrays,
- * and scaling of the end-to-end plans.
+ * simulated cycles per second of every registered engine, plus
+ * scaling of the cycle-level simulators and the block-level oracle.
+ *
+ * All topologies run through the unified engine layer, so a newly
+ * registered engine is benchmarked here with zero code changes.
  */
 
 #include "bench/bench_common.hh"
 
-#include "dbt/matvec_plan.hh"
 #include "dbt/matmul_plan.hh"
+#include "dbt/matvec_plan.hh"
 #include "mat/generate.hh"
 
 namespace sap {
@@ -20,6 +23,41 @@ print()
 {
     printHeader("PERF", "simulator wall-clock throughput "
                         "(google-benchmark timings follow)");
+
+    // One calibration row per engine so the raw numbers are on
+    // stdout even without the timers.
+    const Index w = 4, s = 4 * w;
+    EnginePlan mv = EnginePlan::matVec(randomIntDense(s, s, 1),
+                                       randomIntVec(s, 2),
+                                       randomIntVec(s, 3), w);
+    EnginePlan mm = EnginePlan::matMul(randomIntDense(s, s, 1),
+                                       randomIntDense(s, s, 2), w);
+    for (const std::string &name : engineNames()) {
+        auto engine = requireEngine(name);
+        printEngineRow(name, engine->run(
+            engine->kind() == ProblemKind::MatVec ? mv : mm));
+    }
+}
+
+/**
+ * Per-engine sweeps over one mid-size problem per kind. These time
+ * the end-to-end engine path (DBT transform + simulation per run);
+ * the BM_* benches below time the simulators alone.
+ */
+void
+registerSweeps()
+{
+    registerEngineSweep("engine_matvec", ProblemKind::MatVec, [] {
+        const Index w = 8, s = 8 * w;
+        return EnginePlan::matVec(randomIntDense(s, s, 1),
+                                  randomIntVec(s, 2),
+                                  randomIntVec(s, 3), w);
+    });
+    registerEngineSweep("engine_matmul", ProblemKind::MatMul, [] {
+        const Index w = 3, s = 3 * w;
+        return EnginePlan::matMul(randomIntDense(s, s, 1),
+                                  randomIntDense(s, s, 2), w);
+    });
 }
 
 void
@@ -30,6 +68,8 @@ BM_LinearArrayCyclesPerSec(benchmark::State &state)
     Dense<Scalar> a = randomIntDense(s, s, 1);
     Vec<Scalar> x = randomIntVec(s, 2);
     Vec<Scalar> b = randomIntVec(s, 3);
+    // Plan hoisted out of the loop: this times the simulator alone,
+    // comparable with historical numbers.
     MatVecPlan plan(a, w);
     Cycle cycles = 0;
     for (auto _ : state) {
@@ -80,4 +120,4 @@ BENCHMARK(BM_BlockOracleVsCycleSim)->Arg(6)->Arg(12)->Arg(24);
 } // namespace
 } // namespace sap
 
-SAP_BENCH_MAIN(sap::print)
+SAP_BENCH_MAIN_WITH_REGISTRATION(sap::print, sap::registerSweeps)

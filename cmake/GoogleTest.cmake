@@ -1,0 +1,40 @@
+# Locate GoogleTest, preferring whatever the host already provides so
+# that offline builds work, and falling back to FetchContent only when
+# nothing is installed:
+#
+#   1. an installed package (find_package, e.g. libgtest-dev's cmake
+#      config or a conda/vcpkg install),
+#   2. the Debian/Ubuntu source package at /usr/src/googletest
+#      (libgtest-dev ships sources, not binaries, on older releases),
+#   3. FetchContent from the upstream GitHub release (needs network).
+#
+# Afterwards the targets GTest::gtest and GTest::gtest_main exist.
+
+include(FetchContent)
+
+find_package(GTest QUIET)
+
+if(GTest_FOUND)
+    message(STATUS "GoogleTest: using installed package")
+elseif(EXISTS /usr/src/googletest/CMakeLists.txt)
+    message(STATUS "GoogleTest: building Debian source package")
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    add_subdirectory(/usr/src/googletest
+                     ${CMAKE_BINARY_DIR}/_deps/googletest-build
+                     EXCLUDE_FROM_ALL)
+    if(NOT TARGET GTest::gtest)
+        add_library(GTest::gtest ALIAS gtest)
+        add_library(GTest::gtest_main ALIAS gtest_main)
+    endif()
+else()
+    message(STATUS "GoogleTest: fetching from upstream")
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    FetchContent_Declare(googletest
+        URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+        URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+    FetchContent_MakeAvailable(googletest)
+endif()
+
+include(GoogleTest)

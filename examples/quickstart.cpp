@@ -1,19 +1,31 @@
 /**
  * @file
  * Quickstart: solve y = A·x + b for an arbitrarily-sized dense
- * matrix on a fixed-size simulated systolic array.
+ * matrix on a fixed-size simulated systolic array, through the
+ * unified engine layer.
  *
  * The problem (17×23) does not remotely fit the 4-PE array — that
  * is the point of the paper: DBT reshapes any dense matrix into a
  * bandwidth-w band whose band is completely filled, so the fixed
  * array runs at its best possible utilization and all partial
  * results stay inside the array via the w-register feedback loop.
+ *
+ * Every topology is driven through the same two calls:
+ *
+ *   EnginePlan plan = EnginePlan::matVec(a, x, b, w);
+ *   EngineRunResult r = makeEngine("linear")->run(plan);
+ *
+ * Set SAP_EXAMPLE_TINY=1 to shrink the workload (used by the ctest
+ * smoke target).
  */
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "analysis/formulas.hh"
-#include "dbt/matvec_plan.hh"
+#include "base/math_util.hh"
+#include "engine/engine.hh"
+#include "engine/registry.hh"
 #include "mat/generate.hh"
 #include "mat/ops.hh"
 
@@ -22,23 +34,31 @@ using namespace sap;
 int
 main()
 {
+    const bool tiny = std::getenv("SAP_EXAMPLE_TINY") != nullptr;
+
     // An arbitrary problem size and a small fixed array.
-    const Index n = 17, m = 23, w = 4;
+    const Index n = tiny ? 7 : 17, m = tiny ? 9 : 23, w = 4;
     Dense<Scalar> a = randomIntDense(n, m, /*seed=*/42);
     Vec<Scalar> x = randomIntVec(m, 43);
     Vec<Scalar> b = randomIntVec(n, 44);
 
-    // 1. Build the plan: applies DBT-by-rows once for this matrix.
-    MatVecPlan plan(a, w);
-    const MatVecDims &d = plan.dims();
-    std::printf("A is %lldx%lld, array has %lld PEs -> n̄=%lld m̄=%lld "
-                "band of %lld block rows\n",
+    // 1. Build the plan (the DBT transformation is applied when an
+    //    engine consumes it) and list the available topologies.
+    EnginePlan plan = EnginePlan::matVec(a, x, b, w);
+    std::printf("registered engines:");
+    for (const std::string &name : engineNames())
+        std::printf(" %s", name.c_str());
+    std::printf("\n");
+
+    const Index nbar = ceilDiv(n, w), mbar = ceilDiv(m, w);
+    std::printf("A is %lldx%lld, array has %lld PEs -> n̄=%lld "
+                "m̄=%lld band of %lld block rows\n",
                 (long long)n, (long long)m, (long long)w,
-                (long long)d.nbar, (long long)d.mbar,
-                (long long)d.blockCount());
+                (long long)nbar, (long long)mbar,
+                (long long)(nbar * mbar));
 
     // 2. Run it on the cycle-accurate simulated array.
-    MatVecPlanResult r = plan.run(x, b);
+    EngineRunResult r = makeEngine("linear")->run(plan);
 
     // 3. Check against the host oracle.
     Vec<Scalar> expect = matVec(a, x, b);
@@ -46,18 +66,32 @@ main()
                 maxAbsDiff(r.y, expect) == 0.0 ? "yes" : "NO");
     std::printf("steps: %lld (formula 2w·n̄m̄+2w-3 = %lld)\n",
                 (long long)r.stats.cycles,
-                (long long)formulas::tMatVec(w, d.nbar, d.mbar));
+                (long long)formulas::tMatVec(w, nbar, mbar));
     std::printf("PE utilization: %.4f (-> 1/2 for large problems)\n",
                 r.stats.utilization());
     std::printf("feedback: delay %lld cycles through %lld registers "
                 "(= w)\n",
-                (long long)r.observedFeedbackDelay,
+                (long long)r.feedbackDelay,
                 (long long)r.feedbackRegisters);
 
-    // 4. The overlapped schedule doubles utilization.
-    MatVecPlanResult ovl = plan.runOverlapped(x, b);
-    std::printf("overlapped: steps %lld, utilization %.4f (-> 1)\n",
-                (long long)ovl.stats.cycles,
-                ovl.stats.utilization());
-    return maxAbsDiff(r.y, expect) == 0.0 ? 0 : 1;
+    // 4. The other topologies are one name away: the overlapped
+    //    schedule doubles utilization, grouping halves the PEs.
+    //    Every topology must reproduce the same exact result.
+    bool ok = maxAbsDiff(r.y, expect) == 0.0;
+    if (nbar >= 2) {
+        EngineRunResult ovl = makeEngine("overlapped")->run(plan);
+        ok = ok && maxAbsDiff(ovl.y, expect) == 0.0;
+        std::printf("overlapped: steps %lld, utilization %.4f "
+                    "(-> 1)\n",
+                    (long long)ovl.stats.cycles,
+                    ovl.stats.utilization());
+    }
+    EngineRunResult grp = makeEngine("grouped")->run(plan);
+    ok = ok && maxAbsDiff(grp.y, expect) == 0.0 && grp.conflictFree;
+    std::printf("grouped: %lld physical PEs, utilization %.4f, "
+                "conflict-free: %s\n",
+                (long long)grp.stats.peCount, grp.stats.utilization(),
+                grp.conflictFree ? "yes" : "NO");
+
+    return ok ? 0 : 1;
 }

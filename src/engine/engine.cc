@@ -1,0 +1,239 @@
+#include "engine/engine.hh"
+
+#include "base/logging.hh"
+#include "dbt/matmul_plan.hh"
+#include "dbt/matvec_plan.hh"
+#include "engine/registry.hh"
+
+namespace sap {
+
+std::string
+problemKindName(ProblemKind k)
+{
+    switch (k) {
+      case ProblemKind::MatVec:
+        return "matvec";
+      case ProblemKind::MatMul:
+        return "matmul";
+    }
+    SAP_PANIC("unknown ProblemKind ", static_cast<int>(k));
+}
+
+EnginePlan
+EnginePlan::matVec(Dense<Scalar> a, Vec<Scalar> x, Vec<Scalar> b,
+                   Index w)
+{
+    EnginePlan p;
+    p.kind = ProblemKind::MatVec;
+    p.a = std::move(a);
+    p.x = std::move(x);
+    p.b = std::move(b);
+    p.w = w;
+    p.validate();
+    return p;
+}
+
+EnginePlan
+EnginePlan::matMul(Dense<Scalar> a, Dense<Scalar> bmat, Dense<Scalar> e,
+                   Index w)
+{
+    EnginePlan p;
+    p.kind = ProblemKind::MatMul;
+    p.a = std::move(a);
+    p.bmat = std::move(bmat);
+    p.e = std::move(e);
+    p.w = w;
+    p.validate();
+    return p;
+}
+
+EnginePlan
+EnginePlan::matMul(Dense<Scalar> a, Dense<Scalar> bmat, Index w)
+{
+    Dense<Scalar> zero(a.rows(), bmat.cols());
+    return matMul(std::move(a), std::move(bmat), std::move(zero), w);
+}
+
+void
+EnginePlan::validate() const
+{
+    SAP_ASSERT(w >= 1, "array size w = ", w, " must be at least 1");
+    SAP_ASSERT(a.rows() > 0 && a.cols() > 0, "empty matrix A");
+    if (kind == ProblemKind::MatVec) {
+        SAP_ASSERT(x.size() == a.cols(), "x length ", x.size(),
+                   " != A cols ", a.cols());
+        SAP_ASSERT(b.size() == a.rows(), "b length ", b.size(),
+                   " != A rows ", a.rows());
+    } else {
+        SAP_ASSERT(bmat.rows() == a.cols(), "B rows ", bmat.rows(),
+                   " != A cols ", a.cols());
+        SAP_ASSERT(e.rows() == a.rows() && e.cols() == bmat.cols(),
+                   "E shape ", e.rows(), "x", e.cols(), " != ",
+                   a.rows(), "x", bmat.cols());
+    }
+}
+
+namespace {
+
+/** y = A·x + b on the plain contraflow array. */
+class LinearEngine : public SystolicEngine
+{
+  public:
+    std::string name() const override { return "linear"; }
+    ProblemKind kind() const override { return ProblemKind::MatVec; }
+    std::string
+    description() const override
+    {
+        return "contraflow linear array with w-register feedback";
+    }
+
+    EngineRunResult
+    run(const EnginePlan &plan) const override
+    {
+        SAP_ASSERT(plan.kind == kind(), "linear engine needs a "
+                   "matvec plan");
+        MatVecPlan mv(plan.a, plan.w);
+        MatVecPlanResult r = mv.run(plan.x, plan.b, plan.recordTrace);
+
+        EngineRunResult out;
+        out.y = std::move(r.y);
+        out.stats = r.stats;
+        out.totalCycles = r.stats.cycles;
+        out.trace = std::move(r.trace);
+        out.feedbackDelay = r.observedFeedbackDelay;
+        out.feedbackRegisters = r.feedbackRegisters;
+        return out;
+    }
+};
+
+/** Linear engine with 2:1 PE grouping (A = ⌈w/2⌉ physical PEs). */
+class GroupedEngine : public SystolicEngine
+{
+  public:
+    std::string name() const override { return "grouped"; }
+    ProblemKind kind() const override { return ProblemKind::MatVec; }
+    std::string
+    description() const override
+    {
+        return "linear array with 2:1 PE grouping";
+    }
+
+    EngineRunResult
+    run(const EnginePlan &plan) const override
+    {
+        SAP_ASSERT(plan.kind == kind(), "grouped engine needs a "
+                   "matvec plan");
+        MatVecPlan mv(plan.a, plan.w);
+        GroupedRunResult r = mv.runGroupedPlan(plan.x, plan.b);
+
+        EngineRunResult out;
+        out.y = mv.transform().extractY(r.logical.ybar);
+        out.stats = r.grouped;
+        out.totalCycles = r.grouped.cycles;
+        out.trace = std::move(r.logical.trace);
+        out.feedbackDelay = r.logical.observedFeedbackDelay;
+        out.feedbackRegisters = r.logical.feedbackRegisters;
+        out.conflictFree = r.conflictFree;
+        return out;
+    }
+};
+
+/** Linear engine with the split-problem interleaving booster. */
+class OverlappedEngine : public SystolicEngine
+{
+  public:
+    std::string name() const override { return "overlapped"; }
+    ProblemKind kind() const override { return ProblemKind::MatVec; }
+    std::string
+    description() const override
+    {
+        return "linear array, split problem interleaved on "
+               "alternate cycles";
+    }
+
+    EngineRunResult
+    run(const EnginePlan &plan) const override
+    {
+        SAP_ASSERT(plan.kind == kind(), "overlapped engine needs a "
+                   "matvec plan");
+        MatVecPlan mv(plan.a, plan.w);
+        MatVecPlanResult r = mv.runOverlapped(plan.x, plan.b);
+
+        EngineRunResult out;
+        out.y = std::move(r.y);
+        out.stats = r.stats;
+        out.totalCycles = r.stats.cycles;
+        out.feedbackDelay = r.observedFeedbackDelay;
+        out.feedbackRegisters = r.feedbackRegisters;
+        return out;
+    }
+};
+
+/**
+ * C = A·B + E on the hexagonal array with spiral feedback. The
+ * "spiral" variant additionally treats a topology violation as a
+ * hard failure instead of a reported flag.
+ */
+class HexEngine : public SystolicEngine
+{
+  public:
+    explicit HexEngine(bool strict) : strict_(strict) {}
+
+    std::string name() const override { return strict_ ? "spiral" : "hex"; }
+    ProblemKind kind() const override { return ProblemKind::MatMul; }
+    std::string
+    description() const override
+    {
+        return strict_
+            ? "hexagonal array, spiral feedback topology audited"
+            : "hexagonal array with spiral feedback";
+    }
+
+    EngineRunResult
+    run(const EnginePlan &plan) const override
+    {
+        SAP_ASSERT(plan.kind == kind(), name(), " engine needs a "
+                   "matmul plan");
+        MatMulPlan mm(plan.a, plan.bmat, plan.w);
+        MatMulPlanResult r = mm.run(plan.e);
+
+        EngineRunResult out;
+        out.c = std::move(r.c);
+        out.stats = r.stats;
+        out.totalCycles = r.totalCycles;
+        out.feedback = r.feedback;
+        out.topologyRespected =
+            !r.feedback || r.feedback->topologyRespected();
+        if (strict_)
+            SAP_ASSERT(out.topologyRespected,
+                       "spiral feedback topology violated");
+        return out;
+    }
+
+  private:
+    bool strict_;
+};
+
+} // namespace
+
+void
+registerBuiltinEngines()
+{
+    registerEngine("linear", [] {
+        return std::make_unique<LinearEngine>();
+    });
+    registerEngine("grouped", [] {
+        return std::make_unique<GroupedEngine>();
+    });
+    registerEngine("overlapped", [] {
+        return std::make_unique<OverlappedEngine>();
+    });
+    registerEngine("hex", [] {
+        return std::make_unique<HexEngine>(/*strict=*/false);
+    });
+    registerEngine("spiral", [] {
+        return std::make_unique<HexEngine>(/*strict=*/true);
+    });
+}
+
+} // namespace sap

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The unified engine layer: one `run(plan) -> EngineRunResult` API
+ * that drives every systolic topology in the repository.
+ *
+ * Motivation: tests, benchmarks, and examples used to hand-roll a
+ * driver loop per topology (build a MatVecPlan here, a MatMulPlan
+ * there, wire the grouped harness somewhere else). The engine hides
+ * that behind a single interface so that cross-topology comparisons
+ * run every array under identical golden-model checks, and so new
+ * topologies plug in by registering a factory (see registry.hh).
+ *
+ * An EnginePlan carries a *problem* (y = A·x + b or C = A·B + E)
+ * plus array options; an engine consumes plans whose kind it
+ * supports and returns results, measured statistics, the port-level
+ * Trace, and topology-specific audit data (feedback delays, PE
+ * grouping realizability, spiral topology compliance).
+ */
+
+#ifndef SAP_ENGINE_ENGINE_HH
+#define SAP_ENGINE_ENGINE_HH
+
+#include <memory>
+#include <string>
+
+#include "analysis/metrics.hh"
+#include "base/types.hh"
+#include "mat/dense.hh"
+#include "mat/vector.hh"
+#include "sim/spiral_feedback.hh"
+#include "sim/trace.hh"
+
+namespace sap {
+
+/** Which algebraic problem a plan describes. */
+enum class ProblemKind
+{
+    MatVec, ///< y = A·x + b on a linear-array family engine
+    MatMul, ///< C = A·B + E on a hexagonal-array family engine
+};
+
+/** Printable kind name ("matvec" / "matmul"). */
+std::string problemKindName(ProblemKind k);
+
+/**
+ * A size-independent problem instance plus array options: the single
+ * input type of every engine.
+ *
+ * Exactly one operand set is meaningful, selected by `kind`:
+ * (a, x, b) for MatVec, (a, bmat, e) for MatMul. Use the named
+ * factories; they validate shapes eagerly.
+ */
+struct EnginePlan
+{
+    ProblemKind kind = ProblemKind::MatVec;
+
+    Dense<Scalar> a; ///< the matrix A (any shape; DBT reshapes it)
+
+    // MatVec operands.
+    Vec<Scalar> x; ///< input vector (length a.cols())
+    Vec<Scalar> b; ///< additive vector (length a.rows())
+
+    // MatMul operands.
+    Dense<Scalar> bmat; ///< matrix B (a.cols() × m)
+    Dense<Scalar> e;    ///< additive matrix E (a.rows() × m)
+
+    Index w = 4; ///< fixed systolic array size
+    /**
+     * Record port-level events into EngineRunResult::trace.
+     * Currently only the "linear" engine supports tracing; the
+     * other topologies return an empty trace regardless.
+     */
+    bool recordTrace = false;
+
+    /** Plan for y = A·x + b. */
+    static EnginePlan matVec(Dense<Scalar> a, Vec<Scalar> x,
+                             Vec<Scalar> b, Index w);
+
+    /** Plan for C = A·B + E. */
+    static EnginePlan matMul(Dense<Scalar> a, Dense<Scalar> bmat,
+                             Dense<Scalar> e, Index w);
+
+    /** Plan for C = A·B (E = 0). */
+    static EnginePlan matMul(Dense<Scalar> a, Dense<Scalar> bmat,
+                             Index w);
+
+    /** Shape consistency checks (asserts on failure). */
+    void validate() const;
+};
+
+/**
+ * Everything an engine reports back from one execution.
+ *
+ * `y` is filled for MatVec plans, `c` for MatMul plans. Audit
+ * fields default to their vacuous-pass values so callers can assert
+ * them uniformly across topologies.
+ */
+struct EngineRunResult
+{
+    Vec<Scalar> y;    ///< MatVec result (length a.rows())
+    Dense<Scalar> c;  ///< MatMul result (a.rows() × bmat.cols())
+
+    RunStats stats;          ///< measured cycles/PEs/MACs
+    Cycle totalCycles = 0;   ///< raw edge-to-edge cycles (if distinct)
+    /** Port events; only populated by engines that support tracing
+     *  (see EnginePlan::recordTrace). */
+    Trace trace;
+
+    /** Observed feedback delay in cycles (linear family; paper: w). */
+    Cycle feedbackDelay = -1;
+    /** Registers in the feedback chain (linear family; paper: w). */
+    Index feedbackRegisters = 0;
+
+    /** Grouped engine: no cycle had both cells of a group busy. */
+    bool conflictFree = true;
+    /** Spiral engine: every transfer stayed inside its loop. */
+    bool topologyRespected = true;
+    /** Hex/spiral feedback measurements (null for linear family). */
+    std::shared_ptr<SpiralFeedback> feedback;
+};
+
+/**
+ * Interface every topology implements.
+ *
+ * Engines are stateless: run() may be called concurrently from
+ * multiple threads, each call builds its own simulator.
+ */
+class SystolicEngine
+{
+  public:
+    virtual ~SystolicEngine() = default;
+
+    /** Registry name ("linear", "grouped", "overlapped", "hex",
+     *  "spiral"). */
+    virtual std::string name() const = 0;
+
+    /** Which problem kind this engine consumes. */
+    virtual ProblemKind kind() const = 0;
+
+    /** One-line human description for --help style listings. */
+    virtual std::string description() const = 0;
+
+    /**
+     * Execute @p plan on this topology.
+     *
+     * @pre plan.kind == kind() (asserted).
+     */
+    virtual EngineRunResult run(const EnginePlan &plan) const = 0;
+};
+
+} // namespace sap
+
+#endif // SAP_ENGINE_ENGINE_HH

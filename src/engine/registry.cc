@@ -1,0 +1,91 @@
+#include "engine/registry.hh"
+
+#include <map>
+#include <mutex>
+
+namespace sap {
+
+// Defined in engine.cc; installs the built-in topologies.
+void registerBuiltinEngines();
+
+namespace {
+
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, EngineFactory> factories;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+// The built-ins live in another translation unit of a static
+// library, so self-registering global objects would be dropped by
+// the linker; install them explicitly before any lookup. Plain
+// registerEngine() must NOT call this (registerBuiltinEngines()
+// itself registers through it).
+void
+ensureBuiltins()
+{
+    static std::once_flag once;
+    std::call_once(once, [] { registerBuiltinEngines(); });
+}
+
+} // namespace
+
+void
+registerEngine(const std::string &name, EngineFactory factory)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.factories[name] = std::move(factory);
+}
+
+std::unique_ptr<SystolicEngine>
+makeEngine(const std::string &name)
+{
+    ensureBuiltins();
+    EngineFactory factory;
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        auto it = r.factories.find(name);
+        if (it == r.factories.end())
+            return nullptr;
+        factory = it->second;
+    }
+    // Invoke outside the lock: a factory may itself look up or
+    // register engines (e.g. a decorator wrapping another engine).
+    return factory();
+}
+
+std::vector<std::string>
+engineNames()
+{
+    ensureBuiltins();
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::string> names;
+    names.reserve(r.factories.size());
+    for (const auto &entry : r.factories)
+        names.push_back(entry.first);
+    return names;
+}
+
+std::vector<std::string>
+engineNames(ProblemKind kind)
+{
+    std::vector<std::string> out;
+    for (const std::string &name : engineNames()) {
+        auto engine = makeEngine(name);
+        if (engine && engine->kind() == kind)
+            out.push_back(name);
+    }
+    return out;
+}
+
+} // namespace sap

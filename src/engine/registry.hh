@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Name → engine factory registry.
+ *
+ * The built-in topologies self-register on first use; external code
+ * (tests of experimental topologies, future backends) can add more
+ * with registerEngine(). Lookup is by the stable string names used
+ * throughout tests, benches, and examples:
+ *
+ *   "linear"     y = A·x + b, contraflow array with w-deep feedback
+ *   "grouped"    linear with 2:1 PE grouping (A = ⌈w/2⌉)
+ *   "overlapped" linear with the split-problem interleaving booster
+ *   "hex"        C = A·B + E, hexagonal array with spiral feedback
+ *   "spiral"     hex plus a strict spiral-topology audit
+ */
+
+#ifndef SAP_ENGINE_REGISTRY_HH
+#define SAP_ENGINE_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hh"
+
+namespace sap {
+
+/** Factory producing a fresh engine instance. */
+using EngineFactory = std::function<std::unique_ptr<SystolicEngine>()>;
+
+/**
+ * Register @p factory under @p name, replacing any previous entry
+ * with that name. Safe to call at any time after static init.
+ */
+void registerEngine(const std::string &name, EngineFactory factory);
+
+/**
+ * Instantiate the engine registered as @p name.
+ *
+ * @return nullptr if the name is unknown.
+ */
+std::unique_ptr<SystolicEngine> makeEngine(const std::string &name);
+
+/** Sorted names of all registered engines. */
+std::vector<std::string> engineNames();
+
+/** Sorted names of engines accepting @p kind. */
+std::vector<std::string> engineNames(ProblemKind kind);
+
+} // namespace sap
+
+#endif // SAP_ENGINE_REGISTRY_HH

@@ -10,6 +10,8 @@
 #include "analysis/formulas.hh"
 #include "dbt/matmul_plan.hh"
 #include "dbt/matvec_plan.hh"
+#include "engine/engine.hh"
+#include "engine/registry.hh"
 #include "mat/generate.hh"
 #include "mat/ops.hh"
 #include "solve/gauss_seidel.hh"
@@ -25,8 +27,8 @@ TEST(Integration, LargeMatVecOnWideArray)
     Dense<Scalar> a = randomIntDense(n, m, 11000);
     Vec<Scalar> x = randomIntVec(m, 11001);
     Vec<Scalar> b = randomIntVec(n, 11002);
-    MatVecPlan plan(a, w);
-    MatVecPlanResult r = plan.run(x, b);
+    EngineRunResult r =
+        makeEngine("linear")->run(EnginePlan::matVec(a, x, b, w));
     EXPECT_EQ(maxAbsDiff(r.y, matVec(a, x, b)), 0.0);
     EXPECT_EQ(r.stats.cycles, formulas::tMatVec(w, 8, 6));
     EXPECT_GT(r.stats.utilization(), 0.49); // n̄m̄ = 48 -> near 1/2
@@ -38,11 +40,12 @@ TEST(Integration, LargeMatMulOnHexArray)
     Dense<Scalar> a = randomIntDense(s, s, 11010);
     Dense<Scalar> b = randomIntDense(s, s, 11011);
     Dense<Scalar> e = randomIntDense(s, s, 11012);
-    MatMulPlan plan(a, b, w);
-    MatMulPlanResult r = plan.run(e);
+    EngineRunResult r =
+        makeEngine("hex")->run(EnginePlan::matMul(a, b, e, w));
     EXPECT_EQ(maxAbsDiff(r.c, matMulAdd(a, b, e)), 0.0);
     EXPECT_EQ(r.stats.cycles, formulas::tMatMul(w, 4, 4, 4));
     EXPECT_GT(r.stats.utilization(), 0.31);
+    EXPECT_TRUE(r.topologyRespected);
 }
 
 TEST(Integration, PlanReuseAcrossManyInputs)
@@ -61,16 +64,17 @@ TEST(Integration, PlanReuseAcrossManyInputs)
 TEST(Integration, MatMulFeedsMatVec)
 {
     // Pipeline: C = A·B on the hex array, then y = C·x + b on the
-    // linear array — all on fixed-size machines.
+    // linear array — all on fixed-size machines, all through the
+    // one engine harness.
     Dense<Scalar> a = randomIntDense(6, 9, 11060);
     Dense<Scalar> b = randomIntDense(9, 6, 11061);
     Vec<Scalar> x = randomIntVec(6, 11062);
     Vec<Scalar> v = randomIntVec(6, 11063);
 
-    MatMulPlan mm(a, b, 3);
-    Dense<Scalar> c = mm.run(Dense<Scalar>(6, 6)).c;
-    MatVecPlan mv(c, 3);
-    Vec<Scalar> y = mv.run(x, v).y;
+    Dense<Scalar> c =
+        makeEngine("hex")->run(EnginePlan::matMul(a, b, 3)).c;
+    Vec<Scalar> y =
+        makeEngine("linear")->run(EnginePlan::matVec(c, x, v, 3)).y;
     EXPECT_EQ(maxAbsDiff(y, matVec(matMul(a, b), x, v)), 0.0);
 }
 
@@ -160,7 +164,9 @@ TEST(SpecDeath, MismatchedSpecIsRejected)
 {
     // The driver's validation layer must reject malformed specs
     // (failure injection: wrong x̄ length).
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    // GTEST_FLAG() keeps gtest <= 1.12 compatibility (GTEST_FLAG_SET
+    // only exists from 1.13).
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
     Band<Scalar> band(4, 5, 0, 1);
     for (Index i = 0; i < 4; ++i)
         for (Index d = 0; d < 2; ++d)
@@ -176,7 +182,7 @@ TEST(SpecDeath, MismatchedSpecIsRejected)
 
 TEST(SpecDeath, FeedbackBeforeFirstOutputIsRejected)
 {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
     Band<Scalar> band(4, 5, 0, 1);
     for (Index i = 0; i < 4; ++i)
         for (Index d = 0; d < 2; ++d)

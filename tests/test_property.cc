@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include "analysis/formulas.hh"
+#include "base/math_util.hh"
 #include "base/random.hh"
 #include "dbt/interleave.hh"
+#include "engine/registry.hh"
 #include "dbt/matmul_plan.hh"
 #include "dbt/matvec_exec.hh"
 #include "dbt/matvec_plan.hh"
@@ -111,6 +113,27 @@ TEST_P(RandomShapes, OverlapSplitPreservesResults)
         << "n=" << n << " m=" << m << " w=" << w;
 }
 
+TEST_P(RandomShapes, EveryMatVecEngineExactOnRandomShape)
+{
+    // The engine harness must be exact on every topology across the
+    // same shape sweep as the per-driver tests above.
+    Index n, m, w;
+    draw(n, m, w);
+    Dense<Scalar> a = randomIntDense(n, m, 3200 + GetParam());
+    Vec<Scalar> x = randomIntVec(m, 3300 + GetParam());
+    Vec<Scalar> b = randomIntVec(n, 3400 + GetParam());
+    Vec<Scalar> gold = matVec(a, x, b);
+    EnginePlan plan = EnginePlan::matVec(a, x, b, w);
+    for (const std::string &name : engineNames(ProblemKind::MatVec)) {
+        if (name == "overlapped" && ceilDiv(n, w) < 2)
+            continue; // split needs at least two block rows
+        EngineRunResult r = makeEngine(name)->run(plan);
+        EXPECT_EQ(maxAbsDiff(r.y, gold), 0.0)
+            << name << " n=" << n << " m=" << m << " w=" << w;
+        EXPECT_TRUE(r.conflictFree) << name;
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomShapes, ::testing::Range(0, 24));
 
 /** Random mat-mul shapes. */
@@ -156,6 +179,24 @@ TEST_P(RandomMatMul, CycleSimExactAndOnTime)
     EXPECT_EQ(r.stats.cycles,
               formulas::tMatMul(w, d.pbar, d.nbar, d.mbar));
     EXPECT_TRUE(r.feedback->topologyRespected());
+}
+
+TEST_P(RandomMatMul, EveryMatMulEngineExactOnRandomShape)
+{
+    Index n, p, m, w;
+    draw(n, p, m, w);
+    Dense<Scalar> a = randomIntDense(n, p, 6200 + GetParam());
+    Dense<Scalar> b = randomIntDense(p, m, 7200 + GetParam());
+    Dense<Scalar> e = randomIntDense(n, m, 8200 + GetParam());
+    Dense<Scalar> gold = matMulAdd(a, b, e);
+    EnginePlan plan = EnginePlan::matMul(a, b, e, w);
+    for (const std::string &name : engineNames(ProblemKind::MatMul)) {
+        EngineRunResult r = makeEngine(name)->run(plan);
+        EXPECT_TRUE(r.c == gold)
+            << name << " n=" << n << " p=" << p << " m=" << m
+            << " w=" << w;
+        EXPECT_TRUE(r.topologyRespected) << name;
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatMul, ::testing::Range(0, 16));

@@ -105,6 +105,75 @@ struct PlainHex
     }
 };
 
+TEST(HexSchedule, AlignmentInvariantHoldsForEveryTriple)
+{
+    // Schedule invariant from hex_array.hh: at PE (r, q) on cycle τ
+    // the streams can only combine samples of the unique triple
+    // (i, j, k) with k−i = r, k−j = q, i+j+k = τ−(w−1). Inject a
+    // single (a, b, c) triple at the documented edge entry times and
+    // verify that the MAC fires exactly once, exactly at
+    // τ = i+j+k+(w−1), and that the sum exits on diagonal j−i after
+    // cycle i+j+min(i,j)+2w−2.
+    const Index w = 3, n = 5;
+    for (Index i = 0; i < n; ++i) {
+        for (Index j = 0; j < n; ++j) {
+            for (Index k = std::max(i, j);
+                 k < std::min(n, std::min(i, j) + w); ++k) {
+                const Cycle a_tau = i + 2 * k;
+                const Cycle b_tau = 2 * k + j;
+                const Cycle c_tau = i + j + std::max(i, j) + w - 1;
+                const Cycle mac_tau = i + j + k + w - 1;
+                const Cycle exit_tau =
+                    i + j + std::min(i, j) + 2 * w - 2;
+                const Index delta = j - i;
+
+                HexArray arr(w);
+                for (Cycle tau = 0; tau <= exit_tau; ++tau) {
+                    if (tau == a_tau)
+                        arr.setAIn(k - i, Sample::of(3));
+                    if (tau == b_tau)
+                        arr.setBIn(k - j, Sample::of(5));
+                    if (tau == c_tau)
+                        arr.setCIn(delta, Sample::of(100));
+                    arr.step();
+                    if (tau < exit_tau) {
+                        EXPECT_FALSE(arr.cOut(delta).valid)
+                            << "early exit at tau=" << tau << " for ("
+                            << i << "," << j << "," << k << ")";
+                    }
+                }
+                ASSERT_EQ(arr.usefulMacs(), 1)
+                    << "(" << i << "," << j << "," << k << ")";
+                EXPECT_EQ(arr.firstMacCycle(), mac_tau)
+                    << "(" << i << "," << j << "," << k << ")";
+                ASSERT_TRUE(arr.cOut(delta).valid);
+                EXPECT_EQ(arr.cOut(delta).value, 115);
+            }
+        }
+    }
+}
+
+TEST(HexSchedule, MisalignedOperandsNeverMac)
+{
+    // Corollary of the alignment invariant: operands injected one
+    // cycle off the schedule can never meet, so no MAC may fire.
+    const Index w = 3, i = 1, j = 2, k = 2;
+    HexArray arr(w);
+    const Cycle a_tau = i + 2 * k + 1; // one cycle late
+    const Cycle b_tau = 2 * k + j;
+    const Cycle c_tau = i + j + std::max(i, j) + w - 1;
+    for (Cycle tau = 0; tau <= 4 * w + 12; ++tau) {
+        if (tau == a_tau)
+            arr.setAIn(k - i, Sample::of(3));
+        if (tau == b_tau)
+            arr.setBIn(k - j, Sample::of(5));
+        if (tau == c_tau)
+            arr.setCIn(j - i, Sample::of(100));
+        arr.step();
+    }
+    EXPECT_EQ(arr.usefulMacs(), 0);
+}
+
 TEST(HexDriver, PlainBandProductMatchesOracle)
 {
     for (Index w : {1, 2, 3, 4}) {

@@ -288,5 +288,61 @@ TEST(LinearDriver, TraceHasTwoCycleSpacing)
     EXPECT_EQ(bs.front().cycle, 2); // w-1
 }
 
+TEST(LinearSchedule, DocumentedScheduleProducesOutputsEveryTwoCycles)
+{
+    // Schedule invariant from linear_driver.hh, exercised directly
+    // on the array (no driver): with x_j entering PE 0 at cycle 2j,
+    // b̄_i entering PE w−1 at 2i+w−1 and a(i,i+d) firing in PE
+    // (w−1−d) at 2i+w−1+d, the output port must deliver ȳ_i exactly
+    // after cycle 2i+2w−2 — and stay a bubble on every other cycle,
+    // which is the 2-cycle spacing that caps utilization at 1/2.
+    const Index w = 3, n = 5;
+    const Index cols = n + w - 1;
+    Rng rng(515);
+
+    Band<Scalar> band(n, cols, 0, w - 1);
+    for (Index i = 0; i < n; ++i)
+        for (Index d = 0; d < w; ++d)
+            band.ref(i, i + d) = static_cast<Scalar>(rng.uniformInt(1, 9));
+    Vec<Scalar> x = randomIntVec(cols, 516);
+    Vec<Scalar> b = randomIntVec(n, 517);
+
+    Vec<Scalar> expect(n);
+    for (Index i = 0; i < n; ++i) {
+        expect[i] = b[i];
+        for (Index d = 0; d < w; ++d)
+            expect[i] += band.at(i, i + d) * x[i + d];
+    }
+
+    LinearArray arr(w);
+    const Cycle last = 2 * (n - 1) + 2 * w - 2;
+    Index outputs_seen = 0;
+    for (Cycle tau = 0; tau <= last; ++tau) {
+        if (tau % 2 == 0 && tau / 2 < cols)
+            arr.setXIn(Sample::of(x[tau / 2]));
+        if ((tau - (w - 1)) % 2 == 0 && tau >= w - 1 &&
+            (tau - (w - 1)) / 2 < n)
+            arr.setYIn(Sample::of(b[(tau - (w - 1)) / 2]));
+        for (Index d = 0; d < w; ++d) {
+            Cycle fire = tau - (w - 1) - d;
+            if (fire >= 0 && fire % 2 == 0 && fire / 2 < n)
+                arr.setAIn(w - 1 - d,
+                           Sample::of(band.at(fire / 2, fire / 2 + d)));
+        }
+        arr.step();
+
+        if (tau >= 2 * w - 2 && (tau - (2 * w - 2)) % 2 == 0) {
+            Index i = (tau - (2 * w - 2)) / 2;
+            ASSERT_TRUE(arr.yOut().valid) << "tau=" << tau;
+            EXPECT_EQ(arr.yOut().value, expect[i]) << "i=" << i;
+            ++outputs_seen;
+        } else {
+            EXPECT_FALSE(arr.yOut().valid)
+                << "unexpected output at tau=" << tau;
+        }
+    }
+    EXPECT_EQ(outputs_seen, n);
+}
+
 } // namespace
 } // namespace sap
