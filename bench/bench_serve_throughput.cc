@@ -1,0 +1,271 @@
+/**
+ * @file
+ * PERF: throughput of the serving layer (engineering data, not a
+ * paper artifact).
+ *
+ * Two claims are measured:
+ *
+ *  1. Amortization: for repeated-matrix workloads, plan-cached
+ *     runMany() beats per-request SystolicEngine::run() (which
+ *     rebuilds the DBT transform every time) — the software form of
+ *     the hyper-systolic setup-cost amortization.
+ *  2. Scaling: a mixed-topology request stream through the Server
+ *     speeds up with worker threads (engines are stateless, so
+ *     requests parallelize; scaling flattens at the host's core
+ *     count).
+ *
+ * The print section reports both directly; google-benchmark timers
+ * cover the same paths for tracked history.
+ */
+
+#include "bench/bench_common.hh"
+
+#include <chrono>
+
+#include "mat/generate.hh"
+#include "serve/batch.hh"
+#include "serve/server.hh"
+
+namespace sap {
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** One repeated-matrix workload: R (x, b) pairs against one A. */
+struct MatVecWorkload
+{
+    Dense<Scalar> a;
+    Index w;
+    std::vector<EngineInputs> inputs;
+};
+
+MatVecWorkload
+makeMatVecWorkload(Index s, Index w, int requests)
+{
+    MatVecWorkload wl;
+    wl.a = randomIntDense(s, s, 1);
+    wl.w = w;
+    for (int i = 0; i < requests; ++i)
+        wl.inputs.push_back(EngineInputs::matVec(
+            randomIntVec(s, 100 + 2 * i), randomIntVec(s, 101 + 2 * i)));
+    return wl;
+}
+
+/**
+ * Cached-vs-uncached comparison on one engine. Uncached issues each
+ * request through run() (per-request dense→band rebuild); cached
+ * streams the same requests through one prepared plan.
+ */
+void
+printAmortization()
+{
+    printHeader("SERVE-1", "plan amortization: cached runMany vs "
+                           "per-request run (repeated matrix)");
+    std::printf("%-10s %-22s %10s %10s %8s\n", "engine", "workload",
+                "uncached", "cached", "speedup");
+
+    struct Case
+    {
+        const char *engine;
+        Index s, w;
+        int requests;
+    };
+    for (const Case &c : {Case{"linear", 64, 8, 24},
+                          Case{"overlapped", 64, 8, 24},
+                          Case{"hex", 12, 2, 12},
+                          Case{"spiral", 12, 3, 12}}) {
+        auto engine = requireEngine(c.engine);
+        std::vector<EngineInputs> inputs;
+        EnginePlan plan = engine->kind() == ProblemKind::MatVec
+            ? EnginePlan::matVec(randomIntDense(c.s, c.s, 1),
+                                 Vec<Scalar>(c.s), Vec<Scalar>(c.s),
+                                 c.w)
+            : EnginePlan::matMul(randomIntDense(c.s, c.s, 1),
+                                 randomIntDense(c.s, c.s, 2), c.w);
+        for (int i = 0; i < c.requests; ++i) {
+            if (engine->kind() == ProblemKind::MatVec)
+                inputs.push_back(EngineInputs::matVec(
+                    randomIntVec(c.s, 100 + 2 * i),
+                    randomIntVec(c.s, 101 + 2 * i)));
+            else
+                inputs.push_back(EngineInputs::matMul(
+                    randomIntDense(c.s, c.s, 100 + i)));
+        }
+
+        auto t0 = std::chrono::steady_clock::now();
+        for (const EngineInputs &in : inputs) {
+            EnginePlan request = plan;
+            if (engine->kind() == ProblemKind::MatVec) {
+                request.x = in.x;
+                request.b = in.b;
+            } else {
+                request.e = in.e;
+            }
+            EngineRunResult r = engine->run(request);
+            benchmark::DoNotOptimize(r);
+        }
+        double uncached = secondsSince(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        BatchResult batch = runMany(*engine, plan, inputs);
+        benchmark::DoNotOptimize(batch);
+        double cached = secondsSince(t0);
+
+        char workload[64];
+        std::snprintf(workload, sizeof(workload),
+                      "%lldx%lld w=%lld R=%d", (long long)c.s,
+                      (long long)c.s, (long long)c.w, c.requests);
+        std::printf("%-10s %-22s %8.2fms %8.2fms %7.2fx\n",
+                    c.engine, workload, uncached * 1e3, cached * 1e3,
+                    uncached / cached);
+    }
+}
+
+/** Mixed-topology request stream through the Server, 1..4 workers. */
+void
+printThreadScaling()
+{
+    printHeader("SERVE-2", "server scaling: mixed-topology stream, "
+                           "1..4 worker threads");
+    std::printf("(host has %u hardware threads; scaling flattens "
+                "beyond that)\n",
+                std::thread::hardware_concurrency());
+    std::printf("%-8s %10s %12s %10s\n", "threads", "requests",
+                "wall", "req/s");
+
+    const Index s = 24, w = 4;
+    const int kRounds = 10;
+    Dense<Scalar> a = randomIntDense(s, s, 1);
+    Dense<Scalar> bm = randomIntDense(s, s, 2);
+
+    // Hoisted out of the timed loop: only the kind is needed to
+    // build each request, not a fresh engine instance.
+    std::vector<std::pair<std::string, ProblemKind>> kinds;
+    for (const std::string &name : engineNames())
+        kinds.emplace_back(name, requireEngine(name)->kind());
+
+    for (std::size_t threads : {1u, 2u, 4u}) {
+        Server::Options opts;
+        opts.threads = threads;
+        Server server(opts);
+
+        std::vector<std::future<ServeResponse>> futures;
+        auto t0 = std::chrono::steady_clock::now();
+        for (int round = 0; round < kRounds; ++round) {
+            for (const auto &[name, kind] : kinds) {
+                ServeRequest req;
+                req.engine = name;
+                std::uint64_t seed = 100 + 10 * round;
+                req.plan = kind == ProblemKind::MatVec
+                    ? EnginePlan::matVec(a, randomIntVec(s, seed),
+                                         randomIntVec(s, seed + 1),
+                                         w)
+                    : EnginePlan::matMul(a, bm,
+                                         randomIntDense(s, s,
+                                                        seed + 2),
+                                         w);
+                futures.push_back(server.submit(std::move(req)));
+            }
+        }
+        std::size_t ok = 0;
+        for (auto &f : futures)
+            ok += f.get().ok ? 1 : 0;
+        double wall = secondsSince(t0);
+        SAP_ASSERT(ok == futures.size(), "serving failures in bench");
+        std::printf("%-8zu %10zu %10.2fms %10.0f\n", threads,
+                    futures.size(), wall * 1e3,
+                    static_cast<double>(futures.size()) / wall);
+    }
+}
+
+void
+print()
+{
+    printAmortization();
+    printThreadScaling();
+}
+
+//---------------------------------------------------------------------
+// Tracked google-benchmark timers.
+//---------------------------------------------------------------------
+
+void
+BM_MatVecPerRequestUncached(benchmark::State &state)
+{
+    const Index w = state.range(0), s = 8 * w;
+    auto engine = requireEngine("linear");
+    MatVecWorkload wl = makeMatVecWorkload(s, w, 1);
+    EnginePlan plan = EnginePlan::matVec(wl.a, wl.inputs[0].x,
+                                         wl.inputs[0].b, w);
+    for (auto _ : state) {
+        EngineRunResult r = engine->run(plan);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_MatVecPerRequestUncached)->Arg(4)->Arg(8);
+
+void
+BM_MatVecPerRequestCached(benchmark::State &state)
+{
+    const Index w = state.range(0), s = 8 * w;
+    auto engine = requireEngine("linear");
+    MatVecWorkload wl = makeMatVecWorkload(s, w, 1);
+    EnginePlan plan = EnginePlan::matVec(wl.a, wl.inputs[0].x,
+                                         wl.inputs[0].b, w);
+    auto prepared = engine->prepare(plan);
+    for (auto _ : state) {
+        EngineRunResult r =
+            engine->runPrepared(*prepared, wl.inputs[0]);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_MatVecPerRequestCached)->Arg(4)->Arg(8);
+
+void
+BM_ServerMixedStream(benchmark::State &state)
+{
+    const std::size_t threads =
+        static_cast<std::size_t>(state.range(0));
+    const Index s = 24, w = 4;
+    Dense<Scalar> a = randomIntDense(s, s, 1);
+    Dense<Scalar> bm = randomIntDense(s, s, 2);
+    Vec<Scalar> x = randomIntVec(s, 3), b = randomIntVec(s, 4);
+    Dense<Scalar> e = randomIntDense(s, s, 5);
+
+    Server::Options opts;
+    opts.threads = threads;
+    Server server(opts);
+    std::vector<std::pair<std::string, ProblemKind>> kinds;
+    for (const std::string &name : engineNames())
+        kinds.emplace_back(name, requireEngine(name)->kind());
+
+    std::size_t served = 0;
+    for (auto _ : state) {
+        std::vector<std::future<ServeResponse>> futures;
+        for (const auto &[name, kind] : kinds) {
+            ServeRequest req;
+            req.engine = name;
+            req.plan = kind == ProblemKind::MatVec
+                ? EnginePlan::matVec(a, x, b, w)
+                : EnginePlan::matMul(a, bm, e, w);
+            futures.push_back(server.submit(std::move(req)));
+        }
+        for (auto &f : futures)
+            served += f.get().ok ? 1 : 0;
+    }
+    state.counters["req/s"] = benchmark::Counter(
+        static_cast<double>(served), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServerMixedStream)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace sap
+
+SAP_BENCH_MAIN(sap::print)

@@ -12,7 +12,12 @@
 
 include(FetchContent)
 
-find_package(GTest QUIET)
+# Under ThreadSanitizer every linked object must be instrumented, so
+# skip any pre-built system GTest and compile it from source with
+# the global -fsanitize=thread flags.
+if(NOT SAP_TSAN)
+    find_package(GTest QUIET)
+endif()
 
 if(GTest_FOUND)
     message(STATUS "GoogleTest: using installed package")

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Serving demo: a bursty multi-client workload across all five
+ * registered topologies through the serve/ layer.
+ *
+ * Several client threads fire bursts of requests at one Server.
+ * Within a burst a client reuses its own matrix (the realistic
+ * serving pattern: a client's model/filter matrix is fixed while
+ * its inputs stream), so after the first request of a burst every
+ * request rides the cached DBT-transformed plan. Between bursts
+ * clients switch matrices, churning the LRU plan cache.
+ *
+ * Every request is cross-checked against the host oracle; the demo
+ * exits nonzero on any mismatch or serving failure. The final
+ * report prints the per-(engine, shape) request counts, cache hit
+ * rates, and latency percentiles from ServerStats.
+ *
+ * Set SAP_EXAMPLE_TINY=1 to shrink the workload (used by the ctest
+ * smoke target).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "engine/registry.hh"
+#include "mat/generate.hh"
+#include "serve/server.hh"
+
+using namespace sap;
+
+int
+main()
+{
+    const bool tiny = std::getenv("SAP_EXAMPLE_TINY") != nullptr;
+
+    const int kClients = tiny ? 2 : 4;
+    const int kBursts = tiny ? 2 : 4;
+    // Long enough that each of the five topologies recurs within a
+    // burst — the repeats are what the plan cache amortizes.
+    const int kRequestsPerBurst = tiny ? 10 : 15;
+    const Index s = tiny ? 8 : 16; // problem size (s×s matrices)
+    const Index w = 4;             // array size
+
+    Server::Options opts;
+    opts.threads = 4;
+    opts.planCacheCapacity = 16;
+    opts.crossCheckAll = true; // golden-model check on every request
+    Server server(opts);
+
+    // Engine name -> problem kind, resolved once; requests only
+    // need the kind to pick their operand shape.
+    std::vector<std::pair<std::string, ProblemKind>> engines;
+    for (const std::string &name : engineNames())
+        engines.emplace_back(name, makeEngine(name)->kind());
+    std::printf("serving %d clients × %d bursts × %d requests over "
+                "%zu topologies (%lldx%lld, w=%lld)\n",
+                kClients, kBursts, kRequestsPerBurst,
+                engines.size(), (long long)s, (long long)s,
+                (long long)w);
+
+    std::vector<std::thread> clients;
+    std::vector<int> client_failures(kClients, 0);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (int burst = 0; burst < kBursts; ++burst) {
+                // One matrix (pair) per burst: request 1 builds the
+                // plan, the rest hit the cache.
+                std::uint64_t mat_seed =
+                    1 + 100 * static_cast<std::uint64_t>(c) + burst;
+                Dense<Scalar> a = randomIntDense(s, s, mat_seed);
+                Dense<Scalar> bm = randomIntDense(s, s, mat_seed + 50);
+
+                std::vector<std::future<ServeResponse>> burst_futures;
+                for (int i = 0; i < kRequestsPerBurst; ++i) {
+                    // Round-robin over the topologies: a mixed
+                    // stream, not one queue per engine.
+                    const auto &[name, kind] =
+                        engines[(burst + i) % engines.size()];
+                    std::uint64_t seed = 1000 + 10 * i + c;
+                    ServeRequest req;
+                    req.engine = name;
+                    req.plan =
+                        kind == ProblemKind::MatVec
+                            ? EnginePlan::matVec(
+                                  a, randomIntVec(s, seed),
+                                  randomIntVec(s, seed + 1), w)
+                            : EnginePlan::matMul(
+                                  a, bm,
+                                  randomIntDense(s, s, seed + 2), w);
+                    burst_futures.push_back(
+                        server.submit(std::move(req)));
+                }
+                for (auto &f : burst_futures) {
+                    ServeResponse resp = f.get();
+                    if (!resp.ok || !resp.crossCheckOk)
+                        ++client_failures[c];
+                }
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+
+    int failures = 0;
+    for (int c = 0; c < kClients; ++c)
+        failures += client_failures[c];
+
+    ServerStats stats = server.stats();
+    std::printf("\nper-(engine, shape) serving stats:\n");
+    std::printf("%-24s %8s %8s %10s %10s %10s\n", "group", "reqs",
+                "hits", "p50(us)", "p99(us)", "cycles");
+    for (const GroupStats &g : stats.groups)
+        std::printf("%-24s %8llu %8llu %10.1f %10.1f %10lld\n",
+                    g.key.label().c_str(),
+                    (unsigned long long)g.requests,
+                    (unsigned long long)g.cacheHits, g.latency.p50,
+                    g.latency.p99, (long long)g.simCycles);
+
+    std::printf("\ntotal: %llu requests, %llu failures, %llu "
+                "cross-check failures\n",
+                (unsigned long long)stats.requests,
+                (unsigned long long)stats.failures,
+                (unsigned long long)stats.crossCheckFailures);
+    std::printf("plan cache: %llu hits / %llu misses (%.0f%% hit "
+                "rate), %llu evictions\n",
+                (unsigned long long)stats.planCache.hits,
+                (unsigned long long)stats.planCache.misses,
+                stats.planCache.hitRate() * 100.0,
+                (unsigned long long)stats.planCache.evictions);
+    std::printf("latency: p50 %.1fus p99 %.1fus max %.1fus\n",
+                stats.latency.p50, stats.latency.p99,
+                stats.latency.max);
+
+    bool ok = failures == 0 && stats.failures == 0 &&
+              stats.crossCheckFailures == 0 &&
+              stats.planCache.hits > 0;
+    std::printf("%s\n", ok ? "all requests served and verified"
+                           : "FAILURES detected");
+    return ok ? 0 : 1;
+}

@@ -1,6 +1,6 @@
 #include "dbt/matmul_plan.hh"
 
-#include <unordered_map>
+#include <algorithm>
 
 #include "base/logging.hh"
 #include "mat/triangular.hh"
@@ -54,38 +54,67 @@ oScalarCoords(Index k, BandPart part, Index il, Index jl, Index w)
 
 } // namespace
 
+std::size_t
+MatMulPlan::bandIdx(Index i, Index j) const
+{
+    const Index w = dims().w;
+    SAP_ASSERT(j - i > -w && j - i < w, "position (", i, ",", j,
+               ") outside the width-", 2 * w - 1, " band");
+    return static_cast<std::size_t>(i * (2 * w - 1) + (j - i) + w - 1);
+}
+
 MatMulPlan::MatMulPlan(const Dense<Scalar> &a, const Dense<Scalar> &b,
                        Index w)
     : transform_(a, b, w), composer_(transform_.dims())
 {
     SAP_ASSERT(transform_.validate(), "mat-mul transform is malformed");
     SAP_ASSERT(composer_.validate(), "I/O composition is inconsistent");
-}
 
-MatMulExecResult
-MatMulPlan::runBlockLevel(const Dense<Scalar> &e) const
-{
-    return execTransformedMatMul(transform_, e);
-}
-
-MatMulPlanResult
-MatMulPlan::run(const Dense<Scalar> &e) const
-{
+    // Precompute the scalar routing tables so that run() is pure
+    // streaming. Both tables are keyed by bandIdx() over the 2w−1
+    // wide I/O band of the order-N transformed problem.
     const MatMulDims &d = dims();
-    const Index w = d.w;
     const Index N = d.order();
-    SAP_ASSERT(e.rows() == d.n && e.cols() == d.m,
-               "E must be n×m = ", d.n, "x", d.m);
-    Dense<Scalar> e_pad = e.paddedTo(d.nbar * w, d.mbar * w);
+    const std::size_t slots = static_cast<std::size_t>(N * (2 * w - 1));
 
-    auto feedback = std::make_shared<SpiralFeedback>(w);
-
-    // Captured O values, keyed by scalar band position.
-    auto key_of = [N](Index i, Index j) { return i * N + j; };
-    std::unordered_map<Index, std::pair<Scalar, Cycle>> captured;
+    // Input routing: where the I-band value of position (i, j)
+    // comes from (zero, an E element, or a fed-back O value).
+    routes_.assign(slots, InputRoute{});
+    for (Index i = 0; i < N; ++i) {
+        for (Index j = std::max(Index{0}, i - w + 1);
+             j <= std::min(N - 1, i + w - 1); ++j) {
+            PartPos pos = classify(i, j, w);
+            IoSource src = composer_.inputSource(pos.k, pos.part);
+            InputRoute &rt = routes_[bandIdx(i, j)];
+            switch (src.kind) {
+              case IoSource::Kind::Zero:
+                rt.kind = InputRoute::Kind::Zero;
+                break;
+              case IoSource::Kind::FromE:
+                rt.kind = InputRoute::Kind::FromE;
+                rt.r = src.eRow * w + pos.il;
+                rt.c = src.eCol * w + pos.jl;
+                break;
+              case IoSource::Kind::FromO: {
+                auto [oi, oj] = oScalarCoords(src.oRow, src.oPart,
+                                              pos.il, pos.jl, w);
+                rt.kind = InputRoute::Kind::FromO;
+                rt.irregular = src.irregular;
+                rt.r = oi;
+                rt.c = oj;
+                // Feedback sources must themselves be O-band
+                // positions (checked here so run() can index
+                // directly).
+                bandIdx(oi, oj);
+                break;
+              }
+            }
+        }
+    }
 
     // Extraction routing: O scalar position -> padded C position.
-    std::unordered_map<Index, std::pair<Index, Index>> extract_map;
+    extract_row_.assign(slots, -1);
+    extract_col_.assign(slots, -1);
     for (Index bi = 0; bi < d.nbar; ++bi) {
         for (Index bj = 0; bj < d.mbar; ++bj) {
             for (BandPart part : {BandPart::UDiag, BandPart::Diag,
@@ -104,13 +133,44 @@ MatMulPlan::run(const Dense<Scalar> &e) const
                         auto [oi, oj] = oScalarCoords(src.oRow,
                                                       src.oPart, il,
                                                       jl, w);
-                        extract_map[key_of(oi, oj)] = {bi * w + il,
-                                                       bj * w + jl};
+                        std::size_t slot = bandIdx(oi, oj);
+                        extract_row_[slot] = bi * w + il;
+                        extract_col_[slot] = bj * w + jl;
                     }
                 }
             }
         }
     }
+
+    sched_ = HexIoSchedule::build(transform_.abar(),
+                                  transform_.bbar());
+}
+
+MatMulExecResult
+MatMulPlan::runBlockLevel(const Dense<Scalar> &e) const
+{
+    return execTransformedMatMul(transform_, e);
+}
+
+MatMulPlanResult
+MatMulPlan::run(const Dense<Scalar> &e) const
+{
+    const MatMulDims &d = dims();
+    const Index w = d.w;
+    SAP_ASSERT(e.rows() == d.n && e.cols() == d.m,
+               "E must be n×m = ", d.n, "x", d.m);
+    Dense<Scalar> e_pad = e.paddedTo(d.nbar * w, d.mbar * w);
+
+    auto feedback = std::make_shared<SpiralFeedback>(w);
+
+    // Captured O values, keyed by bandIdx of the scalar position.
+    struct Captured
+    {
+        Scalar value = 0;
+        Cycle exit = 0;
+        bool valid = false;
+    };
+    std::vector<Captured> captured(routes_.size());
 
     Dense<Scalar> c_pad(d.nbar * w, d.mbar * w);
 
@@ -118,36 +178,33 @@ MatMulPlan::run(const Dense<Scalar> &e) const
     spec.abar = &transform_.abar();
     spec.bbar = &transform_.bbar();
     spec.inputValue = [&](Index i, Index j) -> Scalar {
-        PartPos pos = classify(i, j, w);
-        IoSource src = composer_.inputSource(pos.k, pos.part);
-        switch (src.kind) {
-          case IoSource::Kind::Zero:
+        const InputRoute &rt = routes_[bandIdx(i, j)];
+        switch (rt.kind) {
+          case InputRoute::Kind::Zero:
             return 0;
-          case IoSource::Kind::FromE:
-            return e_pad(src.eRow * w + pos.il, src.eCol * w + pos.jl);
-          case IoSource::Kind::FromO: {
-            auto [oi, oj] = oScalarCoords(src.oRow, src.oPart, pos.il,
-                                          pos.jl, w);
-            auto it = captured.find(key_of(oi, oj));
-            SAP_ASSERT(it != captured.end(), "feedback for (", i, ",",
-                       j, ") consumed before (", oi, ",", oj,
+          case InputRoute::Kind::FromE:
+            return e_pad(rt.r, rt.c);
+          case InputRoute::Kind::FromO: {
+            const Captured &cap = captured[bandIdx(rt.r, rt.c)];
+            SAP_ASSERT(cap.valid, "feedback for (", i, ",", j,
+                       ") consumed before (", rt.r, ",", rt.c,
                        ") was produced");
             Cycle enter = i + j + std::max(i, j) + w - 1;
-            feedback->recordTransfer(oj - oi, j - i, it->second.second,
-                                     enter, src.irregular);
-            return it->second.first;
+            feedback->recordTransfer(rt.c - rt.r, j - i, cap.exit,
+                                     enter, rt.irregular);
+            return cap.value;
           }
         }
         SAP_PANIC("unreachable");
     };
     spec.onOutput = [&](Index i, Index j, Scalar v, Cycle exit_cycle) {
-        captured[key_of(i, j)] = {v, exit_cycle};
-        auto it = extract_map.find(key_of(i, j));
-        if (it != extract_map.end())
-            c_pad(it->second.first, it->second.second) = v;
+        std::size_t slot = bandIdx(i, j);
+        captured[slot] = {v, exit_cycle, true};
+        if (extract_row_[slot] >= 0)
+            c_pad(extract_row_[slot], extract_col_[slot]) = v;
     };
 
-    HexRunResult hex = runHexBandMatMul(spec);
+    HexRunResult hex = runHexBandMatMul(sched_, spec);
     SAP_ASSERT(feedback->topologyRespected(),
                "a feedback transfer left its spiral loop");
 

@@ -9,7 +9,9 @@
 #ifndef SAP_DBT_MATMUL_PLAN_HH
 #define SAP_DBT_MATMUL_PLAN_HH
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "dbt/matmul_exec.hh"
 #include "dbt/matmul_io.hh"
@@ -34,6 +36,15 @@ struct MatMulPlanResult
 
 /**
  * Reusable execution plan for one (A, B) pair on one array size.
+ *
+ * Construction does *all* plan work: the DBT transform, the Appendix
+ * I/O composition, and the scalar-level routing tables (where every
+ * I-band input comes from, where every O-band output goes). run(e)
+ * only streams data through the array, so a plan cached by the
+ * serving layer amortizes the full dense→band build across requests.
+ *
+ * Thread-compatibility: const member functions are safe to call
+ * concurrently (each run owns its transient state).
  */
 class MatMulPlan
 {
@@ -66,8 +77,29 @@ class MatMulPlan
     MatMulExecResult runBlockLevel(const Dense<Scalar> &e) const;
 
   private:
+    /** Precomputed source of one in-band I position. */
+    struct InputRoute
+    {
+        enum class Kind : std::uint8_t { Zero, FromE, FromO };
+        Kind kind = Kind::Zero;
+        bool irregular = false; ///< FromO: irregular spiral transfer
+        Index r = 0;            ///< FromE: padded E row; FromO: O row
+        Index c = 0;            ///< FromE: padded E col; FromO: O col
+    };
+
+    /** Flat index of in-band position (i, j), |i−j| <= w−1. */
+    std::size_t bandIdx(Index i, Index j) const;
+
     MatMulTransform transform_;
     IoComposer composer_;
+
+    // Scalar routing tables keyed by bandIdx(): built once at
+    // construction, read-only during run().
+    std::vector<InputRoute> routes_;
+    std::vector<Index> extract_row_; ///< padded C row, −1 = discard
+    std::vector<Index> extract_col_;
+    /** Per-cycle I/O event schedule (depends only on the bands). */
+    HexIoSchedule sched_;
 };
 
 } // namespace sap

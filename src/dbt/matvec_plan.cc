@@ -10,6 +10,15 @@ MatVecPlan::MatVecPlan(const Dense<Scalar> &a, Index w)
 {
     SAP_ASSERT(transform_.validate(/*check_filled=*/false),
                "DBT structural conditions violated");
+    asched_ = LinearASchedule::build(transform_.abar());
+
+    const Index rows = dims().barRows();
+    b_external_.assign(static_cast<std::size_t>(rows), 0);
+    y_final_.assign(static_cast<std::size_t>(rows), 0);
+    for (Index i = 0; i < rows; ++i) {
+        b_external_[i] = transform_.scalarIsExternalB(i) ? 1 : 0;
+        y_final_[i] = transform_.scalarIsFinalY(i) ? 1 : 0;
+    }
 }
 
 BandMatVecSpec
@@ -18,14 +27,13 @@ MatVecPlan::makeSpec(const Vec<Scalar> &x, const Vec<Scalar> &b) const
     const MatVecDims &d = dims();
     BandMatVecSpec spec;
     spec.abar = &transform_.abar();
+    spec.aSchedule = &asched_;
     spec.xbar = transform_.transformX(x);
-    spec.bIsExternal.assign(static_cast<std::size_t>(d.barRows()), 0);
-    spec.yIsFinal.assign(static_cast<std::size_t>(d.barRows()), 0);
+    spec.bIsExternal = b_external_;
+    spec.yIsFinal = y_final_;
     spec.externalB = Vec<Scalar>(d.barRows());
     for (Index i = 0; i < d.barRows(); ++i) {
-        spec.bIsExternal[i] = transform_.scalarIsExternalB(i) ? 1 : 0;
-        spec.yIsFinal[i] = transform_.scalarIsFinalY(i) ? 1 : 0;
-        if (spec.bIsExternal[i])
+        if (b_external_[i])
             spec.externalB[i] = transform_.externalB(b, i);
     }
     return spec;

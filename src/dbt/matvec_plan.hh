@@ -95,6 +95,13 @@ class MatVecPlan
 
   private:
     MatVecTransform transform_;
+    /** Coefficient firing schedule (depends only on the band):
+     *  built once here so every run streams it. */
+    LinearASchedule asched_;
+    /** Input-independent b̄/ȳ schedules, hoisted out of makeSpec()
+     *  so each run copies instead of re-deriving them. */
+    std::vector<std::uint8_t> b_external_;
+    std::vector<std::uint8_t> y_final_;
 };
 
 /**

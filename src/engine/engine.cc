@@ -73,6 +73,152 @@ EnginePlan::validate() const
     }
 }
 
+EngineInputs
+EngineInputs::matVec(Vec<Scalar> x, Vec<Scalar> b)
+{
+    EngineInputs in;
+    in.x = std::move(x);
+    in.b = std::move(b);
+    return in;
+}
+
+EngineInputs
+EngineInputs::matMul(Dense<Scalar> e)
+{
+    EngineInputs in;
+    in.e = std::move(e);
+    return in;
+}
+
+EngineInputs
+EngineInputs::of(const EnginePlan &plan)
+{
+    EngineInputs in;
+    if (plan.kind == ProblemKind::MatVec) {
+        in.x = plan.x;
+        in.b = plan.b;
+    } else {
+        in.e = plan.e;
+    }
+    in.recordTrace = plan.recordTrace;
+    return in;
+}
+
+PreparedPlan::PreparedPlan(const EnginePlan &plan)
+    : kind_(plan.kind), w_(plan.w), rows_(plan.a.rows()),
+      cols_(plan.a.cols()),
+      out_cols_(plan.kind == ProblemKind::MatMul ? plan.bmat.cols() : 0)
+{
+}
+
+void
+PreparedPlan::validateInputs(const EngineInputs &in) const
+{
+    if (kind_ == ProblemKind::MatVec) {
+        SAP_ASSERT(in.x.size() == cols_, "x length ", in.x.size(),
+                   " != bound A cols ", cols_);
+        SAP_ASSERT(in.b.size() == rows_, "b length ", in.b.size(),
+                   " != bound A rows ", rows_);
+    } else {
+        SAP_ASSERT(in.e.rows() == rows_ && in.e.cols() == out_cols_,
+                   "E shape ", in.e.rows(), "x", in.e.cols(),
+                   " != bound C shape ", rows_, "x", out_cols_);
+    }
+}
+
+namespace {
+
+/**
+ * Fallback prepared representation: the whole EnginePlan, so that
+ * engines which only implement run() still speak the prepared
+ * protocol (they re-transform per request, but behave identically).
+ */
+class GenericPrepared : public PreparedPlan
+{
+  public:
+    explicit GenericPrepared(const EnginePlan &p)
+        : PreparedPlan(p), plan(p)
+    {
+    }
+
+    EnginePlan plan;
+};
+
+/** The linear family's prepared artifact: the DBT mat-vec plan. */
+class MatVecPrepared : public PreparedPlan
+{
+  public:
+    explicit MatVecPrepared(const EnginePlan &p)
+        : PreparedPlan(p), plan(p.a, p.w)
+    {
+    }
+
+    MatVecPlan plan;
+};
+
+/** The hex family's prepared artifact: the DBT mat-mul plan. */
+class MatMulPrepared : public PreparedPlan
+{
+  public:
+    explicit MatMulPrepared(const EnginePlan &p)
+        : PreparedPlan(p), plan(p.a, p.bmat, p.w)
+    {
+    }
+
+    MatMulPlan plan;
+};
+
+/** Checked downcast of a prepared plan to an engine's own type. */
+template <typename T>
+const T &
+preparedAs(const PreparedPlan &prepared, const char *engine)
+{
+    const T *p = dynamic_cast<const T *>(&prepared);
+    SAP_ASSERT(p != nullptr, engine,
+               " engine got a foreign prepared plan");
+    return *p;
+}
+
+} // namespace
+
+std::shared_ptr<const PreparedPlan>
+SystolicEngine::prepare(const EnginePlan &plan) const
+{
+    SAP_ASSERT(plan.kind == kind(), name(), " engine needs a ",
+               problemKindName(kind()), " plan");
+    return std::make_shared<GenericPrepared>(plan);
+}
+
+EngineRunResult
+SystolicEngine::runPrepared(const PreparedPlan &prepared,
+                            const EngineInputs &in) const
+{
+    const GenericPrepared &g =
+        preparedAs<GenericPrepared>(prepared, name().c_str());
+    prepared.validateInputs(in);
+    EnginePlan request = g.plan;
+    if (request.kind == ProblemKind::MatVec) {
+        request.x = in.x;
+        request.b = in.b;
+    } else {
+        request.e = in.e;
+    }
+    request.recordTrace = in.recordTrace;
+    return run(request);
+}
+
+std::vector<EngineRunResult>
+SystolicEngine::runMany(const EnginePlan &plan,
+                        const std::vector<EngineInputs> &inputs) const
+{
+    std::shared_ptr<const PreparedPlan> prepared = prepare(plan);
+    std::vector<EngineRunResult> out;
+    out.reserve(inputs.size());
+    for (const EngineInputs &in : inputs)
+        out.push_back(runPrepared(*prepared, in));
+    return out;
+}
+
 namespace {
 
 /** y = A·x + b on the plain contraflow array. */
@@ -87,13 +233,22 @@ class LinearEngine : public SystolicEngine
         return "contraflow linear array with w-register feedback";
     }
 
-    EngineRunResult
-    run(const EnginePlan &plan) const override
+    std::shared_ptr<const PreparedPlan>
+    prepare(const EnginePlan &plan) const override
     {
         SAP_ASSERT(plan.kind == kind(), "linear engine needs a "
                    "matvec plan");
-        MatVecPlan mv(plan.a, plan.w);
-        MatVecPlanResult r = mv.run(plan.x, plan.b, plan.recordTrace);
+        return std::make_shared<MatVecPrepared>(plan);
+    }
+
+    EngineRunResult
+    runPrepared(const PreparedPlan &prepared,
+                const EngineInputs &in) const override
+    {
+        const MatVecPrepared &p =
+            preparedAs<MatVecPrepared>(prepared, "linear");
+        prepared.validateInputs(in);
+        MatVecPlanResult r = p.plan.run(in.x, in.b, in.recordTrace);
 
         EngineRunResult out;
         out.y = std::move(r.y);
@@ -103,6 +258,12 @@ class LinearEngine : public SystolicEngine
         out.feedbackDelay = r.observedFeedbackDelay;
         out.feedbackRegisters = r.feedbackRegisters;
         return out;
+    }
+
+    EngineRunResult
+    run(const EnginePlan &plan) const override
+    {
+        return runPrepared(*prepare(plan), EngineInputs::of(plan));
     }
 };
 
@@ -118,16 +279,25 @@ class GroupedEngine : public SystolicEngine
         return "linear array with 2:1 PE grouping";
     }
 
-    EngineRunResult
-    run(const EnginePlan &plan) const override
+    std::shared_ptr<const PreparedPlan>
+    prepare(const EnginePlan &plan) const override
     {
         SAP_ASSERT(plan.kind == kind(), "grouped engine needs a "
                    "matvec plan");
-        MatVecPlan mv(plan.a, plan.w);
-        GroupedRunResult r = mv.runGroupedPlan(plan.x, plan.b);
+        return std::make_shared<MatVecPrepared>(plan);
+    }
+
+    EngineRunResult
+    runPrepared(const PreparedPlan &prepared,
+                const EngineInputs &in) const override
+    {
+        const MatVecPrepared &p =
+            preparedAs<MatVecPrepared>(prepared, "grouped");
+        prepared.validateInputs(in);
+        GroupedRunResult r = p.plan.runGroupedPlan(in.x, in.b);
 
         EngineRunResult out;
-        out.y = mv.transform().extractY(r.logical.ybar);
+        out.y = p.plan.transform().extractY(r.logical.ybar);
         out.stats = r.grouped;
         out.totalCycles = r.grouped.cycles;
         out.trace = std::move(r.logical.trace);
@@ -135,6 +305,12 @@ class GroupedEngine : public SystolicEngine
         out.feedbackRegisters = r.logical.feedbackRegisters;
         out.conflictFree = r.conflictFree;
         return out;
+    }
+
+    EngineRunResult
+    run(const EnginePlan &plan) const override
+    {
+        return runPrepared(*prepare(plan), EngineInputs::of(plan));
     }
 };
 
@@ -151,13 +327,22 @@ class OverlappedEngine : public SystolicEngine
                "alternate cycles";
     }
 
-    EngineRunResult
-    run(const EnginePlan &plan) const override
+    std::shared_ptr<const PreparedPlan>
+    prepare(const EnginePlan &plan) const override
     {
         SAP_ASSERT(plan.kind == kind(), "overlapped engine needs a "
                    "matvec plan");
-        MatVecPlan mv(plan.a, plan.w);
-        MatVecPlanResult r = mv.runOverlapped(plan.x, plan.b);
+        return std::make_shared<MatVecPrepared>(plan);
+    }
+
+    EngineRunResult
+    runPrepared(const PreparedPlan &prepared,
+                const EngineInputs &in) const override
+    {
+        const MatVecPrepared &p =
+            preparedAs<MatVecPrepared>(prepared, "overlapped");
+        prepared.validateInputs(in);
+        MatVecPlanResult r = p.plan.runOverlapped(in.x, in.b);
 
         EngineRunResult out;
         out.y = std::move(r.y);
@@ -166,6 +351,12 @@ class OverlappedEngine : public SystolicEngine
         out.feedbackDelay = r.observedFeedbackDelay;
         out.feedbackRegisters = r.feedbackRegisters;
         return out;
+    }
+
+    EngineRunResult
+    run(const EnginePlan &plan) const override
+    {
+        return runPrepared(*prepare(plan), EngineInputs::of(plan));
     }
 };
 
@@ -189,13 +380,22 @@ class HexEngine : public SystolicEngine
             : "hexagonal array with spiral feedback";
     }
 
-    EngineRunResult
-    run(const EnginePlan &plan) const override
+    std::shared_ptr<const PreparedPlan>
+    prepare(const EnginePlan &plan) const override
     {
         SAP_ASSERT(plan.kind == kind(), name(), " engine needs a "
                    "matmul plan");
-        MatMulPlan mm(plan.a, plan.bmat, plan.w);
-        MatMulPlanResult r = mm.run(plan.e);
+        return std::make_shared<MatMulPrepared>(plan);
+    }
+
+    EngineRunResult
+    runPrepared(const PreparedPlan &prepared,
+                const EngineInputs &in) const override
+    {
+        const MatMulPrepared &p =
+            preparedAs<MatMulPrepared>(prepared, name().c_str());
+        prepared.validateInputs(in);
+        MatMulPlanResult r = p.plan.run(in.e);
 
         EngineRunResult out;
         out.c = std::move(r.c);
@@ -208,6 +408,12 @@ class HexEngine : public SystolicEngine
             SAP_ASSERT(out.topologyRespected,
                        "spiral feedback topology violated");
         return out;
+    }
+
+    EngineRunResult
+    run(const EnginePlan &plan) const override
+    {
+        return runPrepared(*prepare(plan), EngineInputs::of(plan));
     }
 
   private:

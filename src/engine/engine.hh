@@ -22,6 +22,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/metrics.hh"
 #include "base/types.hh"
@@ -120,10 +121,81 @@ struct EngineRunResult
 };
 
 /**
+ * The per-request operands streamed through a prepared plan: the
+ * data that varies between requests against the same matrix.
+ *
+ * Exactly one operand set is meaningful, selected by the kind of the
+ * prepared plan the inputs are run against: (x, b) for MatVec, e for
+ * MatMul (the matmul plan binds both A and B; the additive E is the
+ * streamable operand).
+ */
+struct EngineInputs
+{
+    Vec<Scalar> x;    ///< MatVec input vector
+    Vec<Scalar> b;    ///< MatVec additive vector
+    Dense<Scalar> e;  ///< MatMul additive matrix
+    /** Record port events (engines that support tracing only). */
+    bool recordTrace = false;
+
+    /** Inputs for one y = A·x + b request. */
+    static EngineInputs matVec(Vec<Scalar> x, Vec<Scalar> b);
+
+    /** Inputs for one C = A·B + E request. */
+    static EngineInputs matMul(Dense<Scalar> e);
+
+    /** The streamable operands of a full plan (copies them out). */
+    static EngineInputs of(const EnginePlan &plan);
+};
+
+/**
+ * An engine's reusable, matrix-bound artifact: the DBT-transformed
+ * plan, detached from the per-request operands.
+ *
+ * Produced by SystolicEngine::prepare() and consumed by
+ * runPrepared(); the serving layer caches these by matrix
+ * fingerprint (serve/plan_cache.hh) so repeated requests against the
+ * same matrix skip the dense→band rebuild entirely.
+ *
+ * Prepared plans are immutable after construction and safe to share
+ * across threads.
+ */
+class PreparedPlan
+{
+  public:
+    virtual ~PreparedPlan() = default;
+
+    /** Which problem kind the plan was built for. */
+    ProblemKind kind() const { return kind_; }
+    /** Array size the plan was built for. */
+    Index w() const { return w_; }
+    /** Rows of the bound matrix A. */
+    Index rows() const { return rows_; }
+    /** Cols of the bound matrix A. */
+    Index cols() const { return cols_; }
+    /** MatMul: cols of the bound matrix B (0 for MatVec). */
+    Index outCols() const { return out_cols_; }
+
+    /** Shape-check @p in against the bound matrix (asserts). */
+    void validateInputs(const EngineInputs &in) const;
+
+  protected:
+    /** Capture the shape contract of @p plan. */
+    explicit PreparedPlan(const EnginePlan &plan);
+
+  private:
+    ProblemKind kind_;
+    Index w_;
+    Index rows_;
+    Index cols_;
+    Index out_cols_;
+};
+
+/**
  * Interface every topology implements.
  *
- * Engines are stateless: run() may be called concurrently from
- * multiple threads, each call builds its own simulator.
+ * Engines are stateless: run(), prepare(), and runPrepared() may be
+ * called concurrently from multiple threads, each call builds its
+ * own simulator.
  */
 class SystolicEngine
 {
@@ -146,6 +218,44 @@ class SystolicEngine
      * @pre plan.kind == kind() (asserted).
      */
     virtual EngineRunResult run(const EnginePlan &plan) const = 0;
+
+    /**
+     * Build the reusable matrix-bound artifact for @p plan: the DBT
+     * transform plus all routing, without executing anything. The
+     * built-in topologies override this to return their transformed
+     * plan; the default wraps the EnginePlan itself so that any
+     * engine (including externally registered ones that only
+     * implement run()) supports the prepared-execution protocol.
+     *
+     * @pre plan.kind == kind() (asserted).
+     */
+    virtual std::shared_ptr<const PreparedPlan>
+    prepare(const EnginePlan &plan) const;
+
+    /**
+     * Execute one request through a previously prepared plan.
+     *
+     * @pre @p prepared came from this engine's prepare() (or, for
+     *      the linear family, any engine sharing its prepared
+     *      representation); asserted via a checked downcast.
+     * @pre @p in matches the prepared plan's shape contract.
+     */
+    virtual EngineRunResult
+    runPrepared(const PreparedPlan &prepared,
+                const EngineInputs &in) const;
+
+    /**
+     * Batched execution: prepare @p plan once and stream every
+     * element of @p inputs through it. The plan's own operand
+     * fields (x/b/e) are ignored; only its matrix and options bind.
+     *
+     * This is the amortization primitive the serving layer is built
+     * on: for R requests against one matrix it performs one
+     * dense→band transform instead of R.
+     */
+    std::vector<EngineRunResult>
+    runMany(const EnginePlan &plan,
+            const std::vector<EngineInputs> &inputs) const;
 };
 
 } // namespace sap

@@ -1,0 +1,109 @@
+#include "serve/batch.hh"
+
+#include "base/logging.hh"
+#include "mat/ops.hh"
+
+namespace sap {
+
+namespace {
+
+/** True when @p r matches the host oracle for (@p plan, @p in). */
+bool
+crossCheckOne(const EnginePlan &plan, const EngineInputs &in,
+              const EngineRunResult &r)
+{
+    if (plan.kind == ProblemKind::MatVec) {
+        Vec<Scalar> gold = matVec(plan.a, in.x, in.b);
+        return r.y.size() == gold.size() &&
+               maxAbsDiff(r.y, gold) == 0.0;
+    }
+    Dense<Scalar> gold = matMulAdd(plan.a, plan.bmat, in.e);
+    return r.c == gold;
+}
+
+} // namespace
+
+BatchResult
+runMany(const SystolicEngine &engine, const EnginePlan &plan,
+        const std::vector<EngineInputs> &inputs,
+        const BatchOptions &opts)
+{
+    BatchResult out;
+    if (inputs.empty())
+        return out;
+
+    std::shared_ptr<const PreparedPlan> prepared;
+    if (opts.cache) {
+        PlanCache::Prepared cached = opts.cache->prepare(engine, plan);
+        prepared = cached.plan;
+        if (cached.hit)
+            ++out.cacheHits;
+        else
+            ++out.planBuilds;
+    } else {
+        prepared = engine.prepare(plan);
+        ++out.planBuilds;
+    }
+
+    out.results.reserve(inputs.size());
+    for (const EngineInputs &in : inputs) {
+        out.results.push_back(engine.runPrepared(*prepared, in));
+        if (opts.crossCheck &&
+            !crossCheckOne(plan, in, out.results.back()))
+            ++out.crossCheckFailures;
+    }
+    return out;
+}
+
+BatchResult
+runManyMatVec(const SystolicEngine &engine, const Dense<Scalar> &a,
+              Index w, const std::vector<EngineInputs> &inputs,
+              const BatchOptions &opts)
+{
+    SAP_ASSERT(engine.kind() == ProblemKind::MatVec,
+               engine.name(), " engine cannot serve a matvec batch");
+    // Zero operand placeholders: runMany() binds only the matrix.
+    EnginePlan plan = EnginePlan::matVec(a, Vec<Scalar>(a.cols()),
+                                         Vec<Scalar>(a.rows()), w);
+    return runMany(engine, plan, inputs, opts);
+}
+
+BatchResult
+runManyMatMul(const SystolicEngine &engine, const Dense<Scalar> &a,
+              Index w, const std::vector<MatMulItem> &items,
+              const BatchOptions &opts)
+{
+    SAP_ASSERT(engine.kind() == ProblemKind::MatMul,
+               engine.name(), " engine cannot serve a matmul batch");
+    BatchResult out;
+    if (items.empty())
+        return out;
+
+    // Without a shared cache, amortize repeated B's within this
+    // call through a local one.
+    PlanCache local(items.size());
+    PlanCache *cache = opts.cache ? opts.cache : &local;
+
+    out.results.reserve(items.size());
+    for (const MatMulItem &item : items) {
+        SAP_ASSERT(item.bmat.rows() == a.cols(),
+                   "B rows ", item.bmat.rows(), " != A cols ",
+                   a.cols());
+        EnginePlan plan = EnginePlan::matMul(a, item.bmat, item.e, w);
+        PlanCache::Prepared cached = cache->prepare(engine, plan);
+        if (cached.hit)
+            ++out.cacheHits;
+        else
+            ++out.planBuilds;
+        out.results.push_back(
+            engine.runPrepared(*cached.plan,
+                               EngineInputs::matMul(item.e)));
+        if (opts.crossCheck &&
+            !crossCheckOne(plan, EngineInputs::matMul(item.e),
+                           out.results.back()))
+            ++out.crossCheckFailures;
+    }
+    return out;
+}
+
+} // namespace sap

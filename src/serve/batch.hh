@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Batched execution: build (or fetch) the transformed plan once,
+ * stream many requests through it.
+ *
+ * This is the software analogue of the hyper-systolic amortization:
+ * the per-matrix setup cost (the DBT dense→band transform) is paid
+ * once per distinct matrix, and every further (x, b) — or (B, E) —
+ * operand set rides the prepared band structure. An optional
+ * golden-model cross-check validates every streamed result against
+ * the host oracle (mat/ops.hh).
+ */
+
+#ifndef SAP_SERVE_BATCH_HH
+#define SAP_SERVE_BATCH_HH
+
+#include <vector>
+
+#include "engine/engine.hh"
+#include "serve/plan_cache.hh"
+
+namespace sap {
+
+/** Options shared by the runMany() entry points. */
+struct BatchOptions
+{
+    /**
+     * Verify every streamed result against the host oracle
+     * (exact comparison; integer workloads are exact in double).
+     * Mismatches are counted, not fatal.
+     */
+    bool crossCheck = false;
+
+    /**
+     * Optional plan cache shared across calls. Without one, each
+     * call builds its plans locally (still amortized within the
+     * call).
+     */
+    PlanCache *cache = nullptr;
+};
+
+/** Result of one batched execution. */
+struct BatchResult
+{
+    /** Per-request results, in request order. */
+    std::vector<EngineRunResult> results;
+    /** Requests whose cross-check mismatched (0 when disabled). */
+    std::size_t crossCheckFailures = 0;
+    /** Plans served from options.cache. */
+    std::size_t cacheHits = 0;
+    /** Plans built (cache misses, or all plans without a cache). */
+    std::size_t planBuilds = 0;
+};
+
+/**
+ * Stream every element of @p inputs through one plan built from
+ * @p plan's bound matrices (its own x/b/e operand fields are
+ * ignored). Works for both problem kinds; for MatMul, the plan
+ * binds (A, B) and each input contributes an E.
+ */
+BatchResult runMany(const SystolicEngine &engine,
+                    const EnginePlan &plan,
+                    const std::vector<EngineInputs> &inputs,
+                    const BatchOptions &opts = {});
+
+/**
+ * y_j = A·x_j + b_j for every input pair, building the plan for
+ * (A, w) once.
+ *
+ * @pre engine.kind() == ProblemKind::MatVec (asserted).
+ */
+BatchResult runManyMatVec(const SystolicEngine &engine,
+                          const Dense<Scalar> &a, Index w,
+                          const std::vector<EngineInputs> &inputs,
+                          const BatchOptions &opts = {});
+
+/** One (B, E) request of a mat-mul stream sharing A. */
+struct MatMulItem
+{
+    Dense<Scalar> bmat; ///< B_j (A.cols × m)
+    Dense<Scalar> e;    ///< E_j (A.rows × m)
+};
+
+/**
+ * C_j = A·B_j + E_j for every item. The hexagonal transform binds
+ * (A, B) together, so each *distinct* B needs its own plan; repeated
+ * B_j within the stream (or across calls, via options.cache) reuse
+ * the cached plan. Items sharing a B therefore amortize exactly
+ * like mat-vec inputs sharing an A.
+ *
+ * @pre engine.kind() == ProblemKind::MatMul (asserted).
+ * @pre All items share B's shape (asserted).
+ */
+BatchResult runManyMatMul(const SystolicEngine &engine,
+                          const Dense<Scalar> &a, Index w,
+                          const std::vector<MatMulItem> &items,
+                          const BatchOptions &opts = {});
+
+} // namespace sap
+
+#endif // SAP_SERVE_BATCH_HH

@@ -1,0 +1,69 @@
+#include "serve/fingerprint.hh"
+
+#include <cstring>
+
+namespace sap {
+
+namespace {
+
+constexpr Digest kFnvOffset = 14695981039346656037ULL;
+constexpr Digest kFnvPrime = 1099511628211ULL;
+
+Digest
+fnv1a(Digest h, const void *data, std::size_t len)
+{
+    const unsigned char *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= bytes[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+Digest
+fnv1aIndex(Digest h, Index v)
+{
+    return fnv1a(h, &v, sizeof(v));
+}
+
+} // namespace
+
+Digest
+fingerprintDense(const Dense<Scalar> &a)
+{
+    Digest h = kFnvOffset;
+    h = fnv1aIndex(h, a.rows());
+    h = fnv1aIndex(h, a.cols());
+    if (!a.data().empty())
+        h = fnv1a(h, a.data().data(),
+                  a.data().size() * sizeof(Scalar));
+    return h;
+}
+
+Digest
+fingerprintVec(const Vec<Scalar> &v)
+{
+    Digest h = kFnvOffset;
+    h = fnv1aIndex(h, v.size());
+    for (Index i = 0; i < v.size(); ++i) {
+        Scalar s = v[i];
+        h = fnv1a(h, &s, sizeof(s));
+    }
+    return h;
+}
+
+Digest
+fingerprintString(const std::string &s)
+{
+    return fnv1a(kFnvOffset, s.data(), s.size());
+}
+
+Digest
+combineDigests(Digest seed, Digest next)
+{
+    // Boost-style order-dependent mix.
+    return seed ^ (next + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                   (seed >> 2));
+}
+
+} // namespace sap

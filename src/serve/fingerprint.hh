@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Matrix identity fingerprints for the serving layer.
+ *
+ * The plan cache (serve/plan_cache.hh) keys transformed plans by the
+ * *content* of the operand matrices, not by object identity, so two
+ * clients submitting the same A hit one cached plan. Digests are
+ * cheap 64-bit FNV-1a hashes over the shape and raw element bytes;
+ * they are an index, not a proof — the cache always confirms a
+ * digest match with an exact element-wise comparison, so a hash
+ * collision costs a probe, never a wrong plan.
+ */
+
+#ifndef SAP_SERVE_FINGERPRINT_HH
+#define SAP_SERVE_FINGERPRINT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/types.hh"
+#include "mat/dense.hh"
+#include "mat/vector.hh"
+
+namespace sap {
+
+/** 64-bit content digest. */
+using Digest = std::uint64_t;
+
+/** FNV-1a over the shape and raw element bytes of @p a. */
+Digest fingerprintDense(const Dense<Scalar> &a);
+
+/** FNV-1a over the length and raw element bytes of @p v. */
+Digest fingerprintVec(const Vec<Scalar> &v);
+
+/** FNV-1a over the bytes of @p s. */
+Digest fingerprintString(const std::string &s);
+
+/** Order-dependent combination of two digests. */
+Digest combineDigests(Digest seed, Digest next);
+
+/**
+ * Injectable dense-matrix hash, so tests can force collisions and
+ * verify that the cache disambiguates distinct matrices.
+ */
+using DenseHashFn = std::function<Digest(const Dense<Scalar> &)>;
+
+} // namespace sap
+
+#endif // SAP_SERVE_FINGERPRINT_HH

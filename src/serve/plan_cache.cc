@@ -1,0 +1,139 @@
+#include "serve/plan_cache.hh"
+
+#include "base/logging.hh"
+
+namespace sap {
+
+PlanCache::PlanCache(std::size_t capacity, DenseHashFn hash)
+    : capacity_(capacity),
+      hash_(hash ? std::move(hash) : DenseHashFn(fingerprintDense))
+{
+    SAP_ASSERT(capacity_ >= 1, "plan cache needs capacity >= 1");
+}
+
+Digest
+PlanCache::digestOf(const std::string &engine_name,
+                    const EnginePlan &plan) const
+{
+    Digest d = fingerprintString(engine_name);
+    d = combineDigests(d, static_cast<Digest>(plan.kind));
+    d = combineDigests(d, static_cast<Digest>(plan.w));
+    d = combineDigests(d, hash_(plan.a));
+    if (plan.kind == ProblemKind::MatMul)
+        d = combineDigests(d, hash_(plan.bmat));
+    return d;
+}
+
+bool
+PlanCache::entryMatches(const Entry &e, const std::string &engine_name,
+                        const EnginePlan &plan) const
+{
+    return e.engine == engine_name && e.kind == plan.kind &&
+           e.w == plan.w && e.a == plan.a &&
+           (plan.kind != ProblemKind::MatMul || e.bmat == plan.bmat);
+}
+
+std::shared_ptr<const PreparedPlan>
+PlanCache::lookupLocked(Digest digest, const std::string &engine_name,
+                        const EnginePlan &plan)
+{
+    auto range = index_.equal_range(digest);
+    bool probed = false;
+    for (auto it = range.first; it != range.second; ++it) {
+        if (entryMatches(*it->second, engine_name, plan)) {
+            // A non-matching probe under the same digest is a hash
+            // collision even when a later entry matches.
+            if (probed)
+                ++stats_.collisions;
+            // Promote to most-recently-used.
+            lru_.splice(lru_.begin(), lru_, it->second);
+            return it->second->plan;
+        }
+        probed = true;
+    }
+    if (probed)
+        ++stats_.collisions;
+    return nullptr;
+}
+
+PlanCache::Prepared
+PlanCache::prepare(const SystolicEngine &engine, const EnginePlan &plan)
+{
+    const std::string engine_name = engine.name();
+    const Digest digest = digestOf(engine_name, plan);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (auto cached = lookupLocked(digest, engine_name, plan)) {
+            ++stats_.hits;
+            return {cached, /*hit=*/true};
+        }
+        ++stats_.misses;
+    }
+
+    // Build outside the lock: the transform is the expensive part
+    // and must not serialize unrelated requests.
+    std::shared_ptr<const PreparedPlan> built = engine.prepare(plan);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Another thread may have inserted the same key meanwhile;
+    // prefer the incumbent so the cache holds one plan per matrix.
+    if (auto cached = lookupLocked(digest, engine_name, plan))
+        return {cached, /*hit=*/false};
+
+    Entry e;
+    e.digest = digest;
+    e.engine = engine_name;
+    e.kind = plan.kind;
+    e.w = plan.w;
+    e.a = plan.a;
+    if (plan.kind == ProblemKind::MatMul)
+        e.bmat = plan.bmat;
+    e.plan = built;
+    lru_.push_front(std::move(e));
+    index_.emplace(digest, lru_.begin());
+    while (lru_.size() > capacity_)
+        evictLocked();
+    return {built, /*hit=*/false};
+}
+
+void
+PlanCache::evictLocked()
+{
+    SAP_ASSERT(!lru_.empty(), "evicting from an empty cache");
+    auto victim = std::prev(lru_.end());
+    auto range = index_.equal_range(victim->digest);
+    for (auto it = range.first; it != range.second; ++it) {
+        if (it->second == victim) {
+            index_.erase(it);
+            break;
+        }
+    }
+    lru_.erase(victim);
+    ++stats_.evictions;
+}
+
+PlanCacheStats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_.clear();
+    index_.clear();
+    stats_ = PlanCacheStats{};
+}
+
+} // namespace sap

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Content-addressed cache of prepared (DBT-transformed) plans.
+ *
+ * The dense→band transform is the amortizable cost of the paper's
+ * size-independent scheme: a w-cell array serves any problem size,
+ * so a serving system pays the transform once per distinct matrix
+ * and streams every subsequent request through the cached band
+ * structure. This cache implements that amortization: plans are
+ * keyed by (engine, kind, w, fingerprint of the bound operand
+ * matrices) with LRU eviction.
+ *
+ * Collision safety: a digest match is only a candidate; the cache
+ * confirms every hit with an exact element-wise comparison of the
+ * bound matrices, so distinct matrices that collide in the hash
+ * never share a plan (counted in stats().collisions). The hash
+ * function is injectable for tests to force this path.
+ *
+ * Thread-safety: all public members are safe to call concurrently.
+ * Plan construction runs outside the lock, so two threads missing on
+ * the same key may both build; the first insertion wins and the
+ * loser's plan serves only its own request.
+ */
+
+#ifndef SAP_SERVE_PLAN_CACHE_HH
+#define SAP_SERVE_PLAN_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "engine/engine.hh"
+#include "serve/fingerprint.hh"
+
+namespace sap {
+
+/** Monotonic cache counters (since construction or clear()). */
+struct PlanCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    /** Digest matches that were distinct matrices (hash collisions). */
+    std::uint64_t collisions = 0;
+
+    /** Hit fraction in [0, 1] (0 when no lookups yet). */
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits + misses;
+        return total == 0
+            ? 0.0
+            : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+/** LRU cache of prepared plans keyed by matrix content. */
+class PlanCache
+{
+  public:
+    /** Default number of cached plans. */
+    static constexpr std::size_t kDefaultCapacity = 64;
+
+    /**
+     * @param capacity Maximum number of cached plans (>= 1).
+     * @param hash Dense-matrix hash; nullptr uses fingerprintDense.
+     */
+    explicit PlanCache(std::size_t capacity = kDefaultCapacity,
+                       DenseHashFn hash = nullptr);
+
+    /** One cache answer: the plan plus whether it was cached. */
+    struct Prepared
+    {
+        std::shared_ptr<const PreparedPlan> plan;
+        bool hit = false;
+    };
+
+    /**
+     * Return the cached prepared plan for @p plan's bound matrices
+     * on @p engine, building and inserting it on a miss.
+     *
+     * @pre plan.kind == engine.kind() (asserted by the engine).
+     */
+    Prepared prepare(const SystolicEngine &engine,
+                     const EnginePlan &plan);
+
+    /** Counter snapshot. */
+    PlanCacheStats stats() const;
+
+    /** Number of plans currently cached. */
+    std::size_t size() const;
+
+    /** Maximum number of plans. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Drop all cached plans and reset the counters. */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Digest digest;
+        std::string engine;
+        ProblemKind kind;
+        Index w;
+        // Bound operand copies: the ground truth a digest match is
+        // verified against (bmat is empty for MatVec plans).
+        Dense<Scalar> a;
+        Dense<Scalar> bmat;
+        std::shared_ptr<const PreparedPlan> plan;
+    };
+    using Lru = std::list<Entry>;
+
+    Digest digestOf(const std::string &engine_name,
+                    const EnginePlan &plan) const;
+    bool entryMatches(const Entry &e, const std::string &engine_name,
+                      const EnginePlan &plan) const;
+    /** Lookup under lock_; promotes the entry on hit. */
+    std::shared_ptr<const PreparedPlan>
+    lookupLocked(Digest digest, const std::string &engine_name,
+                 const EnginePlan &plan);
+    void evictLocked();
+
+    std::size_t capacity_;
+    DenseHashFn hash_;
+
+    mutable std::mutex mutex_;
+    Lru lru_; ///< front = most recently used
+    std::unordered_multimap<Digest, Lru::iterator> index_;
+    PlanCacheStats stats_;
+};
+
+} // namespace sap
+
+#endif // SAP_SERVE_PLAN_CACHE_HH

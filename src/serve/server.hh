@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The serving front end: submit(request) -> future<response> over a
+ * worker pool, with plan caching and per-(engine, shape) statistics.
+ *
+ * This turns the stateless engine layer into a high-throughput
+ * request server. Workers resolve the engine by registry name, fetch
+ * the DBT-transformed plan from the content-addressed PlanCache
+ * (building it on first sight of a matrix), stream the request's
+ * operands through it, and optionally cross-check the result against
+ * the host oracle. Malformed requests (unknown engine, wrong kind,
+ * inconsistent shapes) resolve to error responses instead of
+ * asserting, so one bad client cannot take the server down.
+ */
+
+#ifndef SAP_SERVE_SERVER_HH
+#define SAP_SERVE_SERVER_HH
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "engine/engine.hh"
+#include "serve/plan_cache.hh"
+#include "serve/server_stats.hh"
+#include "serve/thread_pool.hh"
+
+namespace sap {
+
+/** One serving request: which engine, which problem. */
+struct ServeRequest
+{
+    /** Engine registry name ("linear", "hex", ...). */
+    std::string engine;
+    /** The full problem: bound matrices plus streamed operands. */
+    EnginePlan plan;
+    /** Cross-check this request against the host oracle. */
+    bool crossCheck = false;
+};
+
+/** What a request resolves to. */
+struct ServeResponse
+{
+    /** False when the request was malformed; see error. */
+    bool ok = false;
+    /** Human-readable reason when !ok. */
+    std::string error;
+    /** Engine results (valid when ok). */
+    EngineRunResult result;
+    /** The plan came from the cache (dense→band rebuild skipped). */
+    bool cacheHit = false;
+    /** False when a requested cross-check mismatched. */
+    bool crossCheckOk = true;
+    /** Wall-clock service time of this request in microseconds. */
+    double latencyMicros = 0;
+};
+
+/**
+ * Multi-threaded serving layer over the engine registry.
+ *
+ * Thread-safety: submit() and stats() may be called from any number
+ * of client threads. Destruction drains queued requests first, so
+ * every returned future becomes ready.
+ */
+class Server
+{
+  public:
+    struct Options
+    {
+        /** Worker threads. */
+        std::size_t threads = 4;
+        /** Plans kept by the LRU plan cache. */
+        std::size_t planCacheCapacity = PlanCache::kDefaultCapacity;
+        /** Cross-check every request (overrides per-request flag). */
+        bool crossCheckAll = false;
+    };
+
+    /** Server with default options. */
+    Server();
+
+    explicit Server(const Options &opts);
+
+    /** Drains in-flight and queued requests, then stops workers. */
+    ~Server() = default;
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Enqueue @p req; the future resolves when a worker served it. */
+    std::future<ServeResponse> submit(ServeRequest req);
+
+    /** Consistent statistics snapshot (includes plan-cache stats). */
+    ServerStats stats() const;
+
+    /** Worker count. */
+    std::size_t threadCount() const { return pool_.threadCount(); }
+
+    /** The shared plan cache (for tests and monitoring). */
+    const PlanCache &planCache() const { return cache_; }
+
+  private:
+    ServeResponse handle(const ServeRequest &req);
+    /** Lazily instantiated shared engine instances, by name. */
+    const SystolicEngine *engineFor(const std::string &name);
+
+    Options opts_;
+    PlanCache cache_;
+    StatsRecorder stats_;
+
+    std::mutex engines_mutex_;
+    std::map<std::string, std::unique_ptr<SystolicEngine>> engines_;
+
+    /** Declared last: destroyed first, so workers drain while every
+     *  other member is still alive. */
+    ThreadPool pool_;
+};
+
+} // namespace sap
+
+#endif // SAP_SERVE_SERVER_HH

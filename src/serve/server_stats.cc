@@ -1,0 +1,126 @@
+#include "serve/server_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sap {
+
+namespace {
+
+/** Reservoir cap per group; halved (every other sample) when hit. */
+constexpr std::size_t kReservoirCap = 8192;
+
+/** Percentile (q in [0,1]) of an unsorted copy of @p samples. */
+double
+percentile(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    double rank = q * static_cast<double>(samples.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    double frac = rank - static_cast<double>(lo);
+    return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+} // namespace
+
+std::string
+ShapeKey::label() const
+{
+    std::string s = engine + " " + std::to_string(rows) + "x" +
+                    std::to_string(cols);
+    if (kind == ProblemKind::MatMul)
+        s += "x" + std::to_string(outCols);
+    s += " w=" + std::to_string(w);
+    return s;
+}
+
+StatsRecorder::MapKey
+StatsRecorder::mapKey(const ShapeKey &key)
+{
+    return {key.engine, static_cast<int>(key.kind), key.rows,
+            key.cols, key.outCols, key.w};
+}
+
+void
+StatsRecorder::record(const ShapeKey &key, bool cacheHit,
+                      Cycle simCycles, double latencyMicros)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Series &s = groups_[mapKey(key)];
+    if (s.requests == 0)
+        s.key = key;
+    ++s.requests;
+    if (cacheHit)
+        ++s.cacheHits;
+    s.simCycles += simCycles;
+    s.latencySum += latencyMicros;
+    ++s.latencyCount;
+    s.latencyMax = std::max(s.latencyMax, latencyMicros);
+    if (s.reservoir.size() >= kReservoirCap) {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < s.reservoir.size(); i += 2)
+            s.reservoir[keep++] = s.reservoir[i];
+        s.reservoir.resize(keep);
+    }
+    s.reservoir.push_back(latencyMicros);
+}
+
+void
+StatsRecorder::recordFailure()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++failures_;
+}
+
+void
+StatsRecorder::recordCrossCheckFailure()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++cross_check_failures_;
+}
+
+ServerStats
+StatsRecorder::snapshot(const PlanCacheStats *cache_stats) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServerStats out;
+    out.failures = failures_;
+    out.crossCheckFailures = cross_check_failures_;
+    if (cache_stats)
+        out.planCache = *cache_stats;
+
+    std::vector<double> all;
+    for (const auto &entry : groups_) {
+        const Series &s = entry.second;
+        GroupStats g;
+        g.key = s.key;
+        g.requests = s.requests;
+        g.cacheHits = s.cacheHits;
+        g.simCycles = s.simCycles;
+        g.latency.samples = s.latencyCount;
+        g.latency.mean = s.latencyCount == 0
+            ? 0.0
+            : s.latencySum / static_cast<double>(s.latencyCount);
+        g.latency.p50 = percentile(s.reservoir, 0.5);
+        g.latency.p99 = percentile(s.reservoir, 0.99);
+        g.latency.max = s.latencyMax;
+        out.groups.push_back(std::move(g));
+
+        out.requests += s.requests;
+        out.latency.samples += s.latencyCount;
+        out.latency.mean += s.latencySum;
+        out.latency.max = std::max(out.latency.max, s.latencyMax);
+        all.insert(all.end(), s.reservoir.begin(), s.reservoir.end());
+    }
+    out.latency.mean = out.latency.samples == 0
+        ? 0.0
+        : out.latency.mean / static_cast<double>(out.latency.samples);
+    out.latency.p50 = percentile(all, 0.5);
+    out.latency.p99 = percentile(std::move(all), 0.99);
+    return out;
+}
+
+} // namespace sap

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Request statistics for the serving layer: per-(engine, shape)
+ * counters plus latency percentiles, collected by workers and read
+ * as a consistent snapshot.
+ */
+
+#ifndef SAP_SERVE_SERVER_STATS_HH
+#define SAP_SERVE_SERVER_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "base/types.hh"
+#include "serve/plan_cache.hh"
+
+namespace sap {
+
+/** Identity of one (engine, problem shape) statistics group. */
+struct ShapeKey
+{
+    std::string engine;
+    ProblemKind kind = ProblemKind::MatVec;
+    Index rows = 0;    ///< A rows
+    Index cols = 0;    ///< A cols
+    Index outCols = 0; ///< MatMul: B cols (0 for MatVec)
+    Index w = 0;       ///< array size
+
+    /** "engine n×m[×p] w=..": stable human-readable label. */
+    std::string label() const;
+};
+
+/** Latency distribution summary in microseconds. */
+struct LatencySummary
+{
+    std::uint64_t samples = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p99 = 0;
+    double max = 0;
+};
+
+/** Snapshot of one statistics group. */
+struct GroupStats
+{
+    ShapeKey key;
+    std::uint64_t requests = 0;
+    std::uint64_t cacheHits = 0;
+    Cycle simCycles = 0; ///< total simulated cycles served
+    LatencySummary latency;
+};
+
+/** Whole-server snapshot returned by Server::stats(). */
+struct ServerStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t crossCheckFailures = 0;
+    PlanCacheStats planCache;
+    LatencySummary latency;
+    /** Per-(engine, shape) groups, in a stable order: by engine
+     *  name, then kind, then numeric shape (rows, cols, outCols, w). */
+    std::vector<GroupStats> groups;
+};
+
+/**
+ * Thread-safe accumulator behind ServerStats.
+ *
+ * Latency samples are kept per group in a bounded reservoir: once a
+ * group exceeds its cap the recorder halves the series by dropping
+ * every other sample, which bounds memory while preserving the
+ * distribution shape for percentile estimates.
+ */
+class StatsRecorder
+{
+  public:
+    /** Record one successfully served request. */
+    void record(const ShapeKey &key, bool cacheHit, Cycle simCycles,
+                double latencyMicros);
+
+    /** Record one failed request (unknown engine, bad shapes...). */
+    void recordFailure();
+
+    /** Record one golden-model cross-check mismatch. */
+    void recordCrossCheckFailure();
+
+    /**
+     * Consistent snapshot; @p cache_stats (optional) is copied into
+     * ServerStats::planCache.
+     */
+    ServerStats snapshot(const PlanCacheStats *cache_stats = nullptr)
+        const;
+
+  private:
+    struct Series
+    {
+        ShapeKey key;
+        std::uint64_t requests = 0;
+        std::uint64_t cacheHits = 0;
+        Cycle simCycles = 0;
+        double latencySum = 0;
+        std::uint64_t latencyCount = 0;
+        double latencyMax = 0;
+        std::vector<double> reservoir;
+    };
+    using MapKey =
+        std::tuple<std::string, int, Index, Index, Index, Index>;
+
+    static MapKey mapKey(const ShapeKey &key);
+
+    mutable std::mutex mutex_;
+    std::map<MapKey, Series> groups_;
+    std::uint64_t failures_ = 0;
+    std::uint64_t cross_check_failures_ = 0;
+};
+
+} // namespace sap
+
+#endif // SAP_SERVE_SERVER_STATS_HH

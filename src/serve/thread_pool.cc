@@ -1,0 +1,63 @@
+#include "serve/thread_pool.hh"
+
+#include "base/logging.hh"
+
+namespace sap {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    SAP_ASSERT(threads >= 1, "thread pool needs at least one worker");
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        SAP_ASSERT(!stopping_, "post() on a stopping thread pool");
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+std::size_t
+ThreadPool::pending() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace sap

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal fixed-size worker pool for the serving layer.
+ *
+ * Engines are stateless and documented thread-safe, so fanning
+ * requests out over a pool of plain workers is all the concurrency
+ * machinery serving needs. Tasks are drained on destruction: every
+ * task posted before ~ThreadPool() runs to completion, so futures
+ * handed out by the server always become ready.
+ */
+
+#ifndef SAP_SERVE_THREAD_POOL_HH
+#define SAP_SERVE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sap {
+
+/** Fixed-size FIFO worker pool. */
+class ThreadPool
+{
+  public:
+    /** @param threads Number of workers (>= 1). */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue @p task for execution on some worker.
+     *
+     * @pre The pool is not being destroyed (asserted).
+     */
+    void post(std::function<void()> task);
+
+    /** Number of workers. */
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /** Tasks currently queued (excluding ones being executed). */
+    std::size_t pending() const;
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace sap
+
+#endif // SAP_SERVE_THREAD_POOL_HH

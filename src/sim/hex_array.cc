@@ -9,6 +9,9 @@ HexArray::HexArray(Index w)
       a_reg_(static_cast<std::size_t>(w * w)),
       b_reg_(static_cast<std::size_t>(w * w)),
       c_reg_(static_cast<std::size_t>(w * w)),
+      a_next_(static_cast<std::size_t>(w * w)),
+      b_next_(static_cast<std::size_t>(w * w)),
+      c_next_(static_cast<std::size_t>(w * w)),
       a_in_(static_cast<std::size_t>(w)),
       b_in_(static_cast<std::size_t>(w)),
       c_in_(static_cast<std::size_t>(2 * w - 1))
@@ -51,8 +54,12 @@ HexArray::cOut(Index delta) const
 void
 HexArray::step()
 {
-    const std::size_t cells = static_cast<std::size_t>(w_ * w_);
-    std::vector<Sample> a_next(cells), b_next(cells), c_next(cells);
+    // Member scratch buffers: step() is the hot loop and must not
+    // allocate per cycle. Every cell is overwritten below, so the
+    // stale contents left by the previous swap never leak through.
+    std::vector<Sample> &a_next = a_next_;
+    std::vector<Sample> &b_next = b_next_;
+    std::vector<Sample> &c_next = c_next_;
 
     for (Index r = 0; r < w_; ++r) {
         for (Index q = 0; q < w_; ++q) {

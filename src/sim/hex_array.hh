@@ -86,6 +86,9 @@ class HexArray
     std::vector<Sample> a_reg_; ///< a at output of PE (r,q)
     std::vector<Sample> b_reg_;
     std::vector<Sample> c_reg_;
+    std::vector<Sample> a_next_; ///< step() scratch (no per-cycle alloc)
+    std::vector<Sample> b_next_;
+    std::vector<Sample> c_next_;
     std::vector<Sample> a_in_;  ///< per-row a inputs this cycle
     std::vector<Sample> b_in_;  ///< per-column b inputs this cycle
     std::vector<Sample> c_in_;  ///< per-diagonal c inputs (2w−1)

@@ -22,52 +22,79 @@ HexBandSpec::validate() const
     SAP_ASSERT(inputValue && onOutput, "missing I/O callbacks");
 }
 
-HexRunResult
-runHexBandMatMul(const HexBandSpec &spec)
+HexIoSchedule
+HexIoSchedule::build(const Band<Scalar> &abar, const Band<Scalar> &bbar)
 {
-    spec.validate();
-    const Index w = spec.w();
-    const Index N = spec.order();
-    HexArray array(w);
+    SAP_ASSERT(abar.sub() == 0, "Ā must be an upper band");
+    SAP_ASSERT(bbar.super() == 0, "B̄ must be a lower band");
+    SAP_ASSERT(abar.super() == bbar.sub(),
+               "Ā and B̄ must share the bandwidth");
+    SAP_ASSERT(abar.rows() == abar.cols() &&
+               bbar.rows() == bbar.cols() &&
+               abar.rows() == bbar.rows(),
+               "Ā and B̄ must be square of equal order");
+    const Index w = abar.super() + 1;
+    const Index N = abar.rows();
 
-    const Cycle horizon = 3 * (N - 1) + 2 * w - 2;
-
-    struct AEvent { Index port; Scalar value; };
-    struct CEvent { Index i, j; };
-    std::vector<std::vector<AEvent>> a_ev(horizon + 1), b_ev(horizon + 1);
-    std::vector<std::vector<CEvent>> c_ev(horizon + 1), o_ev(horizon + 1);
+    HexIoSchedule s;
+    s.horizon = 3 * (N - 1) + 2 * w - 2;
+    s.aEvents.resize(s.horizon + 1);
+    s.bEvents.resize(s.horizon + 1);
+    s.cEvents.resize(s.horizon + 1);
+    s.oEvents.resize(s.horizon + 1);
 
     for (Index i = 0; i < N; ++i) {
         for (Index k = i; k <= std::min(i + w - 1, N - 1); ++k)
-            a_ev[i + 2 * k].push_back({k - i, spec.abar->at(i, k)});
+            s.aEvents[i + 2 * k].push_back({k - i, abar.at(i, k)});
     }
     for (Index j = 0; j < N; ++j) {
         for (Index k = j; k <= std::min(j + w - 1, N - 1); ++k)
-            b_ev[2 * k + j].push_back({k - j, spec.bbar->at(k, j)});
+            s.bEvents[2 * k + j].push_back({k - j, bbar.at(k, j)});
     }
     for (Index i = 0; i < N; ++i) {
         for (Index j = std::max(Index{0}, i - w + 1);
              j <= std::min(N - 1, i + w - 1); ++j) {
             Cycle t_in = i + j + std::max(i, j) + w - 1;
             Cycle t_out = i + j + std::min(i, j) + 2 * w - 2;
-            c_ev[t_in].push_back({i, j});
-            o_ev[t_out].push_back({i, j});
+            s.cEvents[t_in].push_back({i, j});
+            s.oEvents[t_out].push_back({i, j});
         }
     }
+    return s;
+}
+
+HexRunResult
+runHexBandMatMul(const HexBandSpec &spec)
+{
+    return runHexBandMatMul(
+        HexIoSchedule::build(*spec.abar, *spec.bbar), spec);
+}
+
+HexRunResult
+runHexBandMatMul(const HexIoSchedule &sched, const HexBandSpec &spec)
+{
+    spec.validate();
+    const Index w = spec.w();
+    const Index N = spec.order();
+    SAP_ASSERT(sched.horizon == 3 * (N - 1) + 2 * w - 2,
+               "schedule was built for a different problem");
+    HexArray array(w);
+
+    const Cycle horizon = sched.horizon;
 
     HexRunResult res;
     for (Cycle tau = 0; tau <= horizon; ++tau) {
-        for (const AEvent &ev : a_ev[tau])
+        for (const HexIoSchedule::AEvent &ev : sched.aEvents[tau])
             array.setAIn(ev.port, Sample::of(ev.value));
-        for (const AEvent &ev : b_ev[tau])
+        for (const HexIoSchedule::AEvent &ev : sched.bEvents[tau])
             array.setBIn(ev.port, Sample::of(ev.value));
-        for (const CEvent &ev : c_ev[tau])
+        for (const HexIoSchedule::CEvent &ev : sched.cEvents[tau])
             array.setCIn(ev.j - ev.i,
                          Sample::of(spec.inputValue(ev.i, ev.j)));
 
         array.step();
 
-        for (const CEvent &ev : o_ev[tau]) {
+        for (const HexIoSchedule::CEvent &ev : sched.oEvents[tau]) {
             Sample s = array.cOut(ev.j - ev.i);
             SAP_ASSERT(s.valid, "missing output at (", ev.i, ",", ev.j,
                        ") cycle ", tau);

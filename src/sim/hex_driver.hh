@@ -82,10 +82,50 @@ struct HexRunResult
 };
 
 /**
+ * Precomputed per-cycle I/O event lists of one (Ā, B̄) pair: which
+ * a/b values enter which ports and which c positions enter/exit, by
+ * cycle. Everything here depends only on the bands (never on E or
+ * the feedback values), so a reusable plan builds the schedule once
+ * and every execution streams it — the per-run schedule rebuild was
+ * a significant slice of the execution cost.
+ */
+struct HexIoSchedule
+{
+    struct AEvent
+    {
+        Index port;   ///< row (a) or column (b) edge port
+        Scalar value; ///< band element
+    };
+    struct CEvent
+    {
+        Index i, j; ///< scalar O/I-band position
+    };
+
+    Cycle horizon = -1; ///< last scheduled cycle
+    std::vector<std::vector<AEvent>> aEvents; ///< per cycle
+    std::vector<std::vector<AEvent>> bEvents;
+    std::vector<std::vector<CEvent>> cEvents; ///< injections
+    std::vector<std::vector<CEvent>> oEvents; ///< extractions
+
+    /** Build from the band pair (validated like HexBandSpec). */
+    static HexIoSchedule build(const Band<Scalar> &abar,
+                               const Band<Scalar> &bbar);
+};
+
+/**
  * Execute one band mat-mul problem on the hexagonal array.
  * Input/output routing is delegated to the spec's callbacks.
  */
 HexRunResult runHexBandMatMul(const HexBandSpec &spec);
+
+/**
+ * Same, with a prebuilt event schedule.
+ *
+ * @pre @p sched was built from @p spec's bands (spot-checked by
+ *      shape assertions).
+ */
+HexRunResult runHexBandMatMul(const HexIoSchedule &sched,
+                              const HexBandSpec &spec);
 
 } // namespace sap
 

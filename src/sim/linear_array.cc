@@ -27,39 +27,35 @@ LinearArray::step()
     // Combinational input wires for this cycle.
     //   x wire of PE p: external x_in for p == 0, else x_regs_[p-1].
     //   y wire of PE p: external y_in for p == w-1, else y_regs_[p+1].
-    std::vector<Sample> x_wire(static_cast<std::size_t>(w_));
-    std::vector<Sample> y_wire(static_cast<std::size_t>(w_));
-    for (Index p = 0; p < w_; ++p) {
-        x_wire[p] = (p == 0) ? x_in_ : x_regs_[p - 1];
-        y_wire[p] = (p == w_ - 1) ? y_in_ : y_regs_[p + 1];
-    }
-
-    // Compute: inner product step in every PE.
-    std::vector<Sample> y_next(static_cast<std::size_t>(w_));
+    //
+    // Both passes update the stream registers in place — this is the
+    // simulator's hottest loop and must not allocate per cycle. The
+    // ascending y pass may write y_regs_[p] before reading
+    // y_regs_[p+1] because iteration p only reads the register that
+    // iteration p+1 writes; the x shift runs afterwards so the x
+    // wires above still see the pre-shift registers.
     for (Index p = 0; p < w_; ++p) {
         Sample a = a_in_[p];
-        Sample x = x_wire[p];
-        Sample y = y_wire[p];
+        Sample x = (p == 0) ? x_in_ : x_regs_[p - 1];
+        Sample y = (p == w_ - 1) ? y_in_ : y_regs_[p + 1];
         last_active_[p] = a.valid && x.valid && y.valid;
-        if (a.valid && x.valid && y.valid) {
-            y_next[p] = Sample::of(y.value + a.value * x.value);
+        if (last_active_[p]) {
+            y_regs_[p] = Sample::of(y.value + a.value * x.value);
             ++useful_macs_;
             ++pe_macs_[p];
         } else {
             // No coefficient (or no partner): the y sample passes
             // through unchanged; a lone coefficient is dropped.
-            y_next[p] = y;
+            y_regs_[p] = y;
         }
     }
+    y_out_ = y_regs_[0];
 
-    // Commit registers (synchronous update).
+    // Commit the x shift (synchronous update).
     x_out_ = x_regs_[w_ - 1];
-    y_out_ = y_next[0];
     for (Index p = w_ - 1; p > 0; --p)
         x_regs_[p] = x_regs_[p - 1];
     x_regs_[0] = x_in_;
-    for (Index p = 0; p < w_; ++p)
-        y_regs_[p] = y_next[p];
 
     // Inputs are consumed; clear for the next cycle.
     x_in_ = Sample::bubble();

@@ -31,6 +31,32 @@
 namespace sap {
 
 /**
+ * Precomputed a-coefficient firing schedule for one band matrix:
+ * which coefficient enters which PE on each (lane-local) cycle, in
+ * CSR layout — the events of cycle t are
+ * events[offsets[t] .. offsets[t+1]).
+ *
+ * The schedule depends only on the band, so a reusable plan builds
+ * it once and every execution streams it instead of re-deriving the
+ * firings (modulo checks + banded reads) per cycle.
+ */
+struct LinearASchedule
+{
+    struct Event
+    {
+        Index pe;     ///< destination PE
+        Scalar value; ///< the coefficient
+    };
+
+    Cycle horizon = -1; ///< last cycle with any event
+    std::vector<std::uint32_t> offsets; ///< size horizon + 2
+    std::vector<Event> events;          ///< rows() * w entries
+
+    /** Build from an upper band (sub() == 0, super() == w−1). */
+    static LinearASchedule build(const Band<Scalar> &abar);
+};
+
+/**
  * A band mat-vec problem instance in array-ready form.
  *
  * This is deliberately independent of the DBT layer: a plain band
@@ -49,6 +75,13 @@ struct BandMatVecSpec
     Vec<Scalar> externalB;
     /** Per scalar row: true = ȳ_i is a final result. */
     std::vector<std::uint8_t> yIsFinal;
+
+    /**
+     * Optional precomputed coefficient schedule for abar; when null
+     * the driver derives each cycle's firings from abar directly.
+     * Must have been built from this spec's abar.
+     */
+    const LinearASchedule *aSchedule = nullptr;
 
     /** Array size = bandwidth of abar. */
     Index w() const { return abar->super() + 1; }

@@ -1,5 +1,13 @@
 #include "sim/trace.hh"
 
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.hh"
+
 namespace sap {
 
 std::string
@@ -17,6 +25,19 @@ portName(Port p)
     return "?";
 }
 
+bool
+portFromName(const std::string &name, Port *out)
+{
+    for (Port p : {Port::XIn, Port::BIn, Port::FbIn, Port::YOut,
+                   Port::AIn, Port::CIn, Port::COut}) {
+        if (portName(p) == name) {
+            *out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::vector<TraceEvent>
 Trace::onPort(Port p) const
 {
@@ -25,6 +46,144 @@ Trace::onPort(Port p) const
         if (e.port == p)
             out.push_back(e);
     return out;
+}
+
+void
+writeCsv(std::ostream &os, const Trace &trace)
+{
+    os << "cycle,port,index,value\n";
+    char value[64];
+    for (const TraceEvent &e : trace.events()) {
+        // %.17g round-trips every double exactly.
+        std::snprintf(value, sizeof(value), "%.17g", e.value);
+        os << e.cycle << ',' << portName(e.port) << ',' << e.index
+           << ',' << value << '\n';
+    }
+}
+
+std::string
+toCsv(const Trace &trace)
+{
+    std::ostringstream os;
+    writeCsv(os, trace);
+    return os.str();
+}
+
+namespace {
+
+/** strtoll with a full-consumption check (stoll would throw). */
+long long
+parseInt(const std::string &s, std::size_t lineno)
+{
+    char *end = nullptr;
+    long long v = std::strtoll(s.c_str(), &end, 10);
+    SAP_ASSERT(end != s.c_str() && *end == '\0' && !s.empty(),
+               "bad integer '", s, "' in trace CSV row ", lineno);
+    return v;
+}
+
+/** strtod with a full-consumption check (stod would throw). */
+double
+parseDouble(const std::string &s, std::size_t lineno)
+{
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    SAP_ASSERT(end != s.c_str() && *end == '\0' && !s.empty(),
+               "bad value '", s, "' in trace CSV row ", lineno);
+    return v;
+}
+
+} // namespace
+
+Trace
+traceFromCsv(std::istream &is)
+{
+    Trace trace;
+    std::string line;
+    bool saw_header = false;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (!saw_header) {
+            SAP_ASSERT(line == "cycle,port,index,value",
+                       "bad trace CSV header: '", line, "'");
+            saw_header = true;
+            continue;
+        }
+        std::istringstream row(line);
+        std::string cycle_s, port_s, index_s, value_s;
+        bool ok = static_cast<bool>(std::getline(row, cycle_s, ',')) &&
+                  static_cast<bool>(std::getline(row, port_s, ',')) &&
+                  static_cast<bool>(std::getline(row, index_s, ',')) &&
+                  static_cast<bool>(std::getline(row, value_s));
+        SAP_ASSERT(ok, "malformed trace CSV row ", lineno, ": '",
+                   line, "'");
+        Port port;
+        SAP_ASSERT(portFromName(port_s, &port),
+                   "unknown port '", port_s, "' in trace CSV row ",
+                   lineno);
+        trace.add(static_cast<Cycle>(parseInt(cycle_s, lineno)), port,
+                  static_cast<Index>(parseInt(index_s, lineno)),
+                  parseDouble(value_s, lineno));
+    }
+    SAP_ASSERT(saw_header, "trace CSV has no header line");
+    return trace;
+}
+
+Trace
+traceFromCsv(const std::string &csv)
+{
+    std::istringstream is(csv);
+    return traceFromCsv(is);
+}
+
+namespace {
+
+std::string
+describeEvent(const TraceEvent &e)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "cycle=%lld port=%s index=%lld "
+                  "value=%.17g", (long long)e.cycle,
+                  portName(e.port).c_str(), (long long)e.index,
+                  e.value);
+    return buf;
+}
+
+} // namespace
+
+TraceDiff
+diffTraces(const Trace &expected, const Trace &actual)
+{
+    constexpr std::size_t kMaxReported = 16;
+    const std::vector<TraceEvent> &ev_a = expected.events();
+    const std::vector<TraceEvent> &ev_b = actual.events();
+
+    TraceDiff diff;
+    const std::size_t common = std::min(ev_a.size(), ev_b.size());
+    for (std::size_t i = 0; i < common; ++i) {
+        const TraceEvent &a = ev_a[i];
+        const TraceEvent &b = ev_b[i];
+        if (a.cycle == b.cycle && a.port == b.port &&
+            a.index == b.index && a.value == b.value)
+            continue;
+        ++diff.mismatches;
+        if (diff.lines.size() < kMaxReported)
+            diff.lines.push_back("event " + std::to_string(i) +
+                                 ": expected " + describeEvent(a) +
+                                 " != actual " + describeEvent(b));
+    }
+    if (ev_a.size() != ev_b.size()) {
+        diff.mismatches +=
+            std::max(ev_a.size(), ev_b.size()) - common;
+        diff.lines.push_back(
+            "length: expected " + std::to_string(ev_a.size()) +
+            " events != actual " + std::to_string(ev_b.size()));
+    }
+    diff.identical = diff.mismatches == 0;
+    return diff;
 }
 
 } // namespace sap

@@ -11,6 +11,7 @@
 #ifndef SAP_SIM_TRACE_HH
 #define SAP_SIM_TRACE_HH
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,60 @@ class Trace
   private:
     std::vector<TraceEvent> events_;
 };
+
+/**
+ * Parse a printable port name back to the enum.
+ *
+ * @return false (leaving @p out untouched) for unknown names.
+ */
+bool portFromName(const std::string &name, Port *out);
+
+//---------------------------------------------------------------------
+// CSV serialization + trace diffing: the schedule-regression tooling.
+// A serialized trace checked into CI plus diffTraces() makes any
+// change to the port-level schedule visible as a reviewable diff.
+//---------------------------------------------------------------------
+
+/**
+ * Serialize @p trace as CSV with the header
+ * `cycle,port,index,value`, one event per line in insertion order.
+ * Values are printed with enough digits to round-trip doubles.
+ */
+void writeCsv(std::ostream &os, const Trace &trace);
+
+/** @copydoc writeCsv(std::ostream&, const Trace&) */
+std::string toCsv(const Trace &trace);
+
+/**
+ * Parse a trace back from the CSV produced by writeCsv().
+ * Asserts on malformed rows or unknown port names.
+ */
+Trace traceFromCsv(std::istream &is);
+
+/** @copydoc traceFromCsv(std::istream&) */
+Trace traceFromCsv(const std::string &csv);
+
+/** Outcome of comparing two traces event-by-event. */
+struct TraceDiff
+{
+    /** True when both traces have identical event sequences. */
+    bool identical = true;
+    /** Total number of differing event positions (incl. length). */
+    std::size_t mismatches = 0;
+    /**
+     * Human-readable descriptions of the first few mismatches
+     * (capped so a completely divergent trace stays printable).
+     */
+    std::vector<std::string> lines;
+};
+
+/**
+ * Compare two traces event-by-event (cycle, port, index, value).
+ *
+ * Insertion order is significant: two traces that record the same
+ * events in a different order are different schedules.
+ */
+TraceDiff diffTraces(const Trace &expected, const Trace &actual);
 
 } // namespace sap
 

@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Tests of the serving layer: matrix fingerprints, the
+ * content-addressed plan cache (hit/miss/eviction/collision), the
+ * batched runMany() APIs with the golden-model cross-check, and the
+ * Server front end's request/response and statistics contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <future>
+
+#include "engine/registry.hh"
+#include "mat/generate.hh"
+#include "mat/ops.hh"
+#include "serve/batch.hh"
+#include "serve/fingerprint.hh"
+#include "serve/plan_cache.hh"
+#include "serve/server.hh"
+
+namespace sap {
+namespace {
+
+//---------------------------------------------------------------------
+// Fingerprints.
+//---------------------------------------------------------------------
+
+TEST(Fingerprint, DeterministicAndContentSensitive)
+{
+    Dense<Scalar> a = randomIntDense(6, 5, 1);
+    Dense<Scalar> same = a;
+    EXPECT_EQ(fingerprintDense(a), fingerprintDense(same));
+
+    Dense<Scalar> flipped = a;
+    flipped(2, 3) += 1;
+    EXPECT_NE(fingerprintDense(a), fingerprintDense(flipped));
+}
+
+TEST(Fingerprint, ShapeIsPartOfTheIdentity)
+{
+    // Same bytes, different shape: a 2x3 and a 3x2 of equal data.
+    Dense<Scalar> wide(2, 3), tall(3, 2);
+    for (Index i = 0; i < 6; ++i) {
+        wide(i / 3, i % 3) = static_cast<Scalar>(i + 1);
+        tall(i / 2, i % 2) = static_cast<Scalar>(i + 1);
+    }
+    EXPECT_NE(fingerprintDense(wide), fingerprintDense(tall));
+}
+
+TEST(Fingerprint, VectorAndStringDigests)
+{
+    Vec<Scalar> v{1, 2, 3};
+    Vec<Scalar> w{1, 2, 4};
+    EXPECT_NE(fingerprintVec(v), fingerprintVec(w));
+    EXPECT_NE(fingerprintString("linear"), fingerprintString("hex"));
+    EXPECT_NE(combineDigests(1, 2), combineDigests(2, 1));
+}
+
+//---------------------------------------------------------------------
+// PlanCache.
+//---------------------------------------------------------------------
+
+TEST(PlanCache, HitOnRepeatedMatrixMissOnNewOne)
+{
+    auto engine = makeEngine("linear");
+    ASSERT_NE(engine, nullptr);
+    PlanCache cache(8);
+
+    Dense<Scalar> a = randomIntDense(8, 8, 11);
+    EnginePlan plan = EnginePlan::matVec(a, randomIntVec(8, 12),
+                                         randomIntVec(8, 13), 4);
+
+    PlanCache::Prepared first = cache.prepare(*engine, plan);
+    EXPECT_FALSE(first.hit);
+    PlanCache::Prepared second = cache.prepare(*engine, plan);
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(first.plan.get(), second.plan.get());
+
+    // A different matrix must miss even with identical shape/w.
+    EnginePlan other = EnginePlan::matVec(randomIntDense(8, 8, 99),
+                                          plan.x, plan.b, 4);
+    EXPECT_FALSE(cache.prepare(*engine, other).hit);
+
+    PlanCacheStats s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 2u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCache, DifferentEnginesAndWidthsDoNotShare)
+{
+    PlanCache cache(8);
+    Dense<Scalar> a = randomIntDense(6, 6, 21);
+    EnginePlan w2 = EnginePlan::matVec(a, randomIntVec(6, 22),
+                                       randomIntVec(6, 23), 2);
+    EnginePlan w3 = EnginePlan::matVec(a, w2.x, w2.b, 3);
+
+    auto linear = makeEngine("linear");
+    auto grouped = makeEngine("grouped");
+    EXPECT_FALSE(cache.prepare(*linear, w2).hit);
+    EXPECT_FALSE(cache.prepare(*linear, w3).hit);
+    EXPECT_FALSE(cache.prepare(*grouped, w2).hit);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_TRUE(cache.prepare(*grouped, w2).hit);
+}
+
+TEST(PlanCache, LruEviction)
+{
+    auto engine = makeEngine("linear");
+    PlanCache cache(2);
+    auto planFor = [](std::uint64_t seed) {
+        Dense<Scalar> a = randomIntDense(6, 6, seed);
+        return EnginePlan::matVec(a, randomIntVec(6, 1),
+                                  randomIntVec(6, 2), 3);
+    };
+
+    EnginePlan p1 = planFor(1), p2 = planFor(2), p3 = planFor(3);
+    cache.prepare(*engine, p1);
+    cache.prepare(*engine, p2);
+    cache.prepare(*engine, p1); // p1 now most recent
+    cache.prepare(*engine, p3); // evicts p2 (least recent)
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    EXPECT_TRUE(cache.prepare(*engine, p1).hit);
+    EXPECT_FALSE(cache.prepare(*engine, p2).hit); // was evicted
+}
+
+TEST(PlanCache, FingerprintCollisionsResolveToDistinctPlans)
+{
+    // Degenerate hash: every matrix collides. The cache must still
+    // serve each distinct matrix its own plan via exact comparison.
+    auto engine = makeEngine("linear");
+    PlanCache cache(8, [](const Dense<Scalar> &) { return Digest{7}; });
+
+    Dense<Scalar> a1 = randomIntDense(6, 6, 31);
+    Dense<Scalar> a2 = randomIntDense(6, 6, 32);
+    Vec<Scalar> x = randomIntVec(6, 33), b = randomIntVec(6, 34);
+    EnginePlan p1 = EnginePlan::matVec(a1, x, b, 3);
+    EnginePlan p2 = EnginePlan::matVec(a2, x, b, 3);
+
+    PlanCache::Prepared c1 = cache.prepare(*engine, p1);
+    PlanCache::Prepared c2 = cache.prepare(*engine, p2);
+    EXPECT_FALSE(c2.hit);
+    EXPECT_NE(c1.plan.get(), c2.plan.get());
+    EXPECT_GE(cache.stats().collisions, 1u);
+
+    // And the colliding entries still hit individually — with
+    // correct results through the engine.
+    EXPECT_TRUE(cache.prepare(*engine, p1).hit);
+    EXPECT_TRUE(cache.prepare(*engine, p2).hit);
+    EngineRunResult r1 = engine->runPrepared(
+        *cache.prepare(*engine, p1).plan, EngineInputs::matVec(x, b));
+    EngineRunResult r2 = engine->runPrepared(
+        *cache.prepare(*engine, p2).plan, EngineInputs::matVec(x, b));
+    EXPECT_EQ(maxAbsDiff(r1.y, matVec(a1, x, b)), 0.0);
+    EXPECT_EQ(maxAbsDiff(r2.y, matVec(a2, x, b)), 0.0);
+}
+
+TEST(PlanCache, MatMulKeysIncludeBothOperands)
+{
+    auto engine = makeEngine("hex");
+    PlanCache cache(8);
+    Dense<Scalar> a = randomIntDense(6, 6, 41);
+    Dense<Scalar> b1 = randomIntDense(6, 4, 42);
+    Dense<Scalar> b2 = randomIntDense(6, 4, 43);
+    Dense<Scalar> e(6, 4);
+
+    EXPECT_FALSE(
+        cache.prepare(*engine, EnginePlan::matMul(a, b1, e, 2)).hit);
+    EXPECT_FALSE(
+        cache.prepare(*engine, EnginePlan::matMul(a, b2, e, 2)).hit);
+    EXPECT_TRUE(
+        cache.prepare(*engine, EnginePlan::matMul(a, b1, e, 2)).hit);
+}
+
+//---------------------------------------------------------------------
+// Prepared-plan protocol on the engines themselves.
+//---------------------------------------------------------------------
+
+TEST(PreparedPlan, EveryEngineMatchesItsOwnRunPath)
+{
+    const Index n = 9, m = 7, p = 5, w = 3;
+    Dense<Scalar> a = randomIntDense(n, m, 51);
+    Vec<Scalar> x = randomIntVec(m, 52);
+    Vec<Scalar> b = randomIntVec(n, 53);
+    Dense<Scalar> bm = randomIntDense(m, p, 54);
+    Dense<Scalar> e = randomIntDense(n, p, 55);
+
+    EnginePlan mv = EnginePlan::matVec(a, x, b, w);
+    EnginePlan mm = EnginePlan::matMul(a, bm, e, w);
+
+    for (const std::string &name : engineNames()) {
+        SCOPED_TRACE("engine " + name);
+        auto engine = makeEngine(name);
+        ASSERT_NE(engine, nullptr);
+        const EnginePlan &plan =
+            engine->kind() == ProblemKind::MatVec ? mv : mm;
+        auto prepared = engine->prepare(plan);
+        ASSERT_NE(prepared, nullptr);
+        EXPECT_EQ(prepared->kind(), engine->kind());
+        EXPECT_EQ(prepared->w(), w);
+        EXPECT_EQ(prepared->rows(), n);
+
+        EngineRunResult via_run = engine->run(plan);
+        EngineRunResult via_prepared =
+            engine->runPrepared(*prepared, EngineInputs::of(plan));
+        if (engine->kind() == ProblemKind::MatVec) {
+            EXPECT_EQ(maxAbsDiff(via_prepared.y, via_run.y), 0.0);
+        } else {
+            EXPECT_TRUE(via_prepared.c == via_run.c);
+        }
+        EXPECT_EQ(via_prepared.stats.cycles, via_run.stats.cycles);
+    }
+}
+
+//---------------------------------------------------------------------
+// Batched runMany.
+//---------------------------------------------------------------------
+
+TEST(RunMany, StreamsManyInputsThroughOnePlan)
+{
+    const Index n = 8, m = 6, w = 3;
+    Dense<Scalar> a = randomIntDense(n, m, 61);
+    std::vector<EngineInputs> inputs;
+    for (int i = 0; i < 7; ++i)
+        inputs.push_back(EngineInputs::matVec(
+            randomIntVec(m, 100 + i), randomIntVec(n, 200 + i)));
+
+    auto engine = makeEngine("linear");
+    BatchOptions opts;
+    opts.crossCheck = true;
+    BatchResult batch = runManyMatVec(*engine, a, w, inputs, opts);
+
+    ASSERT_EQ(batch.results.size(), inputs.size());
+    EXPECT_EQ(batch.crossCheckFailures, 0u);
+    EXPECT_EQ(batch.planBuilds, 1u);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        Vec<Scalar> gold = matVec(a, inputs[i].x, inputs[i].b);
+        EXPECT_EQ(maxAbsDiff(batch.results[i].y, gold), 0.0)
+            << "input " << i;
+    }
+}
+
+TEST(RunMany, SharedCacheAmortizesAcrossCalls)
+{
+    const Index n = 6, m = 6, w = 3;
+    Dense<Scalar> a = randomIntDense(n, m, 71);
+    std::vector<EngineInputs> inputs = {EngineInputs::matVec(
+        randomIntVec(m, 72), randomIntVec(n, 73))};
+
+    auto engine = makeEngine("linear");
+    PlanCache cache(4);
+    BatchOptions opts;
+    opts.cache = &cache;
+
+    BatchResult first = runManyMatVec(*engine, a, w, inputs, opts);
+    BatchResult second = runManyMatVec(*engine, a, w, inputs, opts);
+    EXPECT_EQ(first.planBuilds, 1u);
+    EXPECT_EQ(first.cacheHits, 0u);
+    EXPECT_EQ(second.planBuilds, 0u);
+    EXPECT_EQ(second.cacheHits, 1u);
+}
+
+TEST(RunMany, MatMulPairsReuseRepeatedB)
+{
+    const Index n = 6, p = 6, m = 4, w = 2;
+    Dense<Scalar> a = randomIntDense(n, p, 81);
+    Dense<Scalar> b1 = randomIntDense(p, m, 82);
+    Dense<Scalar> b2 = randomIntDense(p, m, 83);
+
+    std::vector<MatMulItem> items;
+    items.push_back({b1, randomIntDense(n, m, 84)});
+    items.push_back({b2, randomIntDense(n, m, 85)});
+    items.push_back({b1, randomIntDense(n, m, 86)}); // repeat of b1
+    items.push_back({b1, randomIntDense(n, m, 87)}); // repeat of b1
+
+    auto engine = makeEngine("hex");
+    BatchOptions opts;
+    opts.crossCheck = true;
+    BatchResult batch = runManyMatMul(*engine, a, w, items, opts);
+
+    ASSERT_EQ(batch.results.size(), items.size());
+    EXPECT_EQ(batch.crossCheckFailures, 0u);
+    EXPECT_EQ(batch.planBuilds, 2u); // b1 and b2
+    EXPECT_EQ(batch.cacheHits, 2u);  // the two b1 repeats
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        Dense<Scalar> gold = matMulAdd(a, items[i].bmat, items[i].e);
+        EXPECT_TRUE(batch.results[i].c == gold) << "item " << i;
+    }
+}
+
+TEST(RunMany, EmptyBatchIsANoop)
+{
+    auto engine = makeEngine("linear");
+    Dense<Scalar> a = randomIntDense(4, 4, 91);
+    BatchResult batch = runManyMatVec(*engine, a, 2, {});
+    EXPECT_TRUE(batch.results.empty());
+    EXPECT_EQ(batch.planBuilds, 0u);
+}
+
+//---------------------------------------------------------------------
+// Server.
+//---------------------------------------------------------------------
+
+ServeRequest
+matVecRequest(const std::string &engine, const Dense<Scalar> &a,
+              std::uint64_t seed, Index w)
+{
+    ServeRequest req;
+    req.engine = engine;
+    req.plan = EnginePlan::matVec(a, randomIntVec(a.cols(), seed),
+                                  randomIntVec(a.rows(), seed + 1), w);
+    return req;
+}
+
+TEST(Server, ServesRequestsAndReportsCacheHits)
+{
+    Server::Options opts;
+    opts.threads = 2;
+    Server server(opts);
+
+    Dense<Scalar> a = randomIntDense(8, 8, 101);
+    ServeRequest r1 = matVecRequest("linear", a, 102, 4);
+    ServeRequest r2 = matVecRequest("linear", a, 104, 4);
+
+    ServeResponse resp1 = server.submit(r1).get();
+    ServeResponse resp2 = server.submit(r2).get();
+    ASSERT_TRUE(resp1.ok) << resp1.error;
+    ASSERT_TRUE(resp2.ok) << resp2.error;
+    EXPECT_EQ(maxAbsDiff(resp1.result.y,
+                         matVec(r1.plan.a, r1.plan.x, r1.plan.b)),
+              0.0);
+    EXPECT_EQ(maxAbsDiff(resp2.result.y,
+                         matVec(r2.plan.a, r2.plan.x, r2.plan.b)),
+              0.0);
+    // Same matrix: the second request must reuse the cached plan.
+    EXPECT_TRUE(resp1.cacheHit || resp2.cacheHit);
+
+    ServerStats stats = server.stats();
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.failures, 0u);
+    EXPECT_EQ(stats.planCache.hits, 1u);
+    ASSERT_EQ(stats.groups.size(), 1u);
+    EXPECT_EQ(stats.groups[0].requests, 2u);
+    EXPECT_EQ(stats.groups[0].cacheHits, 1u);
+    EXPECT_GT(stats.groups[0].simCycles, 0);
+    EXPECT_GE(stats.latency.p99, stats.latency.p50);
+}
+
+TEST(Server, MalformedRequestsResolveToErrors)
+{
+    Server::Options opts;
+    opts.threads = 1;
+    Server server(opts);
+
+    ServeRequest unknown;
+    unknown.engine = "no-such-engine";
+    unknown.plan = EnginePlan::matVec(randomIntDense(4, 4, 111),
+                                      randomIntVec(4, 112),
+                                      randomIntVec(4, 113), 2);
+    ServeResponse r = server.submit(unknown).get();
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("unknown engine"), std::string::npos);
+
+    // Kind mismatch: a matvec plan sent to the hex engine.
+    ServeRequest wrong_kind = unknown;
+    wrong_kind.engine = "hex";
+    ServeResponse r2 = server.submit(wrong_kind).get();
+    EXPECT_FALSE(r2.ok);
+    EXPECT_FALSE(r2.error.empty());
+
+    // Shape mismatch, hand-built to bypass the asserting factory.
+    ServeRequest bad_shape;
+    bad_shape.engine = "linear";
+    bad_shape.plan.kind = ProblemKind::MatVec;
+    bad_shape.plan.a = randomIntDense(4, 4, 114);
+    bad_shape.plan.x = randomIntVec(3, 115); // wrong length
+    bad_shape.plan.b = randomIntVec(4, 116);
+    bad_shape.plan.w = 2;
+    ServeResponse r3 = server.submit(bad_shape).get();
+    EXPECT_FALSE(r3.ok);
+    EXPECT_FALSE(r3.error.empty());
+
+    EXPECT_EQ(server.stats().failures, 3u);
+    EXPECT_EQ(server.stats().requests, 0u);
+}
+
+TEST(Server, CrossCheckModeValidatesEveryTopology)
+{
+    Server::Options opts;
+    opts.threads = 2;
+    opts.crossCheckAll = true;
+    Server server(opts);
+
+    const Index n = 6, m = 6, p = 4, w = 2;
+    Dense<Scalar> a = randomIntDense(n, m, 121);
+    Dense<Scalar> bm = randomIntDense(m, p, 122);
+    Dense<Scalar> e = randomIntDense(n, p, 123);
+
+    std::vector<std::future<ServeResponse>> futures;
+    for (const std::string &name : engineNames()) {
+        auto engine = makeEngine(name);
+        ServeRequest req;
+        req.engine = name;
+        req.plan = engine->kind() == ProblemKind::MatVec
+            ? EnginePlan::matVec(a, randomIntVec(m, 124),
+                                 randomIntVec(n, 125), w)
+            : EnginePlan::matMul(a, bm, e, w);
+        futures.push_back(server.submit(std::move(req)));
+    }
+    for (auto &f : futures) {
+        ServeResponse resp = f.get();
+        ASSERT_TRUE(resp.ok) << resp.error;
+        EXPECT_TRUE(resp.crossCheckOk);
+    }
+    EXPECT_EQ(server.stats().crossCheckFailures, 0u);
+    EXPECT_GE(server.stats().requests, 5u);
+}
+
+TEST(Server, DestructionDrainsQueuedRequests)
+{
+    std::vector<std::future<ServeResponse>> futures;
+    Dense<Scalar> a = randomIntDense(6, 6, 131);
+    {
+        Server::Options opts;
+        opts.threads = 1;
+        Server server(opts);
+        for (int i = 0; i < 8; ++i)
+            futures.push_back(server.submit(
+                matVecRequest("linear", a, 200 + 2 * i, 3)));
+        // Server goes out of scope with requests likely queued.
+    }
+    for (auto &f : futures) {
+        ServeResponse resp = f.get();
+        EXPECT_TRUE(resp.ok) << resp.error;
+    }
+}
+
+} // namespace
+} // namespace sap

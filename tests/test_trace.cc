@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests of the trace tooling: CSV round-trip and the trace-diff
+ * helper that makes schedule regressions visible in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "engine/registry.hh"
+#include "mat/generate.hh"
+#include "sim/trace.hh"
+
+namespace sap {
+namespace {
+
+Trace
+sampleTrace()
+{
+    Trace t;
+    t.add(0, Port::XIn, 0, 1.5);
+    t.add(2, Port::BIn, 1, -3.0);
+    t.add(3, Port::FbIn, 2, 0.125);
+    t.add(5, Port::YOut, 0, 42.0);
+    return t;
+}
+
+TEST(TracePorts, NamesRoundTrip)
+{
+    for (Port p : {Port::XIn, Port::BIn, Port::FbIn, Port::YOut,
+                   Port::AIn, Port::CIn, Port::COut}) {
+        Port parsed;
+        ASSERT_TRUE(portFromName(portName(p), &parsed))
+            << portName(p);
+        EXPECT_EQ(parsed, p);
+    }
+    Port dummy;
+    EXPECT_FALSE(portFromName("bogus", &dummy));
+}
+
+TEST(TraceCsv, SerializesHeaderAndRows)
+{
+    std::string csv = toCsv(sampleTrace());
+    std::istringstream is(csv);
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line, "cycle,port,index,value");
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line, "0,x_in,0,1.5");
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line, "2,b_in,1,-3");
+}
+
+TEST(TraceCsv, RoundTripsExactly)
+{
+    Trace original = sampleTrace();
+    // Include a value that needs full double precision.
+    original.add(7, Port::AIn, 3, 1.0 / 3.0);
+
+    Trace parsed = traceFromCsv(toCsv(original));
+    TraceDiff diff = diffTraces(original, parsed);
+    EXPECT_TRUE(diff.identical) << (diff.lines.empty()
+                                        ? "?"
+                                        : diff.lines.front());
+    EXPECT_EQ(diff.mismatches, 0u);
+}
+
+TEST(TraceCsv, EngineTraceRoundTripsThroughCsv)
+{
+    // A real schedule off the linear engine, not a synthetic one.
+    const Index n = 6, m = 6, w = 3;
+    EnginePlan plan = EnginePlan::matVec(randomIntDense(n, m, 31),
+                                         randomIntVec(m, 32),
+                                         randomIntVec(n, 33), w);
+    plan.recordTrace = true;
+    EngineRunResult r = makeEngine("linear")->run(plan);
+    ASSERT_FALSE(r.trace.empty());
+
+    Trace parsed = traceFromCsv(toCsv(r.trace));
+    EXPECT_TRUE(diffTraces(r.trace, parsed).identical);
+    EXPECT_EQ(parsed.events().size(), r.trace.events().size());
+}
+
+TEST(TraceDiff, ReportsValueAndLengthMismatches)
+{
+    Trace expected = sampleTrace();
+
+    // A changed value at one position.
+    Trace tweaked;
+    for (const TraceEvent &e : expected.events())
+        tweaked.add(e.cycle, e.port, e.index,
+                    e.index == 2 ? e.value + 1 : e.value);
+    TraceDiff value_diff = diffTraces(expected, tweaked);
+    EXPECT_FALSE(value_diff.identical);
+    EXPECT_EQ(value_diff.mismatches, 1u);
+    ASSERT_EQ(value_diff.lines.size(), 1u);
+    EXPECT_NE(value_diff.lines[0].find("event 2"), std::string::npos);
+
+    // A missing trailing event.
+    Trace shorter;
+    for (std::size_t i = 0; i + 1 < expected.events().size(); ++i) {
+        const TraceEvent &e = expected.events()[i];
+        shorter.add(e.cycle, e.port, e.index, e.value);
+    }
+    TraceDiff length_diff = diffTraces(expected, shorter);
+    EXPECT_FALSE(length_diff.identical);
+    EXPECT_EQ(length_diff.mismatches, 1u);
+    EXPECT_NE(length_diff.lines.back().find("length"),
+              std::string::npos);
+
+    // Reordered events are a schedule change, not a match.
+    Trace reordered;
+    for (auto it = expected.events().rbegin();
+         it != expected.events().rend(); ++it)
+        reordered.add(it->cycle, it->port, it->index, it->value);
+    EXPECT_FALSE(diffTraces(expected, reordered).identical);
+}
+
+TEST(TraceDiff, CapsReportedLinesOnTotalDivergence)
+{
+    Trace a, b;
+    for (Index i = 0; i < 100; ++i) {
+        a.add(i, Port::XIn, i, 1.0);
+        b.add(i, Port::XIn, i, 2.0);
+    }
+    TraceDiff diff = diffTraces(a, b);
+    EXPECT_EQ(diff.mismatches, 100u);
+    EXPECT_LE(diff.lines.size(), 16u);
+}
+
+} // namespace
+} // namespace sap
