@@ -20,8 +20,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "base/logging.hh"
 #include "engine/engine.hh"
@@ -109,6 +113,80 @@ registerEngineSweep(const std::string &label, ProblemKind kind,
                 timeEngine(state, name, make_plan());
             });
     }
+}
+
+//---------------------------------------------------------------------
+// Machine-readable benchmark emission: BENCH_<name>.json files that
+// the perf trajectory can be tracked from across PRs, next to the
+// human-readable stdout tables.
+//---------------------------------------------------------------------
+
+/** One measured point: a name, its configuration, its metrics. */
+struct BenchJsonEntry
+{
+    /** Measurement name, e.g. "amortization" or "shard_scaling". */
+    std::string name;
+    /** Configuration key/values (engine, shape, threads, ...). */
+    std::vector<std::pair<std::string, std::string>> config;
+    /** Metric key/values (req_per_s, speedup, cycles_per_s, ...). */
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+/** Minimal JSON string escaping (quotes and backslashes). */
+inline std::string
+benchJsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/**
+ * Write @p entries as BENCH_<bench>.json into $SAP_BENCH_JSON_DIR
+ * (default: the working directory) and return the path written.
+ */
+inline std::string
+writeBenchJson(const std::string &bench,
+               const std::vector<BenchJsonEntry> &entries)
+{
+    const char *dir = std::getenv("SAP_BENCH_JSON_DIR");
+    std::string path = (dir ? std::string(dir) + "/" : std::string()) +
+                       "BENCH_" + bench + ".json";
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     path.c_str());
+        return path;
+    }
+    os << "{\n  \"bench\": \"" << benchJsonEscape(bench)
+       << "\",\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const BenchJsonEntry &e = entries[i];
+        os << "    {\"name\": \"" << benchJsonEscape(e.name)
+           << "\", \"config\": {";
+        for (std::size_t j = 0; j < e.config.size(); ++j)
+            os << (j ? ", " : "") << "\""
+               << benchJsonEscape(e.config[j].first) << "\": \""
+               << benchJsonEscape(e.config[j].second) << "\"";
+        os << "}, \"metrics\": {";
+        char num[32];
+        for (std::size_t j = 0; j < e.metrics.size(); ++j) {
+            std::snprintf(num, sizeof(num), "%.6g",
+                          e.metrics[j].second);
+            os << (j ? ", " : "") << "\""
+               << benchJsonEscape(e.metrics[j].first) << "\": " << num;
+        }
+        os << "}}" << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::printf("wrote %s (%zu entries)\n", path.c_str(),
+                entries.size());
+    return path;
 }
 
 /**

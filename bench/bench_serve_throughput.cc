@@ -63,7 +63,7 @@ makeMatVecWorkload(Index s, Index w, int requests)
  * streams the same requests through one prepared plan.
  */
 void
-printAmortization()
+printAmortization(std::vector<BenchJsonEntry> *json)
 {
     printHeader("SERVE-1", "plan amortization: cached runMany vs "
                            "per-request run (repeated matrix)");
@@ -124,12 +124,21 @@ printAmortization()
         std::printf("%-10s %-22s %8.2fms %8.2fms %7.2fx\n",
                     c.engine, workload, uncached * 1e3, cached * 1e3,
                     uncached / cached);
+        json->push_back(
+            {"amortization",
+             {{"engine", c.engine},
+              {"s", std::to_string(c.s)},
+              {"w", std::to_string(c.w)},
+              {"requests", std::to_string(c.requests)}},
+             {{"uncached_ms", uncached * 1e3},
+              {"cached_ms", cached * 1e3},
+              {"speedup", uncached / cached}}});
     }
 }
 
 /** Mixed-topology request stream through the Server, 1..4 workers. */
 void
-printThreadScaling()
+printThreadScaling(std::vector<BenchJsonEntry> *json)
 {
     printHeader("SERVE-2", "server scaling: mixed-topology stream, "
                            "1..4 worker threads");
@@ -178,17 +187,25 @@ printThreadScaling()
             ok += f.get().ok ? 1 : 0;
         double wall = secondsSince(t0);
         SAP_ASSERT(ok == futures.size(), "serving failures in bench");
+        double req_per_s = static_cast<double>(futures.size()) / wall;
         std::printf("%-8zu %10zu %10.2fms %10.0f\n", threads,
-                    futures.size(), wall * 1e3,
-                    static_cast<double>(futures.size()) / wall);
+                    futures.size(), wall * 1e3, req_per_s);
+        json->push_back({"thread_scaling",
+                         {{"threads", std::to_string(threads)},
+                          {"s", std::to_string(s)},
+                          {"w", std::to_string(w)}},
+                         {{"wall_ms", wall * 1e3},
+                          {"req_per_s", req_per_s}}});
     }
 }
 
 void
 print()
 {
-    printAmortization();
-    printThreadScaling();
+    std::vector<BenchJsonEntry> json;
+    printAmortization(&json);
+    printThreadScaling(&json);
+    writeBenchJson("serve_throughput", json);
 }
 
 //---------------------------------------------------------------------

@@ -12,10 +12,10 @@
 
 include(FetchContent)
 
-# Under ThreadSanitizer every linked object must be instrumented, so
+# Under a sanitizer every linked object must be instrumented, so
 # skip any pre-built system GTest and compile it from source with
-# the global -fsanitize=thread flags.
-if(NOT SAP_TSAN)
+# the global -fsanitize flags.
+if(NOT SAP_TSAN AND NOT SAP_ASAN)
     find_package(GTest QUIET)
 endif()
 

@@ -1,5 +1,12 @@
 #include "analysis/sweep.hh"
 
+#include <future>
+#include <memory>
+
+#include "base/logging.hh"
+#include "mat/generate.hh"
+#include "serve/thread_pool.hh"
+
 namespace sap {
 
 std::vector<MatVecConfig>
@@ -36,6 +43,123 @@ standardMatMulSweep()
     out.push_back({3, 6, 6, 9});  // the paper's Fig. 4 shape (n̄=2,p̄=2,m̄=3)
     out.push_back({2, 3, 5, 7});  // padding path
     return out;
+}
+
+namespace {
+
+/** Fill the measured fields shared by both sweep kinds. */
+void
+fillStats(SweepRow &row, const EngineRunResult &r)
+{
+    row.cycles = r.stats.cycles;
+    row.peCount = r.stats.peCount;
+    row.usefulMacs = r.stats.usefulMacs;
+    row.utilization = r.stats.utilization();
+}
+
+SweepRow
+runMatVecPoint(const SystolicEngine &engine, const MatVecConfig &cfg)
+{
+    // Workload seeds depend only on the config: the contract that
+    // makes rows order- and thread-independent.
+    std::uint64_t seed =
+        17 + static_cast<std::uint64_t>(cfg.n + cfg.m + cfg.w);
+    EnginePlan plan = EnginePlan::matVec(
+        randomIntDense(cfg.n, cfg.m, seed),
+        randomIntVec(cfg.m, seed + 1), randomIntVec(cfg.n, seed + 2),
+        cfg.w);
+    EngineRunResult r = engine.run(plan);
+
+    SweepRow row;
+    row.w = cfg.w;
+    row.n = cfg.n;
+    row.m = cfg.m;
+    fillStats(row, r);
+    row.resultDigest = fingerprintVec(r.y);
+    return row;
+}
+
+SweepRow
+runMatMulPoint(const SystolicEngine &engine, const MatMulConfig &cfg)
+{
+    std::uint64_t seed =
+        29 + static_cast<std::uint64_t>(cfg.n + cfg.p + cfg.m + cfg.w);
+    EnginePlan plan = EnginePlan::matMul(
+        randomIntDense(cfg.n, cfg.p, seed),
+        randomIntDense(cfg.p, cfg.m, seed + 1),
+        randomIntDense(cfg.n, cfg.m, seed + 2), cfg.w);
+    EngineRunResult r = engine.run(plan);
+
+    SweepRow row;
+    row.w = cfg.w;
+    row.n = cfg.n;
+    row.m = cfg.m;
+    row.p = cfg.p;
+    fillStats(row, r);
+    row.resultDigest = fingerprintDense(r.c);
+    return row;
+}
+
+/**
+ * Shared fan-out: run @p point over every config, serially when
+ * @p threads <= 1, otherwise over a worker pool with the results
+ * put back in config order.
+ */
+template <typename Config, typename PointFn>
+std::vector<SweepRow>
+runSweep(const std::vector<Config> &configs, std::size_t threads,
+         const PointFn &point)
+{
+    std::vector<SweepRow> rows;
+    rows.reserve(configs.size());
+    if (threads <= 1) {
+        for (const Config &cfg : configs)
+            rows.push_back(point(cfg));
+        return rows;
+    }
+
+    std::vector<std::future<SweepRow>> futures;
+    futures.reserve(configs.size());
+    {
+        ThreadPool pool(threads);
+        for (const Config &cfg : configs) {
+            auto task =
+                std::make_shared<std::packaged_task<SweepRow()>>(
+                    [&point, cfg] { return point(cfg); });
+            futures.push_back(task->get_future());
+            pool.post([task] { (*task)(); });
+        }
+        // ~ThreadPool drains the queue before joining.
+    }
+    for (std::future<SweepRow> &f : futures)
+        rows.push_back(f.get());
+    return rows;
+}
+
+} // namespace
+
+std::vector<SweepRow>
+runMatVecSweep(const SystolicEngine &engine,
+               const std::vector<MatVecConfig> &configs,
+               std::size_t threads)
+{
+    SAP_ASSERT(engine.kind() == ProblemKind::MatVec,
+               engine.name(), " engine cannot run a matvec sweep");
+    return runSweep(configs, threads, [&engine](const MatVecConfig &c) {
+        return runMatVecPoint(engine, c);
+    });
+}
+
+std::vector<SweepRow>
+runMatMulSweep(const SystolicEngine &engine,
+               const std::vector<MatMulConfig> &configs,
+               std::size_t threads)
+{
+    SAP_ASSERT(engine.kind() == ProblemKind::MatMul,
+               engine.name(), " engine cannot run a matmul sweep");
+    return runSweep(configs, threads, [&engine](const MatMulConfig &c) {
+        return runMatMulPoint(engine, c);
+    });
 }
 
 } // namespace sap

@@ -1,6 +1,8 @@
 /**
  * @file
- * Parameter-sweep descriptors shared by the table benchmarks.
+ * Parameter-sweep descriptors shared by the table benchmarks, plus
+ * the sweep runner that executes them — serially or fanned out over
+ * a worker pool (engines are stateless, so rows parallelize).
  */
 
 #ifndef SAP_ANALYSIS_SWEEP_HH
@@ -9,6 +11,8 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "engine/engine.hh"
+#include "serve/fingerprint.hh"
 
 namespace sap {
 
@@ -38,6 +42,53 @@ std::vector<MatVecConfig> standardMatVecSweep();
 
 /** @copydoc standardMatVecSweep() */
 std::vector<MatMulConfig> standardMatMulSweep();
+
+/**
+ * One measured sweep point. Workloads are generated deterministically
+ * from the configuration (seeded by its dimensions), so a row depends
+ * only on (engine, config) — which is what makes the parallel runner
+ * bit-identical to the serial one.
+ */
+struct SweepRow
+{
+    Index w = 0;
+    Index n = 0;
+    Index m = 0;
+    /** MatMul output columns; 0 for mat-vec rows. */
+    Index p = 0;
+
+    Cycle cycles = 0;
+    Index peCount = 0;
+    Index usefulMacs = 0;
+    double utilization = 0;
+    /** Content digest of the computed y (or C): the equality proof
+     *  that two sweep runs computed the same results. */
+    Digest resultDigest = 0;
+};
+
+/**
+ * Run @p engine over every configuration, in order.
+ *
+ * @param threads 0 or 1 = serial on the calling thread; otherwise
+ *        rows fan out over a worker pool of that size and the
+ *        returned table is identical (engines are stateless and the
+ *        workloads are derived deterministically per config).
+ *
+ * @pre engine.kind() == ProblemKind::MatVec (asserted).
+ */
+std::vector<SweepRow>
+runMatVecSweep(const SystolicEngine &engine,
+               const std::vector<MatVecConfig> &configs,
+               std::size_t threads = 1);
+
+/**
+ * @copydoc runMatVecSweep()
+ * @pre engine.kind() == ProblemKind::MatMul (asserted).
+ */
+std::vector<SweepRow>
+runMatMulSweep(const SystolicEngine &engine,
+               const std::vector<MatMulConfig> &configs,
+               std::size_t threads = 1);
 
 } // namespace sap
 

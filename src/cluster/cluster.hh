@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The multi-array cluster front end: N shards behind one door.
+ *
+ * The paper's size-independent scheme makes one fixed w-wide array
+ * serve arbitrarily large problems; a real installation runs many
+ * such arrays (the multi-processor direction of the hyper-systolic
+ * line of work). Cluster models that: each shard is a self-contained
+ * array installation (serve/shard.hh) with its own worker subset and
+ * plan cache, and requests are routed by consistent hashing on the
+ * plan digest (serve/plan_cache.hh planDigest), so
+ *
+ *  - a given matrix's prepared plan is built and cached on exactly
+ *    one shard — aggregate plan-cache capacity scales with the shard
+ *    count and no plan is duplicated;
+ *  - plan-cache and stats lock contention stays bounded by one
+ *    shard's thread count, not the installation's;
+ *  - growing the installation re-homes only ~1/N of the matrices
+ *    (cluster/router.hh).
+ *
+ * IO surfaces: future-based submit(), completion-callback
+ * submitAsync(), completion-queue submitToQueue() for clients that
+ * cannot block on futures (cluster/completion_queue.hh), and
+ * submitBatch(), which groups same-matrix requests server-side into
+ * a single prepared-plan streaming pass per shard.
+ */
+
+#ifndef SAP_CLUSTER_CLUSTER_HH
+#define SAP_CLUSTER_CLUSTER_HH
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "cluster/completion_queue.hh"
+#include "cluster/router.hh"
+#include "serve/shard.hh"
+
+namespace sap {
+
+/** Whole-cluster statistics: summed counters plus per-shard detail. */
+struct ClusterStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t crossCheckFailures = 0;
+    /** Counters summed over every shard's plan cache. */
+    PlanCacheStats planCache;
+    /** Full per-shard snapshots; index = shard id. */
+    std::vector<ServerStats> shards;
+};
+
+/**
+ * Sharded serving front end.
+ *
+ * Thread-safety: all submission surfaces and stats() may be called
+ * from any number of client threads. Destruction drains every
+ * shard, so returned futures become ready, accepted callbacks fire,
+ * and queued completions are pushed.
+ */
+class Cluster
+{
+  public:
+    struct Options
+    {
+        /** Number of shards (array installations). */
+        std::size_t shards = 2;
+        /** Worker threads dedicated to each shard. */
+        std::size_t threadsPerShard = 2;
+        /** Plans kept by each shard's LRU plan cache. */
+        std::size_t planCacheCapacityPerShard =
+            PlanCache::kDefaultCapacity;
+        /** Ring points per shard (see cluster/router.hh). */
+        std::size_t virtualNodesPerShard =
+            ConsistentHashRouter::kDefaultVirtualNodes;
+        /** Cross-check every request (overrides per-request flag). */
+        bool crossCheckAll = false;
+    };
+
+    /** Cluster with default options. */
+    Cluster();
+
+    explicit Cluster(const Options &opts);
+
+    /** Drains every shard; see class comment. */
+    ~Cluster() = default;
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    /** Number of shards. */
+    std::size_t shardCount() const { return shards_.size(); }
+
+    /**
+     * The routing key of @p req: its plan digest. Deterministic in
+     * the request content alone.
+     */
+    static Digest routingKey(const ServeRequest &req);
+
+    /** Which shard @p req routes to, in [0, shardCount()). */
+    std::size_t shardFor(const ServeRequest &req) const;
+
+    /** Route @p req to its shard; the future resolves when served. */
+    std::future<ServeResponse> submit(ServeRequest req);
+
+    /**
+     * Route @p req to its shard; @p done runs on the worker thread
+     * that served it.
+     */
+    void submitAsync(ServeRequest req, CompletionFn done);
+
+    /**
+     * Route @p req to its shard; on completion, push
+     * {@p tag, response} onto @p queue. @p queue must stay alive
+     * until the completion arrives (destroying the Cluster first
+     * guarantees that).
+     */
+    void submitToQueue(ServeRequest req, CompletionQueue *queue,
+                       std::uint64_t tag);
+
+    /**
+     * Partition @p reqs across shards and batch-submit each
+     * partition (Shard::submitBatch), so same-matrix requests are
+     * served through one prepared-plan streaming pass. Returns one
+     * future per request, in the original request order.
+     */
+    std::vector<std::future<ServeResponse>>
+    submitBatch(std::vector<ServeRequest> reqs);
+
+    /** Summed counters plus per-shard snapshots. */
+    ClusterStats stats() const;
+
+    /** Direct access to shard @p i (for tests and monitoring). */
+    const Shard &shard(std::size_t i) const;
+
+  private:
+    Options opts_;
+    ConsistentHashRouter router_;
+    /** unique_ptr: Shard is non-movable (owns threads and mutexes). */
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace sap
+
+#endif // SAP_CLUSTER_CLUSTER_HH

@@ -1,0 +1,59 @@
+#include "cluster/completion_queue.hh"
+
+namespace sap {
+
+void
+CompletionQueue::push(Completion c)
+{
+    // Notify *under* the lock: a consumer blocked in next() cannot
+    // re-acquire the mutex (and thus pop, return, and potentially
+    // destroy this queue) until we release it, so the signal always
+    // completes before destruction may begin. Notifying after the
+    // unlock would race a worker's notify against a consumer-side
+    // destructor.
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(c));
+    cv_.notify_one();
+}
+
+bool
+CompletionQueue::next(Completion *out)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty())
+        return false; // shut down and drained
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+}
+
+bool
+CompletionQueue::tryNext(Completion *out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty())
+        return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+}
+
+void
+CompletionQueue::shutdown()
+{
+    // Under the lock for the same destruction-safety reason as
+    // push().
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    cv_.notify_all();
+}
+
+std::size_t
+CompletionQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+} // namespace sap

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Pollable completion queue for the cluster's async IO surface.
+ *
+ * The future-based submit() forces every client thread to block on
+ * its own responses. A completion queue inverts that: workers push
+ * tagged completions as they finish, and any number of consumer
+ * threads drain them with next() (blocking) or tryNext()
+ * (non-blocking) — the queue-pair idiom of RDMA/NVMe-style IO, and
+ * the natural shape for an event-loop client that multiplexes many
+ * in-flight requests.
+ *
+ * Lifetime: keep the queue alive until every request submitted
+ * against it has completed (destroying the owning Cluster first is
+ * sufficient — its shards drain on destruction). shutdown() wakes
+ * blocked consumers; next() then returns the remaining completions
+ * and finally false.
+ */
+
+#ifndef SAP_CLUSTER_COMPLETION_QUEUE_HH
+#define SAP_CLUSTER_COMPLETION_QUEUE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "serve/shard.hh"
+
+namespace sap {
+
+/** One finished request: the caller's tag plus the response. */
+struct Completion
+{
+    /** Caller-chosen request identifier, echoed back verbatim. */
+    std::uint64_t tag = 0;
+    ServeResponse response;
+};
+
+/**
+ * Unbounded MPMC queue of completions.
+ *
+ * Thread-safety: all members may be called concurrently from any
+ * number of producer and consumer threads.
+ */
+class CompletionQueue
+{
+  public:
+    CompletionQueue() = default;
+
+    CompletionQueue(const CompletionQueue &) = delete;
+    CompletionQueue &operator=(const CompletionQueue &) = delete;
+
+    /** Enqueue @p c and wake one blocked consumer. */
+    void push(Completion c);
+
+    /**
+     * Pop the oldest completion into @p out, blocking while the
+     * queue is empty and not shut down.
+     *
+     * @return false only after shutdown() once the queue is drained.
+     */
+    bool next(Completion *out);
+
+    /** Pop into @p out without blocking; false when empty. */
+    bool tryNext(Completion *out);
+
+    /**
+     * Mark the queue finished: blocked consumers wake, drain what is
+     * queued, then next() returns false. push() stays legal (late
+     * completions are still delivered to pollers).
+     */
+    void shutdown();
+
+    /** Completions currently queued. */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Completion> queue_;
+    bool shutdown_ = false;
+};
+
+} // namespace sap
+
+#endif // SAP_CLUSTER_COMPLETION_QUEUE_HH

@@ -212,10 +212,18 @@ SystolicEngine::runMany(const EnginePlan &plan,
                         const std::vector<EngineInputs> &inputs) const
 {
     std::shared_ptr<const PreparedPlan> prepared = prepare(plan);
+    return runManyPrepared(*prepared, inputs);
+}
+
+std::vector<EngineRunResult>
+SystolicEngine::runManyPrepared(
+    const PreparedPlan &prepared,
+    const std::vector<EngineInputs> &inputs) const
+{
     std::vector<EngineRunResult> out;
     out.reserve(inputs.size());
     for (const EngineInputs &in : inputs)
-        out.push_back(runPrepared(*prepared, in));
+        out.push_back(runPrepared(prepared, in));
     return out;
 }
 

@@ -256,6 +256,22 @@ class SystolicEngine
     std::vector<EngineRunResult>
     runMany(const EnginePlan &plan,
             const std::vector<EngineInputs> &inputs) const;
+
+    /**
+     * Stream every element of @p inputs through one already-prepared
+     * plan, in order: the streaming half of runMany(), for callers
+     * that fetched (or cached) the prepared plan themselves — the
+     * batched serve/batch.hh runMany() streams its cache-fetched
+     * plans through this. The serving shard's batch path streams
+     * per-request instead, because it interleaves validation and
+     * stats between runs.
+     *
+     * @pre @p prepared came from this engine's prepare().
+     * @pre Every input matches the prepared plan's shape contract.
+     */
+    std::vector<EngineRunResult>
+    runManyPrepared(const PreparedPlan &prepared,
+                    const std::vector<EngineInputs> &inputs) const;
 };
 
 } // namespace sap

@@ -45,13 +45,11 @@ runMany(const SystolicEngine &engine, const EnginePlan &plan,
         ++out.planBuilds;
     }
 
-    out.results.reserve(inputs.size());
-    for (const EngineInputs &in : inputs) {
-        out.results.push_back(engine.runPrepared(*prepared, in));
-        if (opts.crossCheck &&
-            !crossCheckOne(plan, in, out.results.back()))
-            ++out.crossCheckFailures;
-    }
+    out.results = engine.runManyPrepared(*prepared, inputs);
+    if (opts.crossCheck)
+        for (std::size_t i = 0; i < inputs.size(); ++i)
+            if (!crossCheckOne(plan, inputs[i], out.results[i]))
+                ++out.crossCheckFailures;
     return out;
 }
 

@@ -4,24 +4,33 @@
 
 namespace sap {
 
+Digest
+planDigest(const std::string &engine_name, const EnginePlan &plan,
+           const DenseHashFn &hash)
+{
+    auto hashOf = [&hash](const Dense<Scalar> &m) {
+        return hash ? hash(m) : fingerprintDense(m);
+    };
+    Digest d = fingerprintString(engine_name);
+    d = combineDigests(d, static_cast<Digest>(plan.kind));
+    d = combineDigests(d, static_cast<Digest>(plan.w));
+    d = combineDigests(d, hashOf(plan.a));
+    if (plan.kind == ProblemKind::MatMul)
+        d = combineDigests(d, hashOf(plan.bmat));
+    return d;
+}
+
 PlanCache::PlanCache(std::size_t capacity, DenseHashFn hash)
-    : capacity_(capacity),
+    : capacity_(capacity), default_hash_(!hash),
       hash_(hash ? std::move(hash) : DenseHashFn(fingerprintDense))
 {
-    SAP_ASSERT(capacity_ >= 1, "plan cache needs capacity >= 1");
 }
 
 Digest
 PlanCache::digestOf(const std::string &engine_name,
                     const EnginePlan &plan) const
 {
-    Digest d = fingerprintString(engine_name);
-    d = combineDigests(d, static_cast<Digest>(plan.kind));
-    d = combineDigests(d, static_cast<Digest>(plan.w));
-    d = combineDigests(d, hash_(plan.a));
-    if (plan.kind == ProblemKind::MatMul)
-        d = combineDigests(d, hash_(plan.bmat));
-    return d;
+    return planDigest(engine_name, plan, hash_);
 }
 
 bool
@@ -59,8 +68,25 @@ PlanCache::lookupLocked(Digest digest, const std::string &engine_name,
 PlanCache::Prepared
 PlanCache::prepare(const SystolicEngine &engine, const EnginePlan &plan)
 {
+    return prepareKeyed(engine, plan, digestOf(engine.name(), plan));
+}
+
+PlanCache::Prepared
+PlanCache::prepare(const SystolicEngine &engine, const EnginePlan &plan,
+                   Digest digest)
+{
+    // A caller's hint was computed with the default hash; recompute
+    // when this cache hashes differently.
+    if (!default_hash_)
+        digest = digestOf(engine.name(), plan);
+    return prepareKeyed(engine, plan, digest);
+}
+
+PlanCache::Prepared
+PlanCache::prepareKeyed(const SystolicEngine &engine,
+                        const EnginePlan &plan, Digest digest)
+{
     const std::string engine_name = engine.name();
-    const Digest digest = digestOf(engine_name, plan);
 
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -74,6 +100,10 @@ PlanCache::prepare(const SystolicEngine &engine, const EnginePlan &plan)
     // Build outside the lock: the transform is the expensive part
     // and must not serialize unrelated requests.
     std::shared_ptr<const PreparedPlan> built = engine.prepare(plan);
+
+    // Capacity 0 = caching disabled: serve the build, keep nothing.
+    if (capacity_ == 0)
+        return {built, /*hit=*/false};
 
     std::lock_guard<std::mutex> lock(mutex_);
     // Another thread may have inserted the same key meanwhile;

@@ -56,6 +56,19 @@ struct PlanCacheStats
     }
 };
 
+/**
+ * The cache-identity digest of (engine, plan): what PlanCache keys
+ * entries by and what the cluster router (cluster/router.hh) hashes
+ * to pin a matrix to one shard. Covers engine name, problem kind,
+ * array size, and the content digests of the bound matrices (A, and
+ * B for MatMul).
+ *
+ * @param hash Dense-matrix hash; empty uses fingerprintDense.
+ */
+Digest planDigest(const std::string &engine_name,
+                  const EnginePlan &plan,
+                  const DenseHashFn &hash = nullptr);
+
 /** LRU cache of prepared plans keyed by matrix content. */
 class PlanCache
 {
@@ -64,7 +77,9 @@ class PlanCache
     static constexpr std::size_t kDefaultCapacity = 64;
 
     /**
-     * @param capacity Maximum number of cached plans (>= 1).
+     * @param capacity Maximum number of cached plans. Capacity 0
+     *        disables caching: every prepare() builds and counts a
+     *        miss, and nothing is retained.
      * @param hash Dense-matrix hash; nullptr uses fingerprintDense.
      */
     explicit PlanCache(std::size_t capacity = kDefaultCapacity,
@@ -85,6 +100,18 @@ class PlanCache
      */
     Prepared prepare(const SystolicEngine &engine,
                      const EnginePlan &plan);
+
+    /**
+     * As prepare(), with the key digest already computed — callers
+     * that hashed the matrices for routing (cluster/cluster.hh)
+     * or batch grouping (serve/shard.hh) skip rehashing them here.
+     *
+     * @pre @p digest == planDigest(engine.name(), plan) with the
+     *      default hash. When the cache was built with a custom
+     *      hash, the hint is ignored and the digest is recomputed.
+     */
+    Prepared prepare(const SystolicEngine &engine,
+                     const EnginePlan &plan, Digest digest);
 
     /** Counter snapshot. */
     PlanCacheStats stats() const;
@@ -115,6 +142,9 @@ class PlanCache
 
     Digest digestOf(const std::string &engine_name,
                     const EnginePlan &plan) const;
+    /** The shared lookup/insert path; trusts @p digest as the key. */
+    Prepared prepareKeyed(const SystolicEngine &engine,
+                          const EnginePlan &plan, Digest digest);
     bool entryMatches(const Entry &e, const std::string &engine_name,
                       const EnginePlan &plan) const;
     /** Lookup under lock_; promotes the entry on hit. */
@@ -124,6 +154,11 @@ class PlanCache
     void evictLocked();
 
     std::size_t capacity_;
+    /** True when hash_ is fingerprintDense: only then may callers'
+     *  precomputed planDigest() hints substitute for digestOf().
+     *  Declared before hash_ so it is initialized from the ctor
+     *  argument before that argument is moved into hash_. */
+    bool default_hash_;
     DenseHashFn hash_;
 
     mutable std::mutex mutex_;

@@ -1,158 +1,43 @@
 #include "serve/server.hh"
 
-#include <chrono>
-
-#include "engine/registry.hh"
-#include "mat/ops.hh"
-
 namespace sap {
 
-namespace {
-
-/**
- * Request validation that *reports* instead of asserting: the same
- * conditions as EnginePlan::validate() plus the engine-kind match,
- * returned as an error string (empty = valid) so a malformed request
- * becomes an error response, not a dead server.
- */
-std::string
-validateRequest(const SystolicEngine &engine, const EnginePlan &plan)
+Shard::Options
+Server::shardOptions(const Options &opts)
 {
-    if (plan.kind != engine.kind())
-        return "engine '" + engine.name() + "' serves " +
-               problemKindName(engine.kind()) + " but the request is " +
-               problemKindName(plan.kind);
-    if (plan.w < 1)
-        return "array size w must be >= 1";
-    if (plan.a.rows() <= 0 || plan.a.cols() <= 0)
-        return "empty matrix A";
-    if (plan.kind == ProblemKind::MatVec) {
-        if (plan.x.size() != plan.a.cols())
-            return "x length " + std::to_string(plan.x.size()) +
-                   " != A cols " + std::to_string(plan.a.cols());
-        if (plan.b.size() != plan.a.rows())
-            return "b length " + std::to_string(plan.b.size()) +
-                   " != A rows " + std::to_string(plan.a.rows());
-    } else {
-        if (plan.bmat.rows() != plan.a.cols())
-            return "B rows " + std::to_string(plan.bmat.rows()) +
-                   " != A cols " + std::to_string(plan.a.cols());
-        if (plan.e.rows() != plan.a.rows() ||
-            plan.e.cols() != plan.bmat.cols())
-            return "E shape mismatch";
-    }
-    return {};
+    Shard::Options shard;
+    shard.threads = opts.threads;
+    shard.planCacheCapacity = opts.planCacheCapacity;
+    shard.crossCheckAll = opts.crossCheckAll;
+    return shard;
 }
-
-ShapeKey
-shapeKeyOf(const std::string &engine_name, const EnginePlan &plan)
-{
-    ShapeKey key;
-    key.engine = engine_name;
-    key.kind = plan.kind;
-    key.rows = plan.a.rows();
-    key.cols = plan.a.cols();
-    key.outCols =
-        plan.kind == ProblemKind::MatMul ? plan.bmat.cols() : 0;
-    key.w = plan.w;
-    return key;
-}
-
-bool
-matchesOracle(const EnginePlan &plan, const EngineRunResult &r)
-{
-    if (plan.kind == ProblemKind::MatVec) {
-        Vec<Scalar> gold = matVec(plan.a, plan.x, plan.b);
-        return r.y.size() == gold.size() &&
-               maxAbsDiff(r.y, gold) == 0.0;
-    }
-    return r.c == matMulAdd(plan.a, plan.bmat, plan.e);
-}
-
-} // namespace
 
 Server::Server() : Server(Options()) {}
 
-Server::Server(const Options &opts)
-    : opts_(opts), cache_(opts.planCacheCapacity),
-      pool_(opts.threads)
-{
-}
+Server::Server(const Options &opts) : shard_(shardOptions(opts)) {}
 
 std::future<ServeResponse>
 Server::submit(ServeRequest req)
 {
-    auto task = std::make_shared<std::packaged_task<ServeResponse()>>(
-        [this, req = std::move(req)]() { return handle(req); });
-    std::future<ServeResponse> fut = task->get_future();
-    pool_.post([task] { (*task)(); });
-    return fut;
+    return shard_.submit(std::move(req));
 }
 
-const SystolicEngine *
-Server::engineFor(const std::string &name)
+void
+Server::submitAsync(ServeRequest req, CompletionFn done)
 {
-    std::lock_guard<std::mutex> lock(engines_mutex_);
-    auto it = engines_.find(name);
-    if (it != engines_.end())
-        return it->second.get();
-    std::unique_ptr<SystolicEngine> engine = makeEngine(name);
-    if (!engine)
-        return nullptr;
-    return engines_.emplace(name, std::move(engine))
-        .first->second.get();
+    shard_.submitAsync(std::move(req), std::move(done));
 }
 
-ServeResponse
-Server::handle(const ServeRequest &req)
+std::vector<std::future<ServeResponse>>
+Server::submitBatch(std::vector<ServeRequest> reqs)
 {
-    using Clock = std::chrono::steady_clock;
-    const Clock::time_point t0 = Clock::now();
-    auto elapsedMicros = [&t0] {
-        return std::chrono::duration<double, std::micro>(
-                   Clock::now() - t0)
-            .count();
-    };
-
-    ServeResponse resp;
-    const SystolicEngine *engine = engineFor(req.engine);
-    if (!engine) {
-        resp.error = "unknown engine '" + req.engine + "'";
-        stats_.recordFailure();
-        resp.latencyMicros = elapsedMicros();
-        return resp;
-    }
-    std::string error = validateRequest(*engine, req.plan);
-    if (!error.empty()) {
-        resp.error = std::move(error);
-        stats_.recordFailure();
-        resp.latencyMicros = elapsedMicros();
-        return resp;
-    }
-
-    PlanCache::Prepared cached = cache_.prepare(*engine, req.plan);
-    resp.cacheHit = cached.hit;
-    resp.result =
-        engine->runPrepared(*cached.plan, EngineInputs::of(req.plan));
-    resp.ok = true;
-
-    if (req.crossCheck || opts_.crossCheckAll) {
-        resp.crossCheckOk = matchesOracle(req.plan, resp.result);
-        if (!resp.crossCheckOk)
-            stats_.recordCrossCheckFailure();
-    }
-
-    resp.latencyMicros = elapsedMicros();
-    stats_.record(shapeKeyOf(req.engine, req.plan), resp.cacheHit,
-                  resp.result.stats.cycles, resp.latencyMicros);
-    return resp;
+    return shard_.submitBatch(std::move(reqs));
 }
 
 ServerStats
 Server::stats() const
 {
-    PlanCacheStats cache_stats = cache_.stats();
-    return stats_.snapshot(&cache_stats);
+    return shard_.stats();
 }
 
 } // namespace sap

@@ -1,61 +1,25 @@
 /**
  * @file
- * The serving front end: submit(request) -> future<response> over a
- * worker pool, with plan caching and per-(engine, shape) statistics.
+ * The single-pool serving front end: submit(request) ->
+ * future<response> over a worker pool, with plan caching and
+ * per-(engine, shape) statistics.
  *
- * This turns the stateless engine layer into a high-throughput
- * request server. Workers resolve the engine by registry name, fetch
- * the DBT-transformed plan from the content-addressed PlanCache
- * (building it on first sight of a matrix), stream the request's
- * operands through it, and optionally cross-check the result against
- * the host oracle. Malformed requests (unknown engine, wrong kind,
- * inconsistent shapes) resolve to error responses instead of
- * asserting, so one bad client cannot take the server down.
+ * Since the cluster layer landed, all serving mechanics live in
+ * serve/shard.hh — a Server is exactly one Shard behind a stable
+ * facade (and ServeRequest/ServeResponse are defined there). Use
+ * cluster/cluster.hh when you want several shards behind consistent-
+ * hash routing, or the async completion-queue surfaces; use Server
+ * when one pool and future-based IO are enough.
  */
 
 #ifndef SAP_SERVE_SERVER_HH
 #define SAP_SERVE_SERVER_HH
 
 #include <future>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <string>
 
-#include "engine/engine.hh"
-#include "serve/plan_cache.hh"
-#include "serve/server_stats.hh"
-#include "serve/thread_pool.hh"
+#include "serve/shard.hh"
 
 namespace sap {
-
-/** One serving request: which engine, which problem. */
-struct ServeRequest
-{
-    /** Engine registry name ("linear", "hex", ...). */
-    std::string engine;
-    /** The full problem: bound matrices plus streamed operands. */
-    EnginePlan plan;
-    /** Cross-check this request against the host oracle. */
-    bool crossCheck = false;
-};
-
-/** What a request resolves to. */
-struct ServeResponse
-{
-    /** False when the request was malformed; see error. */
-    bool ok = false;
-    /** Human-readable reason when !ok. */
-    std::string error;
-    /** Engine results (valid when ok). */
-    EngineRunResult result;
-    /** The plan came from the cache (dense→band rebuild skipped). */
-    bool cacheHit = false;
-    /** False when a requested cross-check mismatched. */
-    bool crossCheckOk = true;
-    /** Wall-clock service time of this request in microseconds. */
-    double latencyMicros = 0;
-};
 
 /**
  * Multi-threaded serving layer over the engine registry.
@@ -91,30 +55,26 @@ class Server
     /** Enqueue @p req; the future resolves when a worker served it. */
     std::future<ServeResponse> submit(ServeRequest req);
 
+    /** @copydoc Shard::submitAsync */
+    void submitAsync(ServeRequest req, CompletionFn done);
+
+    /** @copydoc Shard::submitBatch */
+    std::vector<std::future<ServeResponse>>
+    submitBatch(std::vector<ServeRequest> reqs);
+
     /** Consistent statistics snapshot (includes plan-cache stats). */
     ServerStats stats() const;
 
     /** Worker count. */
-    std::size_t threadCount() const { return pool_.threadCount(); }
+    std::size_t threadCount() const { return shard_.threadCount(); }
 
     /** The shared plan cache (for tests and monitoring). */
-    const PlanCache &planCache() const { return cache_; }
+    const PlanCache &planCache() const { return shard_.planCache(); }
 
   private:
-    ServeResponse handle(const ServeRequest &req);
-    /** Lazily instantiated shared engine instances, by name. */
-    const SystolicEngine *engineFor(const std::string &name);
+    static Shard::Options shardOptions(const Options &opts);
 
-    Options opts_;
-    PlanCache cache_;
-    StatsRecorder stats_;
-
-    std::mutex engines_mutex_;
-    std::map<std::string, std::unique_ptr<SystolicEngine>> engines_;
-
-    /** Declared last: destroyed first, so workers drain while every
-     *  other member is still alive. */
-    ThreadPool pool_;
+    Shard shard_;
 };
 
 } // namespace sap

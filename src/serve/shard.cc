@@ -1,0 +1,334 @@
+#include "serve/shard.hh"
+
+#include <chrono>
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "engine/registry.hh"
+#include "mat/ops.hh"
+
+namespace sap {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMicros(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                     t0)
+        .count();
+}
+
+/**
+ * Request validation that *reports* instead of asserting: the same
+ * conditions as EnginePlan::validate() plus the engine-kind match,
+ * returned as an error string (empty = valid) so a malformed request
+ * becomes an error response, not a dead shard.
+ */
+std::string
+validateRequest(const SystolicEngine &engine, const EnginePlan &plan)
+{
+    if (plan.kind != engine.kind())
+        return "engine '" + engine.name() + "' serves " +
+               problemKindName(engine.kind()) + " but the request is " +
+               problemKindName(plan.kind);
+    if (plan.w < 1)
+        return "array size w must be >= 1";
+    if (plan.a.rows() <= 0 || plan.a.cols() <= 0)
+        return "empty matrix A";
+    if (plan.kind == ProblemKind::MatVec) {
+        if (plan.x.size() != plan.a.cols())
+            return "x length " + std::to_string(plan.x.size()) +
+                   " != A cols " + std::to_string(plan.a.cols());
+        if (plan.b.size() != plan.a.rows())
+            return "b length " + std::to_string(plan.b.size()) +
+                   " != A rows " + std::to_string(plan.a.rows());
+    } else {
+        if (plan.bmat.rows() != plan.a.cols())
+            return "B rows " + std::to_string(plan.bmat.rows()) +
+                   " != A cols " + std::to_string(plan.a.cols());
+        if (plan.e.rows() != plan.a.rows() ||
+            plan.e.cols() != plan.bmat.cols())
+            return "E shape mismatch";
+    }
+    return {};
+}
+
+ShapeKey
+shapeKeyOf(const std::string &engine_name, const EnginePlan &plan)
+{
+    ShapeKey key;
+    key.engine = engine_name;
+    key.kind = plan.kind;
+    key.rows = plan.a.rows();
+    key.cols = plan.a.cols();
+    key.outCols =
+        plan.kind == ProblemKind::MatMul ? plan.bmat.cols() : 0;
+    key.w = plan.w;
+    return key;
+}
+
+bool
+matchesOracle(const EnginePlan &plan, const EngineRunResult &r)
+{
+    if (plan.kind == ProblemKind::MatVec) {
+        Vec<Scalar> gold = matVec(plan.a, plan.x, plan.b);
+        return r.y.size() == gold.size() &&
+               maxAbsDiff(r.y, gold) == 0.0;
+    }
+    return r.c == matMulAdd(plan.a, plan.bmat, plan.e);
+}
+
+/**
+ * True when two requests bind identical plans: same engine, kind,
+ * array size, and element-wise equal bound matrices. This is the
+ * exact-compare backstop behind digest-keyed batch grouping — two
+ * requests whose digests collide must not share a prepared plan.
+ */
+bool
+sameBinding(const ServeRequest &a, const ServeRequest &b)
+{
+    return a.engine == b.engine && a.plan.kind == b.plan.kind &&
+           a.plan.w == b.plan.w && a.plan.a == b.plan.a &&
+           (a.plan.kind != ProblemKind::MatMul ||
+            a.plan.bmat == b.plan.bmat);
+}
+
+} // namespace
+
+Shard::Shard(const Options &opts)
+    : opts_(opts), cache_(opts.planCacheCapacity), pool_(opts.threads)
+{
+}
+
+std::future<ServeResponse>
+Shard::submit(ServeRequest req)
+{
+    // No digest hint: hash on the worker (inside handle), keeping
+    // the submitting client thread free of O(rows·cols) work.
+    auto task = std::make_shared<std::packaged_task<ServeResponse()>>(
+        [this, req = std::move(req)]() { return handle(req); });
+    std::future<ServeResponse> fut = task->get_future();
+    pool_.post([task] { (*task)(); });
+    return fut;
+}
+
+std::future<ServeResponse>
+Shard::submit(ServeRequest req, Digest digest)
+{
+    auto task = std::make_shared<std::packaged_task<ServeResponse()>>(
+        [this, req = std::move(req), digest]() {
+            return handle(req, digest);
+        });
+    std::future<ServeResponse> fut = task->get_future();
+    pool_.post([task] { (*task)(); });
+    return fut;
+}
+
+void
+Shard::submitAsync(ServeRequest req, CompletionFn done)
+{
+    SAP_ASSERT(done, "submitAsync() needs a completion callback");
+    // One shared holder: std::function requires copyable targets,
+    // and the request is worth not copying per post. As with
+    // submit(), hashing happens on the worker.
+    auto job = std::make_shared<std::pair<ServeRequest, CompletionFn>>(
+        std::move(req), std::move(done));
+    pool_.post([this, job] { job->second(handle(job->first)); });
+}
+
+void
+Shard::submitAsync(ServeRequest req, CompletionFn done, Digest digest)
+{
+    SAP_ASSERT(done, "submitAsync() needs a completion callback");
+    auto job = std::make_shared<std::pair<ServeRequest, CompletionFn>>(
+        std::move(req), std::move(done));
+    pool_.post([this, job, digest] {
+        job->second(handle(job->first, digest));
+    });
+}
+
+std::vector<std::future<ServeResponse>>
+Shard::submitBatch(std::vector<ServeRequest> reqs)
+{
+    std::vector<std::pair<ServeRequest, Digest>> keyed;
+    keyed.reserve(reqs.size());
+    for (ServeRequest &req : reqs) {
+        Digest digest = planDigest(req.engine, req.plan);
+        keyed.emplace_back(std::move(req), digest);
+    }
+    return submitBatch(std::move(keyed));
+}
+
+std::vector<std::future<ServeResponse>>
+Shard::submitBatch(std::vector<std::pair<ServeRequest, Digest>> reqs)
+{
+    std::vector<std::future<ServeResponse>> futures;
+    futures.reserve(reqs.size());
+
+    // Partition by plan digest; serveGroup() re-checks exact binding
+    // equality, so a digest collision degrades to individual service
+    // rather than a shared (wrong) plan.
+    std::unordered_map<Digest, std::shared_ptr<std::vector<Job>>>
+        groups;
+    std::vector<std::pair<Digest, std::shared_ptr<std::vector<Job>>>>
+        post_order;
+    for (auto &keyed : reqs) {
+        Job job;
+        job.req = std::move(keyed.first);
+        futures.push_back(job.promise.get_future());
+        std::shared_ptr<std::vector<Job>> &group =
+            groups[keyed.second];
+        if (!group) {
+            group = std::make_shared<std::vector<Job>>();
+            post_order.emplace_back(keyed.second, group);
+        }
+        group->push_back(std::move(job));
+    }
+    for (const auto &entry : post_order) {
+        const Digest digest = entry.first;
+        const std::shared_ptr<std::vector<Job>> group = entry.second;
+        pool_.post([this, digest, group] {
+            serveGroup(digest, *group);
+        });
+    }
+    return futures;
+}
+
+const SystolicEngine *
+Shard::engineFor(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(engines_mutex_);
+    auto it = engines_.find(name);
+    if (it != engines_.end())
+        return it->second.get();
+    std::unique_ptr<SystolicEngine> engine = makeEngine(name);
+    if (!engine)
+        return nullptr;
+    return engines_.emplace(name, std::move(engine))
+        .first->second.get();
+}
+
+ServeResponse
+Shard::handle(const ServeRequest &req)
+{
+    return handle(req, planDigest(req.engine, req.plan));
+}
+
+ServeResponse
+Shard::handle(const ServeRequest &req, Digest digest)
+{
+    const Clock::time_point t0 = Clock::now();
+    const SystolicEngine *engine = engineFor(req.engine);
+    if (!engine)
+        return fail("unknown engine '" + req.engine + "'", t0);
+    std::string error = validateRequest(*engine, req.plan);
+    if (!error.empty())
+        return fail(std::move(error), t0);
+
+    PlanCache::Prepared cached =
+        cache_.prepare(*engine, req.plan, digest);
+    return finish(req, *engine, *cached.plan, cached.hit, t0);
+}
+
+ServeResponse
+Shard::fail(std::string error, Clock::time_point t0)
+{
+    ServeResponse resp;
+    resp.error = std::move(error);
+    stats_.recordFailure();
+    resp.latencyMicros = elapsedMicros(t0);
+    return resp;
+}
+
+ServeResponse
+Shard::finish(const ServeRequest &req, const SystolicEngine &engine,
+              const PreparedPlan &prepared, bool cacheHit,
+              Clock::time_point t0)
+{
+    ServeResponse resp;
+    resp.cacheHit = cacheHit;
+    resp.result =
+        engine.runPrepared(prepared, EngineInputs::of(req.plan));
+    resp.ok = true;
+
+    if (req.crossCheck || opts_.crossCheckAll) {
+        resp.crossCheckOk = matchesOracle(req.plan, resp.result);
+        if (!resp.crossCheckOk)
+            stats_.recordCrossCheckFailure();
+    }
+
+    resp.latencyMicros = elapsedMicros(t0);
+    stats_.record(shapeKeyOf(req.engine, req.plan), cacheHit,
+                  resp.result.stats.cycles, resp.latencyMicros);
+    return resp;
+}
+
+void
+Shard::serveGroup(Digest digest, std::vector<Job> &jobs)
+{
+    // The first valid request is the leader: it pays the (possibly
+    // cached) prepare, and every follower with identical bindings
+    // rides the same plan as a reported cache hit. Malformed
+    // requests resolve to error responses without blocking the
+    // group; digest collisions fall back to individual service.
+    const Job *leader = nullptr;
+    const SystolicEngine *leader_engine = nullptr;
+    std::shared_ptr<const PreparedPlan> shared_plan;
+
+    for (Job &job : jobs) {
+        const ServeRequest &req = job.req;
+        const Clock::time_point t0 = Clock::now();
+
+        if (leader && sameBinding(leader->req, req)) {
+            // Followers still need operand validation: sameBinding()
+            // covers only the bound matrices, and a malformed x/b/e
+            // must become an error response, not an engine assert.
+            std::string error =
+                validateRequest(*leader_engine, req.plan);
+            if (!error.empty()) {
+                job.promise.set_value(fail(std::move(error), t0));
+                continue;
+            }
+            job.promise.set_value(finish(req, *leader_engine,
+                                         *shared_plan,
+                                         /*cacheHit=*/true, t0));
+            continue;
+        }
+        if (leader) {
+            // Digest collision: a different binding in this group.
+            job.promise.set_value(handle(req));
+            continue;
+        }
+
+        const SystolicEngine *engine = engineFor(req.engine);
+        if (!engine) {
+            job.promise.set_value(
+                fail("unknown engine '" + req.engine + "'", t0));
+            continue;
+        }
+        std::string error = validateRequest(*engine, req.plan);
+        if (!error.empty()) {
+            job.promise.set_value(fail(std::move(error), t0));
+            continue;
+        }
+        PlanCache::Prepared cached =
+            cache_.prepare(*engine, req.plan, digest);
+        leader = &job;
+        leader_engine = engine;
+        shared_plan = cached.plan;
+        job.promise.set_value(
+            finish(req, *engine, *shared_plan, cached.hit, t0));
+    }
+}
+
+ServerStats
+Shard::stats() const
+{
+    PlanCacheStats cache_stats = cache_.stats();
+    return stats_.snapshot(&cache_stats);
+}
+
+} // namespace sap

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Golden-trace regression tests: the port-level schedules of checked-
+ * in CSV traces (tests/data/) are re-simulated and diffed, so any
+ * change to the linear array's I/O schedule shows up as a reviewable
+ * CSV diff instead of a silent behavior shift.
+ *
+ * The workloads avoid RNG entirely (coordinate-coded matrices,
+ * index-derived vectors): the goldens are identical on every
+ * platform and standard library.
+ *
+ * Regenerating after an *intentional* schedule change:
+ *   SAP_REGEN_GOLDEN=1 ./build/tests/test_golden_trace
+ * then review and commit the rewritten CSVs under tests/data/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "engine/registry.hh"
+#include "mat/generate.hh"
+#include "sim/trace.hh"
+
+#ifndef SAP_TEST_DATA_DIR
+#error "SAP_TEST_DATA_DIR must point at tests/data"
+#endif
+
+namespace sap {
+namespace {
+
+/** Deterministic mat-vec plan for one golden shape. */
+EnginePlan
+goldenPlan(Index n, Index m, Index w)
+{
+    Dense<Scalar> a = coordinateCoded(n, m);
+    Vec<Scalar> x(m), b(n);
+    for (Index i = 0; i < m; ++i)
+        x[i] = static_cast<Scalar>(i + 1);
+    for (Index i = 0; i < n; ++i)
+        b[i] = static_cast<Scalar>(100 + i);
+    EnginePlan plan = EnginePlan::matVec(a, x, b, w);
+    plan.recordTrace = true;
+    return plan;
+}
+
+void
+checkGolden(const std::string &file, Index n, Index m, Index w)
+{
+    const std::string path =
+        std::string(SAP_TEST_DATA_DIR) + "/" + file;
+    EngineRunResult r = makeEngine("linear")->run(goldenPlan(n, m, w));
+    ASSERT_FALSE(r.trace.empty());
+
+    if (std::getenv("SAP_REGEN_GOLDEN") != nullptr) {
+        std::ofstream os(path);
+        ASSERT_TRUE(os.good()) << "cannot write " << path;
+        writeCsv(os, r.trace);
+    }
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good())
+        << "missing golden " << path
+        << " (generate with SAP_REGEN_GOLDEN=1)";
+    std::stringstream buf;
+    buf << is.rdbuf();
+    Trace golden = traceFromCsv(buf.str());
+
+    TraceDiff diff = diffTraces(golden, r.trace);
+    EXPECT_TRUE(diff.identical)
+        << diff.mismatches << " schedule mismatches vs " << file
+        << "; first: "
+        << (diff.lines.empty() ? std::string("?") : diff.lines[0]);
+}
+
+TEST(GoldenTrace, LinearW3Square)
+{
+    // The paper's worked example shape: 6×6 on a w=3 array.
+    checkGolden("trace_linear_w3_n6_m6.csv", 6, 6, 3);
+}
+
+TEST(GoldenTrace, LinearW4PaddedRectangular)
+{
+    // Non-multiple dimensions exercise the zero-padding schedule.
+    checkGolden("trace_linear_w4_n5_m13.csv", 5, 13, 4);
+}
+
+} // namespace
+} // namespace sap

@@ -157,6 +157,59 @@ TEST(PlanCache, FingerprintCollisionsResolveToDistinctPlans)
     EXPECT_EQ(maxAbsDiff(r2.y, matVec(a2, x, b)), 0.0);
 }
 
+TEST(PlanCache, ZeroCapacityDisablesCachingButStillServes)
+{
+    auto engine = makeEngine("linear");
+    PlanCache cache(0);
+
+    Dense<Scalar> a = randomIntDense(6, 6, 151);
+    Vec<Scalar> x = randomIntVec(6, 152), b = randomIntVec(6, 153);
+    EnginePlan plan = EnginePlan::matVec(a, x, b, 3);
+
+    PlanCache::Prepared first = cache.prepare(*engine, plan);
+    PlanCache::Prepared second = cache.prepare(*engine, plan);
+    EXPECT_FALSE(first.hit);
+    EXPECT_FALSE(second.hit);
+    EXPECT_NE(first.plan.get(), second.plan.get()); // both built
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // The pass-through plans still serve correct results.
+    EngineRunResult r = engine->runPrepared(
+        *second.plan, EngineInputs::matVec(x, b));
+    EXPECT_EQ(maxAbsDiff(r.y, matVec(a, x, b)), 0.0);
+}
+
+TEST(PlanCache, SingleEntryEvictionChurn)
+{
+    auto engine = makeEngine("linear");
+    PlanCache cache(1);
+    auto planFor = [](std::uint64_t seed) {
+        Dense<Scalar> a = randomIntDense(6, 6, seed);
+        return EnginePlan::matVec(a, randomIntVec(6, 1),
+                                  randomIntVec(6, 2), 3);
+    };
+    EnginePlan p1 = planFor(161), p2 = planFor(162);
+
+    // Alternating matrices with capacity 1: every access evicts the
+    // other entry and misses.
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_FALSE(cache.prepare(*engine, p1).hit) << round;
+        EXPECT_FALSE(cache.prepare(*engine, p2).hit) << round;
+        EXPECT_EQ(cache.size(), 1u);
+    }
+    PlanCacheStats churn = cache.stats();
+    EXPECT_EQ(churn.hits, 0u);
+    EXPECT_EQ(churn.misses, 6u);
+    EXPECT_EQ(churn.evictions, 5u); // every insert after the first
+
+    // Back-to-back repeats of the resident matrix still hit.
+    EXPECT_TRUE(cache.prepare(*engine, p2).hit);
+    EXPECT_TRUE(cache.prepare(*engine, p2).hit);
+}
+
 TEST(PlanCache, MatMulKeysIncludeBothOperands)
 {
     auto engine = makeEngine("hex");
@@ -288,6 +341,35 @@ TEST(RunMany, MatMulPairsReuseRepeatedB)
         Dense<Scalar> gold = matMulAdd(a, items[i].bmat, items[i].e);
         EXPECT_TRUE(batch.results[i].c == gold) << "item " << i;
     }
+}
+
+TEST(RunMany, RunManyPreparedStreamsThroughACacheFetchedPlan)
+{
+    // The documented runManyPrepared() shape: fetch the prepared
+    // plan from a cache once, stream a whole input group through it.
+    const Index n = 7, m = 6, w = 3;
+    Dense<Scalar> a = randomIntDense(n, m, 171);
+    auto engine = makeEngine("linear");
+    PlanCache cache(4);
+    EnginePlan plan = EnginePlan::matVec(a, Vec<Scalar>(m),
+                                         Vec<Scalar>(n), w);
+    PlanCache::Prepared cached = cache.prepare(*engine, plan);
+
+    std::vector<EngineInputs> inputs;
+    for (int i = 0; i < 5; ++i)
+        inputs.push_back(EngineInputs::matVec(
+            randomIntVec(m, 180 + i), randomIntVec(n, 190 + i)));
+    std::vector<EngineRunResult> results =
+        engine->runManyPrepared(*cached.plan, inputs);
+
+    ASSERT_EQ(results.size(), inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        Vec<Scalar> gold = matVec(a, inputs[i].x, inputs[i].b);
+        EXPECT_EQ(maxAbsDiff(results[i].y, gold), 0.0) << i;
+    }
+    // One build, no further cache traffic.
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
 }
 
 TEST(RunMany, EmptyBatchIsANoop)

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests of the sweep runner: the parallel fan-out over the serving
+ * thread pool must produce a table bit-identical to the serial run
+ * (engines are stateless and sweep workloads are derived
+ * deterministically per configuration).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/sweep.hh"
+#include "engine/registry.hh"
+
+namespace sap {
+namespace {
+
+void
+expectRowsEqual(const std::vector<SweepRow> &serial,
+                const std::vector<SweepRow> &parallel)
+{
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("row " + std::to_string(i));
+        const SweepRow &a = serial[i], &b = parallel[i];
+        EXPECT_EQ(a.w, b.w);
+        EXPECT_EQ(a.n, b.n);
+        EXPECT_EQ(a.m, b.m);
+        EXPECT_EQ(a.p, b.p);
+        EXPECT_EQ(a.cycles, b.cycles);
+        EXPECT_EQ(a.peCount, b.peCount);
+        EXPECT_EQ(a.usefulMacs, b.usefulMacs);
+        EXPECT_EQ(a.utilization, b.utilization);
+        EXPECT_EQ(a.resultDigest, b.resultDigest);
+    }
+}
+
+TEST(SweepParallel, MatVecParallelMatchesSerial)
+{
+    auto engine = makeEngine("linear");
+    ASSERT_NE(engine, nullptr);
+    std::vector<MatVecConfig> configs = standardMatVecSweep();
+
+    std::vector<SweepRow> serial =
+        runMatVecSweep(*engine, configs, /*threads=*/1);
+    std::vector<SweepRow> parallel =
+        runMatVecSweep(*engine, configs, /*threads=*/4);
+    expectRowsEqual(serial, parallel);
+
+    // And the rows are in config order, measured, and plausible.
+    ASSERT_EQ(serial.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(serial[i].w, configs[i].w);
+        EXPECT_EQ(serial[i].n, configs[i].n);
+        EXPECT_EQ(serial[i].m, configs[i].m);
+        EXPECT_GT(serial[i].cycles, 0);
+        EXPECT_GT(serial[i].utilization, 0.0);
+        EXPECT_LE(serial[i].utilization, 1.0);
+    }
+}
+
+TEST(SweepParallel, MatMulParallelMatchesSerial)
+{
+    auto engine = makeEngine("hex");
+    ASSERT_NE(engine, nullptr);
+    std::vector<MatMulConfig> configs = standardMatMulSweep();
+
+    std::vector<SweepRow> serial =
+        runMatMulSweep(*engine, configs, /*threads=*/1);
+    std::vector<SweepRow> parallel =
+        runMatMulSweep(*engine, configs, /*threads=*/4);
+    expectRowsEqual(serial, parallel);
+    ASSERT_EQ(serial.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(serial[i].p, configs[i].p);
+        EXPECT_GT(serial[i].cycles, 0);
+    }
+}
+
+TEST(SweepParallel, ThreadCountDoesNotChangeTheTable)
+{
+    // "grouped" accepts every sweep shape ("overlapped" requires an
+    // even block-row count).
+    auto engine = makeEngine("grouped");
+    ASSERT_NE(engine, nullptr);
+    // A small slice is enough: the contract under test is that the
+    // worker count is invisible in the output.
+    std::vector<MatVecConfig> all = standardMatVecSweep();
+    std::vector<MatVecConfig> configs(all.begin(), all.begin() + 12);
+    std::vector<SweepRow> two =
+        runMatVecSweep(*engine, configs, /*threads=*/2);
+    std::vector<SweepRow> eight =
+        runMatVecSweep(*engine, configs, /*threads=*/8);
+    expectRowsEqual(two, eight);
+}
+
+} // namespace
+} // namespace sap
