@@ -152,6 +152,7 @@ printThreadScaling(std::vector<BenchJsonEntry> *json)
     const int kRounds = 10;
     Dense<Scalar> a = randomIntDense(s, s, 1);
     Dense<Scalar> bm = randomIntDense(s, s, 2);
+    Dense<Scalar> lt = randomUnitLowerTriangular(s, 6);
 
     // Hoisted out of the timed loop: only the kind is needed to
     // build each request, not a fresh engine instance.
@@ -175,10 +176,12 @@ printThreadScaling(std::vector<BenchJsonEntry> *json)
                     ? EnginePlan::matVec(a, randomIntVec(s, seed),
                                          randomIntVec(s, seed + 1),
                                          w)
-                    : EnginePlan::matMul(a, bm,
-                                         randomIntDense(s, s,
-                                                        seed + 2),
-                                         w);
+                    : kind == ProblemKind::MatMul
+                        ? EnginePlan::matMul(
+                              a, bm, randomIntDense(s, s, seed + 2),
+                              w)
+                        : EnginePlan::triSolve(
+                              lt, randomIntVec(s, seed + 3), w);
                 futures.push_back(server.submit(std::move(req)));
             }
         }
@@ -254,6 +257,7 @@ BM_ServerMixedStream(benchmark::State &state)
     Dense<Scalar> bm = randomIntDense(s, s, 2);
     Vec<Scalar> x = randomIntVec(s, 3), b = randomIntVec(s, 4);
     Dense<Scalar> e = randomIntDense(s, s, 5);
+    Dense<Scalar> lt = randomUnitLowerTriangular(s, 6);
 
     Server::Options opts;
     opts.threads = threads;
@@ -270,7 +274,9 @@ BM_ServerMixedStream(benchmark::State &state)
             req.engine = name;
             req.plan = kind == ProblemKind::MatVec
                 ? EnginePlan::matVec(a, x, b, w)
-                : EnginePlan::matMul(a, bm, e, w);
+                : kind == ProblemKind::MatMul
+                    ? EnginePlan::matMul(a, bm, e, w)
+                    : EnginePlan::triSolve(lt, b, w);
             futures.push_back(server.submit(std::move(req)));
         }
         for (auto &f : futures)

@@ -14,6 +14,8 @@
 #include "dbt/matmul_plan.hh"
 #include "dbt/matvec_plan.hh"
 #include "mat/generate.hh"
+#include "sim/mesh_array.hh"
+#include "solve/trisolve_plan.hh"
 
 namespace sap {
 namespace {
@@ -25,18 +27,38 @@ print()
                         "(google-benchmark timings follow)");
 
     // One calibration row per engine so the raw numbers are on
-    // stdout even without the timers.
+    // stdout even without the timers; the same rows are emitted as
+    // BENCH_sim_throughput.json for the cross-PR perf trajectory.
     const Index w = 4, s = 4 * w;
     EnginePlan mv = EnginePlan::matVec(randomIntDense(s, s, 1),
                                        randomIntVec(s, 2),
                                        randomIntVec(s, 3), w);
     EnginePlan mm = EnginePlan::matMul(randomIntDense(s, s, 1),
                                        randomIntDense(s, s, 2), w);
+    EnginePlan ts = EnginePlan::triSolve(
+        randomUnitLowerTriangular(s, 1), randomIntVec(s, 2), w);
+    std::vector<BenchJsonEntry> json;
     for (const std::string &name : engineNames()) {
         auto engine = requireEngine(name);
-        printEngineRow(name, engine->run(
-            engine->kind() == ProblemKind::MatVec ? mv : mm));
+        EngineRunResult r = engine->run(
+            engine->kind() == ProblemKind::MatVec   ? mv
+            : engine->kind() == ProblemKind::MatMul ? mm
+                                                    : ts);
+        printEngineRow(name, r);
+
+        BenchJsonEntry e;
+        e.name = "calibration";
+        e.config = {{"engine", name},
+                    {"kind", problemKindName(engine->kind())},
+                    {"w", std::to_string(w)},
+                    {"s", std::to_string(s)}};
+        e.metrics = {
+            {"cycles", static_cast<double>(r.stats.cycles)},
+            {"useful_macs", static_cast<double>(r.stats.usefulMacs)},
+            {"utilization", r.stats.utilization()}};
+        json.push_back(std::move(e));
     }
+    writeBenchJson("sim_throughput", json);
 }
 
 /**
@@ -57,6 +79,11 @@ registerSweeps()
         const Index w = 3, s = 3 * w;
         return EnginePlan::matMul(randomIntDense(s, s, 1),
                                   randomIntDense(s, s, 2), w);
+    });
+    registerEngineSweep("engine_trisolve", ProblemKind::TriSolve, [] {
+        const Index w = 8, s = 8 * w;
+        return EnginePlan::triSolve(randomUnitLowerTriangular(s, 1),
+                                    randomIntVec(s, 2), w);
     });
 }
 
@@ -101,6 +128,45 @@ BM_HexArrayCyclesPerSec(benchmark::State &state)
         static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_HexArrayCyclesPerSec)->Arg(2)->Arg(3)->Arg(4);
+
+void
+BM_MeshArrayCyclesPerSec(benchmark::State &state)
+{
+    Index w = state.range(0);
+    Index s = 3 * w;
+    Dense<Scalar> a = randomIntDense(s, s, 1);
+    Dense<Scalar> b = randomIntDense(s, s, 2);
+    Dense<Scalar> e(s, s);
+    MeshMatMulPlan plan(a, b, w);
+    Cycle cycles = 0;
+    for (auto _ : state) {
+        MeshRunResult r = plan.run(e);
+        cycles += r.stats.cycles;
+        benchmark::DoNotOptimize(r.c);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MeshArrayCyclesPerSec)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_TriArrayCyclesPerSec(benchmark::State &state)
+{
+    Index w = state.range(0);
+    Index s = 8 * w;
+    Dense<Scalar> l = randomUnitLowerTriangular(s, 1);
+    Vec<Scalar> b = randomIntVec(s, 2);
+    TriSolvePlan plan(l, w);
+    Cycle cycles = 0;
+    for (auto _ : state) {
+        TriSolvePlanResult r = plan.run(b);
+        cycles += r.stats.cycles;
+        benchmark::DoNotOptimize(r.y);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TriArrayCyclesPerSec)->Arg(4)->Arg(8)->Arg(16);
 
 void
 BM_BlockOracleVsCycleSim(benchmark::State &state)

@@ -1,7 +1,8 @@
 /**
  * @file
- * Serving demo: a bursty multi-client workload across all five
- * registered topologies through the serve/ layer.
+ * Serving demo: a bursty multi-client workload across every
+ * registered topology (all three problem kinds) through the serve/
+ * layer.
  *
  * Several client threads fire bursts of requests at one Server.
  * Within a burst a client reuses its own matrix (the realistic
@@ -37,7 +38,7 @@ main()
 
     const int kClients = tiny ? 2 : 4;
     const int kBursts = tiny ? 2 : 4;
-    // Long enough that each of the five topologies recurs within a
+    // Long enough that each registered topology recurs within a
     // burst — the repeats are what the plan cache amortizes.
     const int kRequestsPerBurst = tiny ? 10 : 15;
     const Index s = tiny ? 8 : 16; // problem size (s×s matrices)
@@ -71,6 +72,10 @@ main()
                     1 + 100 * static_cast<std::uint64_t>(c) + burst;
                 Dense<Scalar> a = randomIntDense(s, s, mat_seed);
                 Dense<Scalar> bm = randomIntDense(s, s, mat_seed + 50);
+                // Unit diagonal keeps the trisolve cross-check
+                // exact in double (the divisions stay integral).
+                Dense<Scalar> lt =
+                    randomUnitLowerTriangular(s, mat_seed + 70);
 
                 std::vector<std::future<ServeResponse>> burst_futures;
                 for (int i = 0; i < kRequestsPerBurst; ++i) {
@@ -86,9 +91,14 @@ main()
                             ? EnginePlan::matVec(
                                   a, randomIntVec(s, seed),
                                   randomIntVec(s, seed + 1), w)
-                            : EnginePlan::matMul(
-                                  a, bm,
-                                  randomIntDense(s, s, seed + 2), w);
+                            : kind == ProblemKind::MatMul
+                                ? EnginePlan::matMul(
+                                      a, bm,
+                                      randomIntDense(s, s, seed + 2),
+                                      w)
+                                : EnginePlan::triSolve(
+                                      lt, randomIntVec(s, seed + 3),
+                                      w);
                     burst_futures.push_back(
                         server.submit(std::move(req)));
                 }

@@ -99,6 +99,31 @@ hexMemIrregular(Index w)
     return w * (w - 1) * 3 / 2;
 }
 
+Cycle
+tTriSolve(Index w, Index nbar)
+{
+    SAP_ASSERT(w >= 1 && nbar >= 1, "bad parameters");
+    Cycle t = nbar * (2 * w - 1);
+    for (Index r = 1; r < nbar; ++r)
+        t += tMatVec(w, 1, r);
+    return t;
+}
+
+Cycle
+tMesh(Index w, Index pbar, Index nbar, Index mbar)
+{
+    SAP_ASSERT(w >= 1 && pbar >= 1 && nbar >= 1 && mbar >= 1,
+               "bad parameters");
+    return nbar * mbar * (pbar * w + 2 * (w - 1));
+}
+
+double
+eMesh(Index w, Index pbar)
+{
+    double pw = static_cast<double>(pbar * w);
+    return pw / (pw + 2.0 * static_cast<double>(w - 1));
+}
+
 double
 utilization(Index ops, Index pes, Cycle steps)
 {

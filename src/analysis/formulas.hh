@@ -90,6 +90,32 @@ Index hexMemSubDiag(Index w);
 Index hexMemIrregular(Index w);
 
 //---------------------------------------------------------------------
+// §4 and contrast topologies (derived, not printed in the paper):
+// composition of the §2 step counts with the new arrays' schedules.
+//---------------------------------------------------------------------
+
+/**
+ * Steps for the blocked triangular solve (tri engine): each of the
+ * n̄ diagonal blocks costs 2w − 1 steps on the back-substitution
+ * array and panel r costs tMatVec(w, 1, r) on the linear array:
+ * T = n̄(2w−1) + Σ_{r=1}^{n̄−1}(2wr + 2w − 3).
+ */
+Cycle tTriSolve(Index w, Index nbar);
+
+/**
+ * Steps for the output-stationary mesh (mesh engine): one streaming
+ * pass of p̄w + 2(w−1) steps per w×w output block, accumulator
+ * preload/drain not cycle-modeled: T = n̄m̄(p̄w + 2(w−1)).
+ */
+Cycle tMesh(Index w, Index pbar, Index nbar, Index mbar);
+
+/**
+ * Mesh PE utilization over valid samples:
+ * e = p̄w / (p̄w + 2(w−1)), asymptote 1 as the reduction grows.
+ */
+double eMesh(Index w, Index pbar);
+
+//---------------------------------------------------------------------
 // Shared helpers
 //---------------------------------------------------------------------
 

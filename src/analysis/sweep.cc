@@ -45,6 +45,21 @@ standardMatMulSweep()
     return out;
 }
 
+std::vector<TriSolveConfig>
+standardTriSolveSweep()
+{
+    std::vector<TriSolveConfig> out;
+    for (Index w : {2, 3, 4, 5}) {
+        for (Index nbar : {1, 2, 4, 8}) {
+            out.push_back({w, nbar * w});
+        }
+    }
+    // Non-multiple orders exercise the padded diagonal patch.
+    out.push_back({3, 7});
+    out.push_back({4, 10});
+    return out;
+}
+
 namespace {
 
 /** Fill the measured fields shared by both sweep kinds. */
@@ -97,6 +112,27 @@ runMatMulPoint(const SystolicEngine &engine, const MatMulConfig &cfg)
     row.p = cfg.p;
     fillStats(row, r);
     row.resultDigest = fingerprintDense(r.c);
+    return row;
+}
+
+SweepRow
+runTriSolvePoint(const SystolicEngine &engine,
+                 const TriSolveConfig &cfg)
+{
+    // Unit-diagonal systems keep every intermediate an exact
+    // integer, so the result digest is platform-independent.
+    std::uint64_t seed =
+        43 + static_cast<std::uint64_t>(cfg.n + cfg.w);
+    EnginePlan plan = EnginePlan::triSolve(
+        randomUnitLowerTriangular(cfg.n, seed),
+        randomIntVec(cfg.n, seed + 1), cfg.w);
+    EngineRunResult r = engine.run(plan);
+
+    SweepRow row;
+    row.w = cfg.w;
+    row.n = cfg.n;
+    fillStats(row, r);
+    row.resultDigest = fingerprintVec(r.y);
     return row;
 }
 
@@ -160,6 +196,19 @@ runMatMulSweep(const SystolicEngine &engine,
     return runSweep(configs, threads, [&engine](const MatMulConfig &c) {
         return runMatMulPoint(engine, c);
     });
+}
+
+std::vector<SweepRow>
+runTriSolveSweep(const SystolicEngine &engine,
+                 const std::vector<TriSolveConfig> &configs,
+                 std::size_t threads)
+{
+    SAP_ASSERT(engine.kind() == ProblemKind::TriSolve,
+               engine.name(), " engine cannot run a trisolve sweep");
+    return runSweep(configs, threads,
+                    [&engine](const TriSolveConfig &c) {
+                        return runTriSolvePoint(engine, c);
+                    });
 }
 
 } // namespace sap

@@ -33,6 +33,13 @@ struct MatMulConfig
     Index m;
 };
 
+/** One (w, n) triangular-system configuration. */
+struct TriSolveConfig
+{
+    Index w;
+    Index n;
+};
+
 /**
  * Standard sweep grids used by the reproduction benchmarks: small
  * enough to run in seconds, wide enough to show the asymptotics the
@@ -42,6 +49,9 @@ std::vector<MatVecConfig> standardMatVecSweep();
 
 /** @copydoc standardMatVecSweep() */
 std::vector<MatMulConfig> standardMatMulSweep();
+
+/** @copydoc standardMatVecSweep() */
+std::vector<TriSolveConfig> standardTriSolveSweep();
 
 /**
  * One measured sweep point. Workloads are generated deterministically
@@ -89,6 +99,15 @@ std::vector<SweepRow>
 runMatMulSweep(const SystolicEngine &engine,
                const std::vector<MatMulConfig> &configs,
                std::size_t threads = 1);
+
+/**
+ * @copydoc runMatVecSweep()
+ * @pre engine.kind() == ProblemKind::TriSolve (asserted).
+ */
+std::vector<SweepRow>
+runTriSolveSweep(const SystolicEngine &engine,
+                 const std::vector<TriSolveConfig> &configs,
+                 std::size_t threads = 1);
 
 } // namespace sap
 

@@ -2,35 +2,45 @@
 
 #include "base/logging.hh"
 #include "base/math_util.hh"
-#include "dbt/matvec_plan.hh"
 #include "mat/block.hh"
 
 namespace sap {
 
-BlockNoFeedbackResult
-runBlockNoFeedback(const Dense<Scalar> &a, const Vec<Scalar> &x,
-                   const Vec<Scalar> &b, Index w)
+BlockNoFeedbackPlan::BlockNoFeedbackPlan(const Dense<Scalar> &a,
+                                         Index w)
+    : w_(w), rows_(a.rows()), cols_(a.cols())
 {
-    SAP_ASSERT(x.size() == a.cols() && b.size() == a.rows(),
-               "shape mismatch");
     BlockPartition<Scalar> part(a, w);
-    const Index nbar = part.blockRows();
-    const Index mbar = part.blockCols();
-    Vec<Scalar> xp = x.paddedTo(mbar * w);
+    nbar_ = part.blockRows();
+    mbar_ = part.blockCols();
+    blocks_.reserve(static_cast<std::size_t>(nbar_ * mbar_));
+    for (Index i = 0; i < nbar_; ++i)
+        for (Index j = 0; j < mbar_; ++j)
+            blocks_.emplace_back(part.block(i, j), w);
+}
 
-    Vec<Scalar> y_acc(nbar * w);
+BlockNoFeedbackResult
+BlockNoFeedbackPlan::run(const Vec<Scalar> &x,
+                         const Vec<Scalar> &b) const
+{
+    SAP_ASSERT(x.size() == cols_ && b.size() == rows_,
+               "shape mismatch");
+    Vec<Scalar> xp = x.paddedTo(mbar_ * w_);
+
+    Vec<Scalar> y_acc(nbar_ * w_);
     BlockNoFeedbackResult res;
-    res.stats.peCount = w;
+    res.stats.peCount = w_;
 
-    for (Index i = 0; i < nbar; ++i) {
-        for (Index j = 0; j < mbar; ++j) {
+    for (Index i = 0; i < nbar_; ++i) {
+        for (Index j = 0; j < mbar_; ++j) {
             // Run block (i, j) as an isolated PRT problem with a
             // zero additive vector; accumulate on the host.
-            MatVecPlan plan(part.block(i, j), w);
-            Vec<Scalar> xb = xp.slice(j * w, w);
-            MatVecPlanResult r = plan.run(xb, Vec<Scalar>(w));
-            for (Index t = 0; t < w; ++t) {
-                y_acc[i * w + t] += r.y[t];
+            const MatVecPlan &plan =
+                blocks_[static_cast<std::size_t>(i * mbar_ + j)];
+            Vec<Scalar> xb = xp.slice(j * w_, w_);
+            MatVecPlanResult r = plan.run(xb, Vec<Scalar>(w_));
+            for (Index t = 0; t < w_; ++t) {
+                y_acc[i * w_ + t] += r.y[t];
                 ++res.hostAdds;
             }
             res.perBlockCycles = r.stats.cycles;
@@ -41,12 +51,19 @@ runBlockNoFeedback(const Dense<Scalar> &a, const Vec<Scalar> &x,
     }
 
     // Fold in b on the host as well (no injection path).
-    res.y = Vec<Scalar>(a.rows());
-    for (Index i = 0; i < a.rows(); ++i) {
+    res.y = Vec<Scalar>(rows_);
+    for (Index i = 0; i < rows_; ++i) {
         res.y[i] = y_acc[i] + b[i];
         ++res.hostAdds;
     }
     return res;
+}
+
+BlockNoFeedbackResult
+runBlockNoFeedback(const Dense<Scalar> &a, const Vec<Scalar> &x,
+                   const Vec<Scalar> &b, Index w)
+{
+    return BlockNoFeedbackPlan(a, w).run(x, b);
 }
 
 } // namespace sap

@@ -52,12 +52,22 @@ struct ClusterStats
 };
 
 /**
- * Sharded serving front end.
+ * Sharded serving front end: routes each request to the shard that
+ * owns its plan digest, so one matrix's prepared plan lives on
+ * exactly one shard (see file comment).
  *
  * Thread-safety: all submission surfaces and stats() may be called
- * from any number of client threads. Destruction drains every
- * shard, so returned futures become ready, accepted callbacks fire,
- * and queued completions are pushed.
+ * from any number of client threads; completion callbacks run on
+ * the serving shard's worker thread.
+ *
+ * Ownership: the cluster owns its shards (and through them all
+ * worker threads and plan caches); it does NOT own CompletionQueues
+ * passed to submitToQueue() — keep a queue alive until its
+ * completions arrive, which destroying the cluster first guarantees
+ * (destruction drains every shard, so returned futures become
+ * ready, accepted callbacks fire, and queued completions are
+ * pushed). References returned by shard() stay valid for the
+ * cluster's lifetime.
  */
 class Cluster
 {

@@ -41,7 +41,14 @@ struct Completion
  * Unbounded MPMC queue of completions.
  *
  * Thread-safety: all members may be called concurrently from any
- * number of producer and consumer threads.
+ * number of producer and consumer threads; push/shutdown notify
+ * under the lock, so drain-then-destroy is race-free.
+ *
+ * Ownership: the queue owns the completions it holds and nothing
+ * else; the caller owns the queue itself and must keep it alive
+ * until every request submitted against it has completed (see the
+ * file comment — destroying the submitting Cluster first is
+ * sufficient).
  */
 class CompletionQueue
 {

@@ -1,9 +1,12 @@
 #include "engine/engine.hh"
 
 #include "base/logging.hh"
+#include "baseline/block_no_feedback.hh"
 #include "dbt/matmul_plan.hh"
 #include "dbt/matvec_plan.hh"
 #include "engine/registry.hh"
+#include "sim/mesh_array.hh"
+#include "solve/trisolve_plan.hh"
 
 namespace sap {
 
@@ -15,6 +18,8 @@ problemKindName(ProblemKind k)
         return "matvec";
       case ProblemKind::MatMul:
         return "matmul";
+      case ProblemKind::TriSolve:
+        return "trisolve";
     }
     SAP_PANIC("unknown ProblemKind ", static_cast<int>(k));
 }
@@ -54,6 +59,18 @@ EnginePlan::matMul(Dense<Scalar> a, Dense<Scalar> bmat, Index w)
     return matMul(std::move(a), std::move(bmat), std::move(zero), w);
 }
 
+EnginePlan
+EnginePlan::triSolve(Dense<Scalar> l, Vec<Scalar> b, Index w)
+{
+    EnginePlan p;
+    p.kind = ProblemKind::TriSolve;
+    p.a = std::move(l);
+    p.b = std::move(b);
+    p.w = w;
+    p.validate();
+    return p;
+}
+
 void
 EnginePlan::validate() const
 {
@@ -64,12 +81,19 @@ EnginePlan::validate() const
                    " != A cols ", a.cols());
         SAP_ASSERT(b.size() == a.rows(), "b length ", b.size(),
                    " != A rows ", a.rows());
-    } else {
+    } else if (kind == ProblemKind::MatMul) {
         SAP_ASSERT(bmat.rows() == a.cols(), "B rows ", bmat.rows(),
                    " != A cols ", a.cols());
         SAP_ASSERT(e.rows() == a.rows() && e.cols() == bmat.cols(),
                    "E shape ", e.rows(), "x", e.cols(), " != ",
                    a.rows(), "x", bmat.cols());
+    } else {
+        SAP_ASSERT(a.rows() == a.cols(), "L must be square, got ",
+                   a.rows(), "x", a.cols());
+        SAP_ASSERT(b.size() == a.rows(), "b length ", b.size(),
+                   " != order ", a.rows());
+        for (Index i = 0; i < a.rows(); ++i)
+            SAP_ASSERT(a(i, i) != 0, "zero diagonal at ", i);
     }
 }
 
@@ -91,14 +115,24 @@ EngineInputs::matMul(Dense<Scalar> e)
 }
 
 EngineInputs
+EngineInputs::triSolve(Vec<Scalar> b)
+{
+    EngineInputs in;
+    in.b = std::move(b);
+    return in;
+}
+
+EngineInputs
 EngineInputs::of(const EnginePlan &plan)
 {
     EngineInputs in;
     if (plan.kind == ProblemKind::MatVec) {
         in.x = plan.x;
         in.b = plan.b;
-    } else {
+    } else if (plan.kind == ProblemKind::MatMul) {
         in.e = plan.e;
+    } else {
+        in.b = plan.b;
     }
     in.recordTrace = plan.recordTrace;
     return in;
@@ -119,10 +153,13 @@ PreparedPlan::validateInputs(const EngineInputs &in) const
                    " != bound A cols ", cols_);
         SAP_ASSERT(in.b.size() == rows_, "b length ", in.b.size(),
                    " != bound A rows ", rows_);
-    } else {
+    } else if (kind_ == ProblemKind::MatMul) {
         SAP_ASSERT(in.e.rows() == rows_ && in.e.cols() == out_cols_,
                    "E shape ", in.e.rows(), "x", in.e.cols(),
                    " != bound C shape ", rows_, "x", out_cols_);
+    } else {
+        SAP_ASSERT(in.b.size() == rows_, "b length ", in.b.size(),
+                   " != bound order ", rows_);
     }
 }
 
@@ -168,6 +205,42 @@ class MatMulPrepared : public PreparedPlan
     MatMulPlan plan;
 };
 
+/** The mesh engine's prepared artifact: padded block partitions. */
+class MeshPrepared : public PreparedPlan
+{
+  public:
+    explicit MeshPrepared(const EnginePlan &p)
+        : PreparedPlan(p), plan(p.a, p.bmat, p.w)
+    {
+    }
+
+    MeshMatMulPlan plan;
+};
+
+/** The tri engine's prepared artifact: panels + diagonal blocks. */
+class TriSolvePrepared : public PreparedPlan
+{
+  public:
+    explicit TriSolvePrepared(const EnginePlan &p)
+        : PreparedPlan(p), plan(p.a, p.w)
+    {
+    }
+
+    TriSolvePlan plan;
+};
+
+/** The no-feedback baseline's prepared artifact: per-block plans. */
+class NoFeedbackPrepared : public PreparedPlan
+{
+  public:
+    explicit NoFeedbackPrepared(const EnginePlan &p)
+        : PreparedPlan(p), plan(p.a, p.w)
+    {
+    }
+
+    BlockNoFeedbackPlan plan;
+};
+
 /** Checked downcast of a prepared plan to an engine's own type. */
 template <typename T>
 const T &
@@ -200,8 +273,10 @@ SystolicEngine::runPrepared(const PreparedPlan &prepared,
     if (request.kind == ProblemKind::MatVec) {
         request.x = in.x;
         request.b = in.b;
-    } else {
+    } else if (request.kind == ProblemKind::MatMul) {
         request.e = in.e;
+    } else {
+        request.b = in.b;
     }
     request.recordTrace = in.recordTrace;
     return run(request);
@@ -428,6 +503,142 @@ class HexEngine : public SystolicEngine
     bool strict_;
 };
 
+/** C = A·B + E on the 2D output-stationary mesh. */
+class MeshEngine : public SystolicEngine
+{
+  public:
+    std::string name() const override { return "mesh"; }
+    ProblemKind kind() const override { return ProblemKind::MatMul; }
+    std::string
+    description() const override
+    {
+        return "output-stationary w×w mesh, C resident in the PEs";
+    }
+
+    std::shared_ptr<const PreparedPlan>
+    prepare(const EnginePlan &plan) const override
+    {
+        SAP_ASSERT(plan.kind == kind(), "mesh engine needs a "
+                   "matmul plan");
+        return std::make_shared<MeshPrepared>(plan);
+    }
+
+    EngineRunResult
+    runPrepared(const PreparedPlan &prepared,
+                const EngineInputs &in) const override
+    {
+        const MeshPrepared &p =
+            preparedAs<MeshPrepared>(prepared, "mesh");
+        prepared.validateInputs(in);
+        MeshRunResult r = p.plan.run(in.e, in.recordTrace);
+
+        EngineRunResult out;
+        out.c = std::move(r.c);
+        out.stats = r.stats;
+        out.totalCycles = r.stats.cycles;
+        out.trace = std::move(r.trace);
+        return out;
+    }
+
+    EngineRunResult
+    run(const EnginePlan &plan) const override
+    {
+        return runPrepared(*prepare(plan), EngineInputs::of(plan));
+    }
+};
+
+/** L·y = b via blocked forward substitution on the array pair. */
+class TriEngine : public SystolicEngine
+{
+  public:
+    std::string name() const override { return "tri"; }
+    ProblemKind kind() const override { return ProblemKind::TriSolve; }
+    std::string
+    description() const override
+    {
+        return "blocked forward substitution: panels on the linear "
+               "array, diagonal blocks on the back-substitution "
+               "array";
+    }
+
+    std::shared_ptr<const PreparedPlan>
+    prepare(const EnginePlan &plan) const override
+    {
+        SAP_ASSERT(plan.kind == kind(), "tri engine needs a "
+                   "trisolve plan");
+        return std::make_shared<TriSolvePrepared>(plan);
+    }
+
+    EngineRunResult
+    runPrepared(const PreparedPlan &prepared,
+                const EngineInputs &in) const override
+    {
+        const TriSolvePrepared &p =
+            preparedAs<TriSolvePrepared>(prepared, "tri");
+        prepared.validateInputs(in);
+        TriSolvePlanResult r = p.plan.run(in.b, in.recordTrace);
+
+        EngineRunResult out;
+        out.y = std::move(r.y);
+        out.stats = r.stats;
+        out.totalCycles = r.stats.cycles;
+        out.trace = std::move(r.trace);
+        return out;
+    }
+
+    EngineRunResult
+    run(const EnginePlan &plan) const override
+    {
+        return runPrepared(*prepare(plan), EngineInputs::of(plan));
+    }
+};
+
+/** The paper's straw man: per-block runs, host accumulation. */
+class NoFeedbackEngine : public SystolicEngine
+{
+  public:
+    std::string name() const override { return "no-feedback"; }
+    ProblemKind kind() const override { return ProblemKind::MatVec; }
+    std::string
+    description() const override
+    {
+        return "baseline: isolated per-block array runs, partial "
+               "results accumulated on the host (no feedback)";
+    }
+
+    std::shared_ptr<const PreparedPlan>
+    prepare(const EnginePlan &plan) const override
+    {
+        SAP_ASSERT(plan.kind == kind(), "no-feedback engine needs a "
+                   "matvec plan");
+        return std::make_shared<NoFeedbackPrepared>(plan);
+    }
+
+    EngineRunResult
+    runPrepared(const PreparedPlan &prepared,
+                const EngineInputs &in) const override
+    {
+        const NoFeedbackPrepared &p =
+            preparedAs<NoFeedbackPrepared>(prepared, "no-feedback");
+        prepared.validateInputs(in);
+        BlockNoFeedbackResult r = p.plan.run(in.x, in.b);
+
+        EngineRunResult out;
+        out.y = std::move(r.y);
+        out.stats = r.stats;
+        out.totalCycles = r.stats.cycles;
+        // No feedback loop exists; the defaults (delay −1, zero
+        // registers) are the honest report.
+        return out;
+    }
+
+    EngineRunResult
+    run(const EnginePlan &plan) const override
+    {
+        return runPrepared(*prepare(plan), EngineInputs::of(plan));
+    }
+};
+
 } // namespace
 
 void
@@ -442,11 +653,20 @@ registerBuiltinEngines()
     registerEngine("overlapped", [] {
         return std::make_unique<OverlappedEngine>();
     });
+    registerEngine("no-feedback", [] {
+        return std::make_unique<NoFeedbackEngine>();
+    });
     registerEngine("hex", [] {
         return std::make_unique<HexEngine>(/*strict=*/false);
     });
     registerEngine("spiral", [] {
         return std::make_unique<HexEngine>(/*strict=*/true);
+    });
+    registerEngine("mesh", [] {
+        return std::make_unique<MeshEngine>();
+    });
+    registerEngine("tri", [] {
+        return std::make_unique<TriEngine>();
     });
 }
 

@@ -10,11 +10,12 @@
  * run every array under identical golden-model checks, and so new
  * topologies plug in by registering a factory (see registry.hh).
  *
- * An EnginePlan carries a *problem* (y = A·x + b or C = A·B + E)
- * plus array options; an engine consumes plans whose kind it
- * supports and returns results, measured statistics, the port-level
- * Trace, and topology-specific audit data (feedback delays, PE
- * grouping realizability, spiral topology compliance).
+ * An EnginePlan carries a *problem* (y = A·x + b, C = A·B + E, or
+ * the §4 triangular system L·y = b) plus array options; an engine
+ * consumes plans whose kind it supports and returns results,
+ * measured statistics, the port-level Trace, and topology-specific
+ * audit data (feedback delays, PE grouping realizability, spiral
+ * topology compliance).
  */
 
 #ifndef SAP_ENGINE_ENGINE_HH
@@ -36,11 +37,12 @@ namespace sap {
 /** Which algebraic problem a plan describes. */
 enum class ProblemKind
 {
-    MatVec, ///< y = A·x + b on a linear-array family engine
-    MatMul, ///< C = A·B + E on a hexagonal-array family engine
+    MatVec,   ///< y = A·x + b on a linear-array family engine
+    MatMul,   ///< C = A·B + E on a hexagonal/mesh family engine
+    TriSolve, ///< L·y = b on the back-substitution array pair (§4)
 };
 
-/** Printable kind name ("matvec" / "matmul"). */
+/** Printable kind name ("matvec" / "matmul" / "trisolve"). */
 std::string problemKindName(ProblemKind k);
 
 /**
@@ -48,18 +50,20 @@ std::string problemKindName(ProblemKind k);
  * input type of every engine.
  *
  * Exactly one operand set is meaningful, selected by `kind`:
- * (a, x, b) for MatVec, (a, bmat, e) for MatMul. Use the named
- * factories; they validate shapes eagerly.
+ * (a, x, b) for MatVec, (a, bmat, e) for MatMul, (a, b) for
+ * TriSolve (a = the lower-triangular L, b = the right-hand side).
+ * Use the named factories; they validate shapes eagerly.
  */
 struct EnginePlan
 {
     ProblemKind kind = ProblemKind::MatVec;
 
-    Dense<Scalar> a; ///< the matrix A (any shape; DBT reshapes it)
+    Dense<Scalar> a; ///< the matrix A (any shape; DBT reshapes it);
+                     ///< for TriSolve, the square lower-triangular L
 
-    // MatVec operands.
+    // MatVec operands (b doubles as the TriSolve right-hand side).
     Vec<Scalar> x; ///< input vector (length a.cols())
-    Vec<Scalar> b; ///< additive vector (length a.rows())
+    Vec<Scalar> b; ///< additive vector / trisolve rhs (length a.rows())
 
     // MatMul operands.
     Dense<Scalar> bmat; ///< matrix B (a.cols() × m)
@@ -68,7 +72,7 @@ struct EnginePlan
     Index w = 4; ///< fixed systolic array size
     /**
      * Record port-level events into EngineRunResult::trace.
-     * Currently only the "linear" engine supports tracing; the
+     * Supported by the "linear", "tri", and "mesh" engines; the
      * other topologies return an empty trace regardless.
      */
     bool recordTrace = false;
@@ -85,6 +89,13 @@ struct EnginePlan
     static EnginePlan matMul(Dense<Scalar> a, Dense<Scalar> bmat,
                              Index w);
 
+    /**
+     * Plan for L·y = b with L = @p l lower-triangular (square,
+     * nonzero diagonal; elements above the diagonal are ignored).
+     */
+    static EnginePlan triSolve(Dense<Scalar> l, Vec<Scalar> b,
+                               Index w);
+
     /** Shape consistency checks (asserts on failure). */
     void validate() const;
 };
@@ -98,7 +109,7 @@ struct EnginePlan
  */
 struct EngineRunResult
 {
-    Vec<Scalar> y;    ///< MatVec result (length a.rows())
+    Vec<Scalar> y;    ///< MatVec/TriSolve result (length a.rows())
     Dense<Scalar> c;  ///< MatMul result (a.rows() × bmat.cols())
 
     RunStats stats;          ///< measured cycles/PEs/MACs
@@ -127,12 +138,13 @@ struct EngineRunResult
  * Exactly one operand set is meaningful, selected by the kind of the
  * prepared plan the inputs are run against: (x, b) for MatVec, e for
  * MatMul (the matmul plan binds both A and B; the additive E is the
- * streamable operand).
+ * streamable operand), b for TriSolve (the plan binds L; the
+ * right-hand side streams).
  */
 struct EngineInputs
 {
     Vec<Scalar> x;    ///< MatVec input vector
-    Vec<Scalar> b;    ///< MatVec additive vector
+    Vec<Scalar> b;    ///< MatVec additive vector / TriSolve rhs
     Dense<Scalar> e;  ///< MatMul additive matrix
     /** Record port events (engines that support tracing only). */
     bool recordTrace = false;
@@ -142,6 +154,9 @@ struct EngineInputs
 
     /** Inputs for one C = A·B + E request. */
     static EngineInputs matMul(Dense<Scalar> e);
+
+    /** Inputs for one L·y = b request. */
+    static EngineInputs triSolve(Vec<Scalar> b);
 
     /** The streamable operands of a full plan (copies them out). */
     static EngineInputs of(const EnginePlan &plan);
@@ -202,8 +217,8 @@ class SystolicEngine
   public:
     virtual ~SystolicEngine() = default;
 
-    /** Registry name ("linear", "grouped", "overlapped", "hex",
-     *  "spiral"). */
+    /** Registry name ("linear", "grouped", "overlapped",
+     *  "no-feedback", "hex", "spiral", "mesh", "tri"). */
     virtual std::string name() const = 0;
 
     /** Which problem kind this engine consumes. */

@@ -7,11 +7,14 @@
  * with registerEngine(). Lookup is by the stable string names used
  * throughout tests, benches, and examples:
  *
- *   "linear"     y = A·x + b, contraflow array with w-deep feedback
- *   "grouped"    linear with 2:1 PE grouping (A = ⌈w/2⌉)
- *   "overlapped" linear with the split-problem interleaving booster
- *   "hex"        C = A·B + E, hexagonal array with spiral feedback
- *   "spiral"     hex plus a strict spiral-topology audit
+ *   "linear"      y = A·x + b, contraflow array with w-deep feedback
+ *   "grouped"     linear with 2:1 PE grouping (A = ⌈w/2⌉)
+ *   "overlapped"  linear with the split-problem interleaving booster
+ *   "no-feedback" baseline: per-block runs, host accumulation
+ *   "hex"         C = A·B + E, hexagonal array with spiral feedback
+ *   "spiral"      hex plus a strict spiral-topology audit
+ *   "mesh"        C = A·B + E, output-stationary 2D mesh
+ *   "tri"         L·y = b, §4 blocked forward substitution
  */
 
 #ifndef SAP_ENGINE_REGISTRY_HH

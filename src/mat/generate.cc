@@ -85,6 +85,19 @@ randomLowerTriangular(Index n, std::uint64_t seed)
 }
 
 Dense<Scalar>
+randomUnitLowerTriangular(Index n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Dense<Scalar> l(n, n);
+    for (Index i = 0; i < n; ++i) {
+        for (Index j = 0; j < i; ++j)
+            l(i, j) = static_cast<Scalar>(rng.uniformInt(0, 3));
+        l(i, i) = 1;
+    }
+    return l;
+}
+
+Dense<Scalar>
 randomDiagDominant(Index n, std::uint64_t seed)
 {
     Rng rng(seed);

@@ -54,6 +54,14 @@ Dense<Scalar> coordinateCoded(Index rows, Index cols);
 Dense<Scalar> randomLowerTriangular(Index n, std::uint64_t seed);
 
 /**
+ * Unit lower-triangular matrix (diagonal 1, small integer strict
+ * lower triangle): every forward-substitution intermediate stays an
+ * exact integer, so triangular-solve tests can require bit-exact
+ * equality with the oracle despite the divisions.
+ */
+Dense<Scalar> randomUnitLowerTriangular(Index n, std::uint64_t seed);
+
+/**
  * Strictly diagonally dominant matrix (integer entries), suitable
  * for Gauss-Seidel convergence tests.
  */

@@ -12,13 +12,12 @@ bool
 crossCheckOne(const EnginePlan &plan, const EngineInputs &in,
               const EngineRunResult &r)
 {
-    if (plan.kind == ProblemKind::MatVec) {
-        Vec<Scalar> gold = matVec(plan.a, in.x, in.b);
-        return r.y.size() == gold.size() &&
-               maxAbsDiff(r.y, gold) == 0.0;
-    }
-    Dense<Scalar> gold = matMulAdd(plan.a, plan.bmat, in.e);
-    return r.c == gold;
+    if (plan.kind == ProblemKind::MatMul)
+        return r.c == matMulAdd(plan.a, plan.bmat, in.e);
+    Vec<Scalar> gold = plan.kind == ProblemKind::MatVec
+        ? matVec(plan.a, in.x, in.b)
+        : forwardSolve(plan.a, in.b);
+    return r.y.size() == gold.size() && maxAbsDiff(r.y, gold) == 0.0;
 }
 
 } // namespace
@@ -63,6 +62,19 @@ runManyMatVec(const SystolicEngine &engine, const Dense<Scalar> &a,
     // Zero operand placeholders: runMany() binds only the matrix.
     EnginePlan plan = EnginePlan::matVec(a, Vec<Scalar>(a.cols()),
                                          Vec<Scalar>(a.rows()), w);
+    return runMany(engine, plan, inputs, opts);
+}
+
+BatchResult
+runManyTriSolve(const SystolicEngine &engine, const Dense<Scalar> &l,
+                Index w, const std::vector<EngineInputs> &inputs,
+                const BatchOptions &opts)
+{
+    SAP_ASSERT(engine.kind() == ProblemKind::TriSolve,
+               engine.name(), " engine cannot serve a trisolve batch");
+    // Zero rhs placeholder: runMany() binds only the matrix.
+    EnginePlan plan =
+        EnginePlan::triSolve(l, Vec<Scalar>(l.rows()), w);
     return runMany(engine, plan, inputs, opts);
 }
 

@@ -55,8 +55,9 @@ struct BatchResult
 /**
  * Stream every element of @p inputs through one plan built from
  * @p plan's bound matrices (its own x/b/e operand fields are
- * ignored). Works for both problem kinds; for MatMul, the plan
- * binds (A, B) and each input contributes an E.
+ * ignored). Works for every problem kind: MatMul plans bind (A, B)
+ * and each input contributes an E; TriSolve plans bind L and each
+ * input contributes a right-hand side.
  */
 BatchResult runMany(const SystolicEngine &engine,
                     const EnginePlan &plan,
@@ -73,6 +74,18 @@ BatchResult runManyMatVec(const SystolicEngine &engine,
                           const Dense<Scalar> &a, Index w,
                           const std::vector<EngineInputs> &inputs,
                           const BatchOptions &opts = {});
+
+/**
+ * y_j = solution of L·y_j = b_j for every input (rhs in the b
+ * field), building the plan for (L, w) once.
+ *
+ * @pre engine.kind() == ProblemKind::TriSolve (asserted).
+ * @pre L is square lower-triangular with nonzero diagonal.
+ */
+BatchResult runManyTriSolve(const SystolicEngine &engine,
+                            const Dense<Scalar> &l, Index w,
+                            const std::vector<EngineInputs> &inputs,
+                            const BatchOptions &opts = {});
 
 /** One (B, E) request of a mat-mul stream sharing A. */
 struct MatMulItem

@@ -69,7 +69,18 @@ Digest planDigest(const std::string &engine_name,
                   const EnginePlan &plan,
                   const DenseHashFn &hash = nullptr);
 
-/** LRU cache of prepared plans keyed by matrix content. */
+/**
+ * LRU cache of prepared plans keyed by matrix content.
+ *
+ * Thread-safety: all public members are safe to call concurrently;
+ * plan construction runs outside the lock (see file comment).
+ *
+ * Ownership: entries hold shared_ptr<const PreparedPlan>, so a plan
+ * returned by prepare() remains valid after eviction or clear() —
+ * eviction only drops the cache's reference. The cache also keeps a
+ * copy of the bound matrices as the collision-check ground truth,
+ * so its memory footprint is capacity × (plan + operands).
+ */
 class PlanCache
 {
   public:

@@ -22,11 +22,21 @@
 namespace sap {
 
 /**
- * Multi-threaded serving layer over the engine registry.
+ * Multi-threaded serving layer over the engine registry: requests
+ * name an engine and carry a full EnginePlan (any problem kind);
+ * workers validate, fetch or build the prepared plan through the
+ * LRU cache, execute, and optionally cross-check against the host
+ * oracle.
  *
- * Thread-safety: submit() and stats() may be called from any number
- * of client threads. Destruction drains queued requests first, so
- * every returned future becomes ready.
+ * Thread-safety: all submission surfaces and stats() may be called
+ * from any number of client threads. submitAsync() callbacks run on
+ * the worker thread that served the request.
+ *
+ * Ownership: the server owns its worker threads, plan cache, and
+ * engine instances; destruction drains in-flight and queued
+ * requests first, so every returned future becomes ready and every
+ * accepted callback fires. The reference returned by planCache()
+ * stays valid for the server's lifetime.
  */
 class Server
 {

@@ -45,13 +45,24 @@ validateRequest(const SystolicEngine &engine, const EnginePlan &plan)
         if (plan.b.size() != plan.a.rows())
             return "b length " + std::to_string(plan.b.size()) +
                    " != A rows " + std::to_string(plan.a.rows());
-    } else {
+    } else if (plan.kind == ProblemKind::MatMul) {
         if (plan.bmat.rows() != plan.a.cols())
             return "B rows " + std::to_string(plan.bmat.rows()) +
                    " != A cols " + std::to_string(plan.a.cols());
         if (plan.e.rows() != plan.a.rows() ||
             plan.e.cols() != plan.bmat.cols())
             return "E shape mismatch";
+    } else {
+        if (plan.a.rows() != plan.a.cols())
+            return "L must be square, got " +
+                   std::to_string(plan.a.rows()) + "x" +
+                   std::to_string(plan.a.cols());
+        if (plan.b.size() != plan.a.rows())
+            return "b length " + std::to_string(plan.b.size()) +
+                   " != order " + std::to_string(plan.a.rows());
+        for (Index i = 0; i < plan.a.rows(); ++i)
+            if (plan.a(i, i) == 0)
+                return "zero diagonal at " + std::to_string(i);
     }
     return {};
 }
@@ -70,15 +81,21 @@ shapeKeyOf(const std::string &engine_name, const EnginePlan &plan)
     return key;
 }
 
+/**
+ * Exact comparison against the host oracle. Trisolve requests
+ * divide, so cross-checked workloads should keep the intermediates
+ * representable (e.g. unit-diagonal integer systems); the tolerance
+ * hook for real-valued workloads is the ROADMAP float item.
+ */
 bool
 matchesOracle(const EnginePlan &plan, const EngineRunResult &r)
 {
-    if (plan.kind == ProblemKind::MatVec) {
-        Vec<Scalar> gold = matVec(plan.a, plan.x, plan.b);
-        return r.y.size() == gold.size() &&
-               maxAbsDiff(r.y, gold) == 0.0;
-    }
-    return r.c == matMulAdd(plan.a, plan.bmat, plan.e);
+    if (plan.kind == ProblemKind::MatMul)
+        return r.c == matMulAdd(plan.a, plan.bmat, plan.e);
+    Vec<Scalar> gold = plan.kind == ProblemKind::MatVec
+        ? matVec(plan.a, plan.x, plan.b)
+        : forwardSolve(plan.a, plan.b);
+    return r.y.size() == gold.size() && maxAbsDiff(r.y, gold) == 0.0;
 }
 
 /**

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Cycle-accurate model of the linear back-substitution array for
+ * triangular systems of linear equations — the §4 application of the
+ * paper ("Triangular systems of linear and matrix equations"), after
+ * the Kung/Leiserson linear-time triangular-system design surveyed
+ * in the systolic literature.
+ *
+ * Geometry: w cells in a row, one per unknown of a w-wide block.
+ *
+ *   s  ->  cell0  cell1  ...  cell(w-1)   (partial sums move right)
+ *            ^      ^            ^
+ *            L-coefficients dropped into each cell from above
+ *
+ * Cell k is *solution-stationary*: the first time it sees a valid
+ * (coefficient, partial-sum) pair the coefficient is the diagonal
+ * element l_kk, so it divides, captures y_k = s / l_kk, and retires
+ * that row (a bubble continues). Every later visit carries a
+ * subdiagonal coefficient l_ik (i > k) and the cell forwards
+ * s' = s − l_ik · y_k. A row i therefore enters cell 0 as s = b_i,
+ * sheds one term per cell, and dies at cell i where y_i is born.
+ *
+ * Rows pipeline back-to-back (one per cycle): row i reaches cell k
+ * at cycle i + k, while y_k was captured at cycle 2k < i + k, so
+ * every subtraction finds its stored solution already valid. A full
+ * w×w block solve takes 2w − 1 cycles.
+ */
+
+#ifndef SAP_SIM_TRI_ARRAY_HH
+#define SAP_SIM_TRI_ARRAY_HH
+
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/sample.hh"
+
+namespace sap {
+
+/** The linear back-substitution array. */
+class TriArray
+{
+  public:
+    /** @param w Number of cells (the array size). */
+    explicit TriArray(Index w);
+
+    /** Array size (number of cells). */
+    Index size() const { return w_; }
+
+    /** Present the partial sum entering cell 0 this cycle. */
+    void setSIn(Sample s) { s_in_ = s; }
+
+    /** Present the coefficient entering cell @p k this cycle. */
+    void setAIn(Index k, Sample s);
+
+    /**
+     * Advance one clock cycle: all cells compute with their current
+     * inputs, then the partial-sum registers shift right.
+     */
+    void step();
+
+    /**
+     * The solution stored in cell @p k (invalid until the diagonal
+     * coefficient has passed through).
+     */
+    Sample y(Index k) const;
+
+    /** Cycle in which cell @p k captured its solution (−1 if none). */
+    Cycle yCapturedAt(Index k) const;
+
+    /** Cycles executed so far. */
+    Cycle now() const { return now_; }
+
+    /** Cell-cycles that performed a useful divide or MAC. */
+    Index usefulOps() const { return useful_ops_; }
+
+    /**
+     * Forget the stored solutions and in-flight partial sums so the
+     * array can start the next diagonal block; the cycle and op
+     * counters keep accumulating (it is the same hardware).
+     */
+    void clearSolutions();
+
+  private:
+    Index w_;
+    Cycle now_ = 0;
+    Index useful_ops_ = 0;
+
+    std::vector<Sample> s_regs_; ///< partial sum at output of cell k
+    std::vector<Sample> a_in_;   ///< coefficient inputs this cycle
+    std::vector<Sample> y_;      ///< captured solutions
+    std::vector<Cycle> y_cycle_; ///< capture cycle per cell (−1 = none)
+
+    Sample s_in_;
+};
+
+} // namespace sap
+
+#endif // SAP_SIM_TRI_ARRAY_HH

@@ -182,6 +182,53 @@ TEST(Cluster, ServesCorrectResultsAcrossShards)
     EXPECT_EQ(cluster.stats().crossCheckFailures, 0u);
 }
 
+TEST(Cluster, TriSolveRequestsRouteBatchAndCrossCheck)
+{
+    // The triangular workload through the whole cluster surface:
+    // digest routing pins each L to one shard, and batch submission
+    // groups same-L requests into one prepared-plan streaming pass.
+    Cluster::Options opts;
+    opts.shards = 3;
+    opts.crossCheckAll = true;
+    Cluster cluster(opts);
+
+    const Index n = 8, w = 3;
+    std::vector<ServeRequest> reqs;
+    for (int i = 0; i < 12; ++i) {
+        ServeRequest req;
+        req.engine = "tri";
+        // Four distinct systems, three right-hand sides each.
+        Dense<Scalar> l =
+            randomUnitLowerTriangular(n, 1900 + i % 4);
+        req.plan = EnginePlan::triSolve(
+            l, randomIntVec(n, 1950 + i), w);
+        reqs.push_back(std::move(req));
+    }
+    // Same binding ⇒ same digest ⇒ same shard.
+    EXPECT_EQ(cluster.shardFor(reqs[0]), cluster.shardFor(reqs[4]));
+
+    std::vector<ServeRequest> copies = reqs;
+    std::vector<std::future<ServeResponse>> futures =
+        cluster.submitBatch(std::move(copies));
+    std::size_t rode_shared_plan = 0;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        ServeResponse resp = futures[i].get();
+        ASSERT_TRUE(resp.ok) << resp.error;
+        EXPECT_TRUE(resp.crossCheckOk);
+        if (resp.cacheHit)
+            ++rode_shared_plan;
+        Vec<Scalar> gold = forwardSolve(reqs[i].plan.a,
+                                        reqs[i].plan.b);
+        EXPECT_EQ(maxAbsDiff(resp.result.y, gold), 0.0) << i;
+    }
+    ClusterStats stats = cluster.stats();
+    EXPECT_EQ(stats.crossCheckFailures, 0u);
+    // Four distinct systems: four group leaders build, and each
+    // group's followers ride the leader's prepared plan.
+    EXPECT_EQ(stats.planCache.misses, 4u);
+    EXPECT_EQ(rode_shared_plan, 8u);
+}
+
 //---------------------------------------------------------------------
 // Async IO: completion callbacks and the completion queue.
 //---------------------------------------------------------------------

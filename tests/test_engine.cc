@@ -24,7 +24,8 @@ TEST(EngineRegistry, BuiltinsRegistered)
 {
     std::vector<std::string> names = engineNames();
     for (const char *expected :
-         {"linear", "grouped", "overlapped", "hex", "spiral"}) {
+         {"linear", "grouped", "overlapped", "no-feedback", "hex",
+          "spiral", "mesh", "tri"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
             << "missing builtin engine " << expected;
@@ -50,11 +51,26 @@ TEST(EngineRegistry, KindFilterPartitionsTheNames)
 {
     std::vector<std::string> mv = engineNames(ProblemKind::MatVec);
     std::vector<std::string> mm = engineNames(ProblemKind::MatMul);
-    EXPECT_EQ(mv.size() + mm.size(), engineNames().size());
+    std::vector<std::string> ts = engineNames(ProblemKind::TriSolve);
+    EXPECT_EQ(mv.size() + mm.size() + ts.size(),
+              engineNames().size());
     for (const std::string &name : mv)
         EXPECT_EQ(makeEngine(name)->kind(), ProblemKind::MatVec);
     for (const std::string &name : mm)
         EXPECT_EQ(makeEngine(name)->kind(), ProblemKind::MatMul);
+    for (const std::string &name : ts)
+        EXPECT_EQ(makeEngine(name)->kind(), ProblemKind::TriSolve);
+}
+
+TEST(EngineRegistry, EveryProblemKindHasAnEngine)
+{
+    // The acceptance criterion of the multi-problem registry: each
+    // kind enumerates at least one engine, and the §4 triangular
+    // solver is reachable by name.
+    EXPECT_GE(engineNames(ProblemKind::MatVec).size(), 4u);
+    EXPECT_GE(engineNames(ProblemKind::MatMul).size(), 3u);
+    std::vector<std::string> ts = engineNames(ProblemKind::TriSolve);
+    EXPECT_NE(std::find(ts.begin(), ts.end(), "tri"), ts.end());
 }
 
 TEST(EngineRegistry, CustomEngineCanBeRegisteredAndReplaced)
@@ -91,12 +107,17 @@ TEST(EngineHarness, AllTopologiesMatchOracleThroughOneHarness)
     Vec<Scalar> b = randomIntVec(n, 103);
     Dense<Scalar> bm = randomIntDense(m, p, 104);
     Dense<Scalar> e = randomIntDense(n, p, 105);
+    // Unit diagonal keeps the forward substitution exact in double.
+    Dense<Scalar> lt = randomUnitLowerTriangular(n, 106);
+    Vec<Scalar> rhs = randomIntVec(n, 107);
 
     Vec<Scalar> y_gold = matVec(a, x, b);
     Dense<Scalar> c_gold = matMulAdd(a, bm, e);
+    Vec<Scalar> t_gold = forwardSolve(lt, rhs);
 
     EnginePlan mv_plan = EnginePlan::matVec(a, x, b, w);
     EnginePlan mm_plan = EnginePlan::matMul(a, bm, e, w);
+    EnginePlan ts_plan = EnginePlan::triSolve(lt, rhs, w);
 
     std::size_t ran = 0;
     for (const std::string &name : engineNames()) {
@@ -106,17 +127,23 @@ TEST(EngineHarness, AllTopologiesMatchOracleThroughOneHarness)
         auto engine = makeEngine(name);
         ASSERT_NE(engine, nullptr);
 
-        EngineRunResult r = engine->run(
-            engine->kind() == ProblemKind::MatVec ? mv_plan : mm_plan);
+        const EnginePlan &plan =
+            engine->kind() == ProblemKind::MatVec   ? mv_plan
+            : engine->kind() == ProblemKind::MatMul ? mm_plan
+                                                    : ts_plan;
+        EngineRunResult r = engine->run(plan);
         ++ran;
 
-        if (engine->kind() == ProblemKind::MatVec) {
-            ASSERT_EQ(r.y.size(), y_gold.size());
-            EXPECT_EQ(maxAbsDiff(r.y, y_gold), 0.0);
-        } else {
+        if (engine->kind() == ProblemKind::MatMul) {
             ASSERT_EQ(r.c.rows(), c_gold.rows());
             ASSERT_EQ(r.c.cols(), c_gold.cols());
             EXPECT_TRUE(r.c == c_gold);
+        } else {
+            const Vec<Scalar> &gold =
+                engine->kind() == ProblemKind::MatVec ? y_gold
+                                                      : t_gold;
+            ASSERT_EQ(r.y.size(), gold.size());
+            EXPECT_EQ(maxAbsDiff(r.y, gold), 0.0);
         }
 
         // Uniform audit contract: vacuously true where not
@@ -127,7 +154,7 @@ TEST(EngineHarness, AllTopologiesMatchOracleThroughOneHarness)
         EXPECT_GT(r.stats.peCount, 0);
         EXPECT_GT(r.stats.utilization(), 0.0);
     }
-    EXPECT_GE(ran, 5u);
+    EXPECT_GE(ran, 8u);
 }
 
 TEST(EngineHarness, LinearFamilyReportsPaperFeedbackDepth)
@@ -159,12 +186,22 @@ TEST(EngineHarness, TraceIsRecordedOnRequest)
     EngineRunResult quiet = makeEngine("linear")->run(plan);
     EXPECT_TRUE(quiet.trace.empty());
 
-    // Documented limitation: only "linear" records traces today;
-    // other engines return an empty trace even when asked.
+    // The mesh and tri engines record traces too; the hex family is
+    // the documented remaining gap (empty trace even when asked).
     EnginePlan mm = EnginePlan::matMul(randomIntDense(4, 4, 24),
                                        randomIntDense(4, 4, 25), 2);
     mm.recordTrace = true;
     EXPECT_TRUE(makeEngine("hex")->run(mm).trace.empty());
+    EngineRunResult mesh = makeEngine("mesh")->run(mm);
+    EXPECT_FALSE(mesh.trace.empty());
+    EXPECT_FALSE(mesh.trace.onPort(Port::COut).empty());
+
+    EnginePlan ts = EnginePlan::triSolve(
+        randomUnitLowerTriangular(5, 26), randomIntVec(5, 27), 2);
+    ts.recordTrace = true;
+    EngineRunResult tri = makeEngine("tri")->run(ts);
+    EXPECT_FALSE(tri.trace.empty());
+    EXPECT_EQ(tri.trace.onPort(Port::YOut).size(), 6u); // padded n̄·w
 }
 
 /** Dense matrix that is banded: zero outside [−sub, +super]. */

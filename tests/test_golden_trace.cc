@@ -47,12 +47,49 @@ goldenPlan(Index n, Index m, Index w)
     return plan;
 }
 
+/**
+ * Deterministic trisolve plan: unit diagonal and small RNG-free
+ * coefficients keep every intermediate an exact (and small)
+ * integer on every platform.
+ */
+EnginePlan
+goldenTriPlan(Index n, Index w)
+{
+    Dense<Scalar> l(n, n);
+    for (Index i = 0; i < n; ++i) {
+        for (Index j = 0; j < i; ++j)
+            l(i, j) = static_cast<Scalar>((i + j) % 3 + 1);
+        l(i, i) = 1;
+    }
+    Vec<Scalar> b(n);
+    for (Index i = 0; i < n; ++i)
+        b[i] = static_cast<Scalar>(i + 1);
+    EnginePlan plan = EnginePlan::triSolve(l, b, w);
+    plan.recordTrace = true;
+    return plan;
+}
+
+/** Deterministic mesh mat-mul plan (coordinate-coded operands). */
+EnginePlan
+goldenMeshPlan(Index n, Index p, Index m, Index w)
+{
+    Dense<Scalar> e(n, m);
+    for (Index i = 0; i < n; ++i)
+        for (Index j = 0; j < m; ++j)
+            e(i, j) = static_cast<Scalar>(10 * (i + 1) + j);
+    EnginePlan plan = EnginePlan::matMul(
+        coordinateCoded(n, p), coordinateCoded(p, m), e, w);
+    plan.recordTrace = true;
+    return plan;
+}
+
 void
-checkGolden(const std::string &file, Index n, Index m, Index w)
+checkGoldenTrace(const std::string &file, const std::string &engine,
+                 const EnginePlan &plan)
 {
     const std::string path =
         std::string(SAP_TEST_DATA_DIR) + "/" + file;
-    EngineRunResult r = makeEngine("linear")->run(goldenPlan(n, m, w));
+    EngineRunResult r = makeEngine(engine)->run(plan);
     ASSERT_FALSE(r.trace.empty());
 
     if (std::getenv("SAP_REGEN_GOLDEN") != nullptr) {
@@ -76,6 +113,12 @@ checkGolden(const std::string &file, Index n, Index m, Index w)
         << (diff.lines.empty() ? std::string("?") : diff.lines[0]);
 }
 
+void
+checkGolden(const std::string &file, Index n, Index m, Index w)
+{
+    checkGoldenTrace(file, "linear", goldenPlan(n, m, w));
+}
+
 TEST(GoldenTrace, LinearW3Square)
 {
     // The paper's worked example shape: 6×6 on a w=3 array.
@@ -86,6 +129,22 @@ TEST(GoldenTrace, LinearW4PaddedRectangular)
 {
     // Non-multiple dimensions exercise the zero-padding schedule.
     checkGolden("trace_linear_w4_n5_m13.csv", 5, 13, 4);
+}
+
+TEST(GoldenTrace, TriW3Padded)
+{
+    // n = 7 on a w = 3 array: three diagonal blocks, padded last
+    // block, two panel updates between them.
+    checkGoldenTrace("trace_tri_w3_n7.csv", "tri",
+                     goldenTriPlan(7, 3));
+}
+
+TEST(GoldenTrace, MeshW2PaddedRectangular)
+{
+    // 4×5·5×3 on a 2×2 mesh: all three block counts differ and the
+    // padding path is exercised.
+    checkGoldenTrace("trace_mesh_w2_n4_p5_m3.csv", "mesh",
+                     goldenMeshPlan(4, 5, 3, 2));
 }
 
 } // namespace

@@ -242,13 +242,17 @@ TEST(PreparedPlan, EveryEngineMatchesItsOwnRunPath)
 
     EnginePlan mv = EnginePlan::matVec(a, x, b, w);
     EnginePlan mm = EnginePlan::matMul(a, bm, e, w);
+    EnginePlan ts = EnginePlan::triSolve(
+        randomUnitLowerTriangular(n, 56), randomIntVec(n, 57), w);
 
     for (const std::string &name : engineNames()) {
         SCOPED_TRACE("engine " + name);
         auto engine = makeEngine(name);
         ASSERT_NE(engine, nullptr);
         const EnginePlan &plan =
-            engine->kind() == ProblemKind::MatVec ? mv : mm;
+            engine->kind() == ProblemKind::MatVec   ? mv
+            : engine->kind() == ProblemKind::MatMul ? mm
+                                                    : ts;
         auto prepared = engine->prepare(plan);
         ASSERT_NE(prepared, nullptr);
         EXPECT_EQ(prepared->kind(), engine->kind());
@@ -258,10 +262,10 @@ TEST(PreparedPlan, EveryEngineMatchesItsOwnRunPath)
         EngineRunResult via_run = engine->run(plan);
         EngineRunResult via_prepared =
             engine->runPrepared(*prepared, EngineInputs::of(plan));
-        if (engine->kind() == ProblemKind::MatVec) {
-            EXPECT_EQ(maxAbsDiff(via_prepared.y, via_run.y), 0.0);
-        } else {
+        if (engine->kind() == ProblemKind::MatMul) {
             EXPECT_TRUE(via_prepared.c == via_run.c);
+        } else {
+            EXPECT_EQ(maxAbsDiff(via_prepared.y, via_run.y), 0.0);
         }
         EXPECT_EQ(via_prepared.stats.cycles, via_run.stats.cycles);
     }
@@ -464,8 +468,50 @@ TEST(Server, MalformedRequestsResolveToErrors)
     EXPECT_FALSE(r3.ok);
     EXPECT_FALSE(r3.error.empty());
 
-    EXPECT_EQ(server.stats().failures, 3u);
+    // Singular triangular system, hand-built likewise: the shard
+    // reports instead of tripping the engine's divide assert.
+    ServeRequest singular;
+    singular.engine = "tri";
+    singular.plan.kind = ProblemKind::TriSolve;
+    singular.plan.a = randomUnitLowerTriangular(4, 117);
+    singular.plan.a(2, 2) = 0;
+    singular.plan.b = randomIntVec(4, 118);
+    singular.plan.w = 2;
+    ServeResponse r4 = server.submit(singular).get();
+    EXPECT_FALSE(r4.ok);
+    EXPECT_NE(r4.error.find("zero diagonal"), std::string::npos);
+
+    // Non-square L.
+    ServeRequest rect = singular;
+    rect.plan.a = randomIntDense(4, 3, 119);
+    ServeResponse r5 = server.submit(rect).get();
+    EXPECT_FALSE(r5.ok);
+    EXPECT_NE(r5.error.find("square"), std::string::npos);
+
+    EXPECT_EQ(server.stats().failures, 5u);
     EXPECT_EQ(server.stats().requests, 0u);
+}
+
+TEST(RunMany, TriSolveStreamsRightHandSidesThroughOnePlan)
+{
+    const Index n = 10, w = 3;
+    Dense<Scalar> l = randomUnitLowerTriangular(n, 131);
+    std::vector<EngineInputs> inputs;
+    for (int i = 0; i < 6; ++i)
+        inputs.push_back(
+            EngineInputs::triSolve(randomIntVec(n, 140 + i)));
+
+    BatchOptions opts;
+    opts.crossCheck = true;
+    BatchResult batch = runManyTriSolve(*makeEngine("tri"), l, w,
+                                        inputs, opts);
+    ASSERT_EQ(batch.results.size(), inputs.size());
+    EXPECT_EQ(batch.crossCheckFailures, 0u);
+    EXPECT_EQ(batch.planBuilds, 1u);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        Vec<Scalar> gold = forwardSolve(l, inputs[i].b);
+        EXPECT_EQ(maxAbsDiff(batch.results[i].y, gold), 0.0) << i;
+    }
 }
 
 TEST(Server, CrossCheckModeValidatesEveryTopology)
@@ -479,6 +525,7 @@ TEST(Server, CrossCheckModeValidatesEveryTopology)
     Dense<Scalar> a = randomIntDense(n, m, 121);
     Dense<Scalar> bm = randomIntDense(m, p, 122);
     Dense<Scalar> e = randomIntDense(n, p, 123);
+    Dense<Scalar> lt = randomUnitLowerTriangular(n, 126);
 
     std::vector<std::future<ServeResponse>> futures;
     for (const std::string &name : engineNames()) {
@@ -488,7 +535,9 @@ TEST(Server, CrossCheckModeValidatesEveryTopology)
         req.plan = engine->kind() == ProblemKind::MatVec
             ? EnginePlan::matVec(a, randomIntVec(m, 124),
                                  randomIntVec(n, 125), w)
-            : EnginePlan::matMul(a, bm, e, w);
+            : engine->kind() == ProblemKind::MatMul
+                ? EnginePlan::matMul(a, bm, e, w)
+                : EnginePlan::triSolve(lt, randomIntVec(n, 127), w);
         futures.push_back(server.submit(std::move(req)));
     }
     for (auto &f : futures) {
@@ -497,7 +546,7 @@ TEST(Server, CrossCheckModeValidatesEveryTopology)
         EXPECT_TRUE(resp.crossCheckOk);
     }
     EXPECT_EQ(server.stats().crossCheckFailures, 0u);
-    EXPECT_GE(server.stats().requests, 5u);
+    EXPECT_GE(server.stats().requests, 8u);
 }
 
 TEST(Server, DestructionDrainsQueuedRequests)

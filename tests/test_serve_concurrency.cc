@@ -8,8 +8,8 @@
  *    all against the same matrix, so the plan-cache fast path and
  *    the shared PreparedPlan are exercised from every thread at
  *    once;
- *  - a mixed-topology request stream across all five registered
- *    engines;
+ *  - a mixed-topology request stream across every registered
+ *    engine (all three problem kinds);
  *  - direct concurrent runPrepared() calls on one shared prepared
  *    plan, bypassing the server, to pin the engine-level
  *    thread-safety contract.
@@ -90,6 +90,7 @@ TEST(ServeConcurrency, MixedTopologyRequestStream)
     const Index n = 6, m = 6, p = 4, w = 2;
     Dense<Scalar> a = randomIntDense(n, m, 17);
     Dense<Scalar> bm = randomIntDense(m, p, 18);
+    Dense<Scalar> lt = randomUnitLowerTriangular(n, 19);
 
     Server::Options opts;
     opts.threads = 4;
@@ -107,9 +108,11 @@ TEST(ServeConcurrency, MixedTopologyRequestStream)
             req.plan = engine->kind() == ProblemKind::MatVec
                 ? EnginePlan::matVec(a, randomIntVec(m, seed),
                                      randomIntVec(n, seed + 1), w)
-                : EnginePlan::matMul(a, bm,
-                                     randomIntDense(n, p, seed + 2),
-                                     w);
+                : engine->kind() == ProblemKind::MatMul
+                    ? EnginePlan::matMul(
+                          a, bm, randomIntDense(n, p, seed + 2), w)
+                    : EnginePlan::triSolve(
+                          lt, randomIntVec(n, seed + 3), w);
             futures.push_back(server.submit(std::move(req)));
         }
     }
@@ -121,11 +124,11 @@ TEST(ServeConcurrency, MixedTopologyRequestStream)
     ServerStats stats = server.stats();
     EXPECT_EQ(stats.crossCheckFailures, 0u);
     EXPECT_EQ(stats.requests, futures.size());
-    // Five engines, one (matrix, w) each: five cached plans
+    // One (matrix, w) binding per engine: one cached plan each
     // (concurrent first requests may duplicate a miss, never an
     // entry).
-    EXPECT_EQ(server.planCache().size(), 5u);
-    EXPECT_GE(stats.planCache.misses, 5u);
+    EXPECT_EQ(server.planCache().size(), names.size());
+    EXPECT_GE(stats.planCache.misses, names.size());
 }
 
 TEST(ServeConcurrency, SharedPreparedPlanAcrossRawThreads)

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests of the output-stationary mesh: the cycle-level MeshArray,
+ * the block-decomposed MeshMatMulPlan, and the registry-wrapped
+ * "mesh" engine — property-checked against the host oracle and the
+ * repository's other mat-mul paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/formulas.hh"
+#include "base/random.hh"
+#include "engine/registry.hh"
+#include "mat/generate.hh"
+#include "mat/ops.hh"
+#include "sim/mesh_array.hh"
+
+namespace sap {
+namespace {
+
+TEST(MeshArray, SingleBlockMatMulWithSkewedFeeds)
+{
+    // One w×w block: A(r,t) enters row r at cycle t + r, B(t,q)
+    // enters column q at cycle t + q; after w + 2(w−1) cycles PE
+    // (r,q) holds Σ_t A(r,t)·B(t,q).
+    const Index w = 3;
+    Dense<Scalar> a = coordinateCoded(w, w);
+    Dense<Scalar> b = randomIntDense(w, w, 31);
+    Dense<Scalar> gold = matMul(a, b);
+
+    MeshArray mesh(w);
+    const Cycle pass = w + 2 * (w - 1);
+    for (Cycle c = 0; c < pass; ++c) {
+        for (Index r = 0; r < w; ++r) {
+            Index t = static_cast<Index>(c) - r;
+            if (t >= 0 && t < w)
+                mesh.setAIn(r, Sample::of(a(r, t)));
+        }
+        for (Index q = 0; q < w; ++q) {
+            Index t = static_cast<Index>(c) - q;
+            if (t >= 0 && t < w)
+                mesh.setBIn(q, Sample::of(b(t, q)));
+        }
+        mesh.step();
+    }
+    for (Index r = 0; r < w; ++r)
+        for (Index q = 0; q < w; ++q)
+            EXPECT_EQ(mesh.c(r, q), gold(r, q))
+                << "PE (" << r << "," << q << ")";
+    EXPECT_EQ(mesh.now(), pass);
+    EXPECT_EQ(mesh.usefulMacs(), w * w * w);
+}
+
+TEST(MeshArray, PreloadSeedsTheAccumulators)
+{
+    MeshArray mesh(2);
+    mesh.loadC(0, 0, 5);
+    mesh.setAIn(0, Sample::of(3));
+    mesh.setBIn(0, Sample::of(4));
+    mesh.step();
+    EXPECT_EQ(mesh.c(0, 0), 17); // 5 + 3·4
+    EXPECT_EQ(mesh.c(1, 1), 0);  // no valid pair reached it
+}
+
+TEST(MeshArray, BubblesDoNotMac)
+{
+    MeshArray mesh(2);
+    mesh.setAIn(0, Sample::of(3)); // a alone: no partner
+    mesh.step();
+    mesh.setBIn(0, Sample::of(4)); // b alone, and the a sample has
+    mesh.step();                   // moved on: still no MAC at (0,0)
+    EXPECT_EQ(mesh.usefulMacs(), 0);
+    EXPECT_EQ(mesh.c(0, 0), 0);
+}
+
+TEST(MeshMatMulPlan, MatchesOracleAcrossRandomShapes)
+{
+    Rng rng(0x3E5);
+    for (int trial = 0; trial < 14; ++trial) {
+        const Index n = rng.uniformInt(1, 9);
+        const Index p = rng.uniformInt(1, 9);
+        const Index m = rng.uniformInt(1, 9);
+        const Index w = rng.uniformInt(1, 4);
+        SCOPED_TRACE("trial " + std::to_string(trial) + ": " +
+                     std::to_string(n) + "x" + std::to_string(p) +
+                     "x" + std::to_string(m) + " w=" +
+                     std::to_string(w));
+        Dense<Scalar> a = randomIntDense(n, p, 2000 + trial);
+        Dense<Scalar> b = randomIntDense(p, m, 2100 + trial);
+        Dense<Scalar> e = randomIntDense(n, m, 2200 + trial);
+
+        MeshMatMulPlan plan(a, b, w);
+        MeshRunResult r = plan.run(e);
+        EXPECT_TRUE(r.c == matMulAdd(a, b, e));
+        EXPECT_EQ(r.stats.cycles,
+                  formulas::tMesh(w, plan.pbar(), plan.nbar(),
+                                  plan.mbar()));
+        EXPECT_EQ(r.stats.peCount, w * w);
+    }
+}
+
+TEST(MeshMatMulPlan, UtilizationApproachesOneWithReductionLength)
+{
+    // The output-stationary contrast to the hex array's 1/3: valid-
+    // sample utilization is p̄w / (p̄w + 2(w−1)) per block and grows
+    // with the reduction length.
+    const Index w = 4;
+    double prev = 0.0;
+    for (Index pbar : {1, 2, 8}) {
+        Dense<Scalar> a = randomIntDense(w, pbar * w, 41);
+        Dense<Scalar> b = randomIntDense(pbar * w, w, 42);
+        MeshRunResult r =
+            MeshMatMulPlan(a, b, w).run(Dense<Scalar>(w, w));
+        double e = r.stats.utilization();
+        EXPECT_NEAR(e, formulas::eMesh(w, pbar), 1e-12);
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+    EXPECT_GT(prev, 0.8); // p̄ = 8, w = 4: 32/38
+}
+
+/**
+ * The satellite property test: the mesh engine must agree with the
+ * no-feedback baseline run as a mat-vec on each column — i.e. with
+ * the host oracle both paths are checked against — across random
+ * shapes, through the registry.
+ */
+TEST(MeshEngine, AgreesWithBaselineMatMulAcrossRandomShapes)
+{
+    Rng rng(0x4E51); // distinct stream from the plan test
+    auto mesh = makeEngine("mesh");
+    auto hex = makeEngine("hex");
+    ASSERT_NE(mesh, nullptr);
+    ASSERT_NE(hex, nullptr);
+
+    for (int trial = 0; trial < 10; ++trial) {
+        const Index n = rng.uniformInt(1, 8);
+        const Index p = rng.uniformInt(1, 8);
+        const Index m = rng.uniformInt(1, 8);
+        const Index w = rng.uniformInt(1, 4);
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        Dense<Scalar> a = randomIntDense(n, p, 3000 + trial);
+        Dense<Scalar> b = randomIntDense(p, m, 3100 + trial);
+        Dense<Scalar> e = randomIntDense(n, m, 3200 + trial);
+        EnginePlan plan = EnginePlan::matMul(a, b, e, w);
+
+        Dense<Scalar> gold = matMulAdd(a, b, e);
+        EngineRunResult rm = mesh->run(plan);
+        EngineRunResult rh = hex->run(plan);
+        EXPECT_TRUE(rm.c == gold);
+        EXPECT_TRUE(rm.c == rh.c); // and with the paper's array
+    }
+}
+
+TEST(MeshEngine, TraceCoversAllFourPorts)
+{
+    const Index n = 4, p = 5, m = 3, w = 2;
+    EnginePlan plan = EnginePlan::matMul(
+        randomIntDense(n, p, 51), randomIntDense(p, m, 52),
+        randomIntDense(n, m, 53), w);
+    plan.recordTrace = true;
+    EngineRunResult r = makeEngine("mesh")->run(plan);
+    ASSERT_FALSE(r.trace.empty());
+    EXPECT_FALSE(r.trace.onPort(Port::AIn).empty());
+    EXPECT_FALSE(r.trace.onPort(Port::BIn).empty());
+    EXPECT_FALSE(r.trace.onPort(Port::CIn).empty());
+    // One drained event per real (unpadded) output element.
+    EXPECT_EQ(r.trace.onPort(Port::COut).size(),
+              static_cast<std::size_t>(n * m));
+}
+
+} // namespace
+} // namespace sap

@@ -76,6 +76,27 @@ TEST(SweepParallel, MatMulParallelMatchesSerial)
     }
 }
 
+TEST(SweepParallel, TriSolveParallelMatchesSerial)
+{
+    auto engine = makeEngine("tri");
+    ASSERT_NE(engine, nullptr);
+    std::vector<TriSolveConfig> configs = standardTriSolveSweep();
+
+    std::vector<SweepRow> serial =
+        runTriSolveSweep(*engine, configs, /*threads=*/1);
+    std::vector<SweepRow> parallel =
+        runTriSolveSweep(*engine, configs, /*threads=*/4);
+    expectRowsEqual(serial, parallel);
+    ASSERT_EQ(serial.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(serial[i].w, configs[i].w);
+        EXPECT_EQ(serial[i].n, configs[i].n);
+        EXPECT_GT(serial[i].cycles, 0);
+        EXPECT_GT(serial[i].utilization, 0.0);
+        EXPECT_LE(serial[i].utilization, 1.0);
+    }
+}
+
 TEST(SweepParallel, ThreadCountDoesNotChangeTheTable)
 {
     // "grouped" accepts every sweep shape ("overlapped" requires an
