@@ -14,6 +14,7 @@
 #include <algorithm>
 
 #include "analysis/formulas.hh"
+#include "analysis/sweep.hh"
 #include "base/table.hh"
 #include "dbt/matmul_plan.hh"
 #include "mat/generate.hh"
@@ -21,66 +22,69 @@
 namespace sap {
 namespace {
 
+/** One rendered table row; computed per config on the sweep pool
+ *  (analysis/sweep.hh runConfigSweep — pure function of the config,
+ *  so the fanned-out table matches a serial run). */
+std::vector<std::string>
+measurePoint(const MatMulConfig &cfg)
+{
+    const Index w = cfg.w;
+    const Index nbar = cfg.n / w, pbar = cfg.p / w, mbar = cfg.m / w;
+    Dense<Scalar> a = randomIntDense(cfg.n, cfg.p, 90 + w + nbar);
+    Dense<Scalar> b = randomIntDense(cfg.p, cfg.m, 91 + w + mbar);
+    MatMulPlan plan(a, b, w);
+    MatMulPlanResult r = plan.run(Dense<Scalar>(cfg.n, cfg.m));
+    const SpiralFeedback &fb = *r.feedback;
+
+    auto uniq = [](std::vector<Cycle> v) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+        std::string s;
+        for (Cycle c : v)
+            s += (s.empty() ? "" : "/") + std::to_string(c);
+        return s.empty() ? std::string("-") : s;
+    };
+
+    Cycle ours_restart = 3 * w * (nbar - 1) * pbar + w;
+    Cycle ours_llast = 3 * w * nbar * pbar * (mbar - 1) + w;
+    return {std::to_string(w), std::to_string(nbar),
+            std::to_string(pbar), std::to_string(mbar),
+            uniq(fb.pairDelays()),
+            std::to_string(formulas::hexRegularDelay(w)),
+            uniq(fb.mainDiagDelays()),
+            std::to_string(formulas::hexMemMainDiag(w)),
+            uniq(fb.irregularDelays()), std::to_string(ours_restart),
+            std::to_string(formulas::hexDelayU0j(w, nbar, pbar)),
+            uniq(fb.irregularDelays()), std::to_string(ours_llast),
+            std::to_string(
+                formulas::hexDelayLlast(w, nbar, pbar, mbar)),
+            std::to_string(fb.peakIrregularOccupancy()),
+            std::to_string(formulas::hexMemIrregular(w))};
+}
+
 void
 print()
 {
     printHeader("D-MM / M-MM",
                 "hexagonal feedback delays and memory elements");
 
+    // The feedback sweep keeps the original's tighter grid (the
+    // delay classes only need a few shapes each), expressed as
+    // MatMulConfigs so it rides the shared runner.
+    std::vector<MatMulConfig> configs;
+    for (Index w : {2, 3, 4})
+        for (Index nbar : {2, 3})
+            for (Index pbar : {2})
+                for (Index mbar : {2, 3})
+                    configs.push_back(
+                        {w, nbar * w, pbar * w, mbar * w});
+
     Table t({"w", "n̄", "p̄", "m̄", "reg delay", "paper", "diag delay",
              "paper", "irr U/L", "ours", "paper", "irr L-last",
              "ours", "paper", "irr pool peak", "paper pool"});
-    for (Index w : {2, 3, 4}) {
-        for (Index nbar : {2, 3}) {
-            for (Index pbar : {2}) {
-                for (Index mbar : {2, 3}) {
-                    Dense<Scalar> a = randomIntDense(
-                        nbar * w, pbar * w, 90 + w + nbar);
-                    Dense<Scalar> b = randomIntDense(
-                        pbar * w, mbar * w, 91 + w + mbar);
-                    MatMulPlan plan(a, b, w);
-                    MatMulPlanResult r = plan.run(
-                        Dense<Scalar>(nbar * w, mbar * w));
-                    const SpiralFeedback &fb = *r.feedback;
-
-                    auto uniq = [](std::vector<Cycle> v) {
-                        std::sort(v.begin(), v.end());
-                        v.erase(std::unique(v.begin(), v.end()),
-                                v.end());
-                        std::string s;
-                        for (Cycle c : v)
-                            s += (s.empty() ? "" : "/") +
-                                 std::to_string(c);
-                        return s.empty() ? std::string("-") : s;
-                    };
-
-                    Cycle ours_restart =
-                        3 * w * (nbar - 1) * pbar + w;
-                    Cycle ours_llast =
-                        3 * w * nbar * pbar * (mbar - 1) + w;
-                    t.addRow(
-                        {std::to_string(w), std::to_string(nbar),
-                         std::to_string(pbar), std::to_string(mbar),
-                         uniq(fb.pairDelays()),
-                         std::to_string(
-                             formulas::hexRegularDelay(w)),
-                         uniq(fb.mainDiagDelays()),
-                         std::to_string(formulas::hexMemMainDiag(w)),
-                         uniq(fb.irregularDelays()),
-                         std::to_string(ours_restart),
-                         std::to_string(formulas::hexDelayU0j(
-                             w, nbar, pbar)),
-                         uniq(fb.irregularDelays()),
-                         std::to_string(ours_llast),
-                         std::to_string(formulas::hexDelayLlast(
-                             w, nbar, pbar, mbar)),
-                         std::to_string(fb.peakIrregularOccupancy()),
-                         std::to_string(
-                             formulas::hexMemIrregular(w))});
-                }
-            }
-        }
-    }
+    for (std::vector<std::string> &row :
+         runConfigSweep(configs, defaultSweepThreads(), measurePoint))
+        t.addRow(std::move(row));
     std::printf("%s", t.render().c_str());
     std::printf("regular delay = w and main-diagonal delay = 2w hold "
                 "exactly for every shape (paper claims).\n");

@@ -2,7 +2,9 @@
  * @file
  * §3 analytic results reproduction (T-MM and E-MM): measured hex
  * array step counts and utilizations vs. the paper's formulas over
- * a (w, n̄, p̄, m̄) sweep.
+ * a (w, n̄, p̄, m̄) sweep, fanned out over the shared sweep runner
+ * (analysis/sweep.hh runConfigSweep) — each row is a pure function
+ * of its config, so the parallel table matches a serial run.
  */
 
 #include "bench/bench_common.hh"
@@ -17,6 +19,26 @@
 namespace sap {
 namespace {
 
+/** One rendered table row; computed per config on the sweep pool. */
+std::vector<std::string>
+measurePoint(const MatMulConfig &cfg)
+{
+    Dense<Scalar> a = randomIntDense(cfg.n, cfg.p, 7 + cfg.n + cfg.p);
+    Dense<Scalar> b = randomIntDense(cfg.p, cfg.m, 8 + cfg.p + cfg.m);
+    MatMulPlan plan(a, b, cfg.w);
+    const MatMulDims &d = plan.dims();
+    MatMulPlanResult r = plan.run(Dense<Scalar>(cfg.n, cfg.m));
+
+    return {std::to_string(d.w), std::to_string(d.nbar),
+            std::to_string(d.pbar), std::to_string(d.mbar),
+            std::to_string(r.stats.cycles),
+            std::to_string(formulas::tMatMul(d.w, d.pbar, d.nbar,
+                                             d.mbar)),
+            formatReal(r.stats.utilization(), 4),
+            formatReal(formulas::eMatMul(d.w, d.pbar, d.nbar, d.mbar),
+                       4)};
+}
+
 void
 print()
 {
@@ -25,24 +47,10 @@ print()
 
     Table t({"w", "n̄", "p̄", "m̄", "T sim", "T paper", "e sim",
              "e paper"});
-    for (const MatMulConfig &cfg : standardMatMulSweep()) {
-        Dense<Scalar> a = randomIntDense(cfg.n, cfg.p,
-                                         7 + cfg.n + cfg.p);
-        Dense<Scalar> b = randomIntDense(cfg.p, cfg.m,
-                                         8 + cfg.p + cfg.m);
-        MatMulPlan plan(a, b, cfg.w);
-        const MatMulDims &d = plan.dims();
-        MatMulPlanResult r = plan.run(Dense<Scalar>(cfg.n, cfg.m));
-
-        t.addRow({std::to_string(d.w), std::to_string(d.nbar),
-                  std::to_string(d.pbar), std::to_string(d.mbar),
-                  std::to_string(r.stats.cycles),
-                  std::to_string(formulas::tMatMul(d.w, d.pbar,
-                                                   d.nbar, d.mbar)),
-                  formatReal(r.stats.utilization(), 4),
-                  formatReal(formulas::eMatMul(d.w, d.pbar, d.nbar,
-                                               d.mbar), 4)});
-    }
+    for (std::vector<std::string> &row :
+         runConfigSweep(standardMatMulSweep(), defaultSweepThreads(),
+                        measurePoint))
+        t.addRow(std::move(row));
     std::printf("%s", t.render().c_str());
     std::printf("T matches the paper exactly; measured e differs "
                 "from the formula only by the boundary-MAC deficit "

@@ -3,7 +3,10 @@
  * §2 analytic results reproduction (T-MV and E-MV): measured step
  * counts and PE utilizations of the linear array vs. the paper's
  * formulas, over a (w, n̄, m̄) sweep, including the overlapped mode
- * and PE grouping.
+ * and PE grouping. Rows are measured in parallel over the shared
+ * sweep runner (analysis/sweep.hh runConfigSweep): each point is a
+ * pure function of its config, so the fanned-out table is identical
+ * to a serial run.
  */
 
 #include "bench/bench_common.hh"
@@ -18,6 +21,40 @@
 namespace sap {
 namespace {
 
+/** One rendered table row; computed per config on the sweep pool. */
+std::vector<std::string>
+measurePoint(const MatVecConfig &cfg)
+{
+    Dense<Scalar> a = randomIntDense(cfg.n, cfg.m,
+                                     17 + cfg.n + cfg.m + cfg.w);
+    Vec<Scalar> x = randomIntVec(cfg.m, 1);
+    Vec<Scalar> b = randomIntVec(cfg.n, 2);
+    MatVecPlan plan(a, cfg.w);
+    const MatVecDims &d = plan.dims();
+    MatVecPlanResult run = plan.run(x, b);
+
+    std::string t_ovl_sim = "-", t_ovl_paper = "-",
+                e_ovl_sim = "-", e_ovl_paper = "-";
+    if (d.nbar >= 2 && d.nbar % 2 == 0) {
+        MatVecPlanResult ovl = plan.runOverlapped(x, b);
+        t_ovl_sim = std::to_string(ovl.stats.cycles);
+        t_ovl_paper = std::to_string(
+            formulas::tMatVecOverlap(d.w, d.nbar, d.mbar));
+        e_ovl_sim = formatReal(ovl.stats.utilization(), 4);
+        e_ovl_paper = formatReal(
+            formulas::eMatVecOverlap(d.w, d.nbar, d.mbar), 4);
+    }
+    GroupedRunResult grouped = plan.runGroupedPlan(x, b);
+
+    return {std::to_string(d.w), std::to_string(d.nbar),
+            std::to_string(d.mbar), std::to_string(run.stats.cycles),
+            std::to_string(formulas::tMatVec(d.w, d.nbar, d.mbar)),
+            formatReal(run.stats.utilization(), 4),
+            formatReal(formulas::eMatVec(d.w, d.nbar, d.mbar), 4),
+            t_ovl_sim, t_ovl_paper, e_ovl_sim, e_ovl_paper,
+            formatReal(grouped.grouped.utilization(), 4)};
+}
+
 void
 print()
 {
@@ -27,39 +64,10 @@ print()
     Table t({"w", "n̄", "m̄", "T sim", "T paper", "e sim", "e paper",
              "T ovl sim", "T ovl paper", "e ovl sim", "e ovl paper",
              "e grouped"});
-    for (const MatVecConfig &cfg : standardMatVecSweep()) {
-        Dense<Scalar> a = randomIntDense(cfg.n, cfg.m,
-                                         17 + cfg.n + cfg.m + cfg.w);
-        Vec<Scalar> x = randomIntVec(cfg.m, 1);
-        Vec<Scalar> b = randomIntVec(cfg.n, 2);
-        MatVecPlan plan(a, cfg.w);
-        const MatVecDims &d = plan.dims();
-        MatVecPlanResult run = plan.run(x, b);
-
-        std::string t_ovl_sim = "-", t_ovl_paper = "-",
-                    e_ovl_sim = "-", e_ovl_paper = "-";
-        if (d.nbar >= 2 && d.nbar % 2 == 0) {
-            MatVecPlanResult ovl = plan.runOverlapped(x, b);
-            t_ovl_sim = std::to_string(ovl.stats.cycles);
-            t_ovl_paper = std::to_string(
-                formulas::tMatVecOverlap(d.w, d.nbar, d.mbar));
-            e_ovl_sim = formatReal(ovl.stats.utilization(), 4);
-            e_ovl_paper = formatReal(
-                formulas::eMatVecOverlap(d.w, d.nbar, d.mbar), 4);
-        }
-        GroupedRunResult grouped = plan.runGroupedPlan(x, b);
-
-        t.addRow({std::to_string(d.w), std::to_string(d.nbar),
-                  std::to_string(d.mbar),
-                  std::to_string(run.stats.cycles),
-                  std::to_string(formulas::tMatVec(d.w, d.nbar,
-                                                   d.mbar)),
-                  formatReal(run.stats.utilization(), 4),
-                  formatReal(formulas::eMatVec(d.w, d.nbar, d.mbar),
-                             4),
-                  t_ovl_sim, t_ovl_paper, e_ovl_sim, e_ovl_paper,
-                  formatReal(grouped.grouped.utilization(), 4)});
-    }
+    for (std::vector<std::string> &row :
+         runConfigSweep(standardMatVecSweep(), defaultSweepThreads(),
+                        measurePoint))
+        t.addRow(std::move(row));
     std::printf("%s", t.render().c_str());
     std::printf("asymptotics: e -> 1/2 (plain), e -> 1 (overlap and "
                 "grouping), as n̄m̄ grows.\n");

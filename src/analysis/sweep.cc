@@ -1,11 +1,10 @@
 #include "analysis/sweep.hh"
 
-#include <future>
-#include <memory>
+#include <algorithm>
+#include <thread>
 
 #include "base/logging.hh"
 #include "mat/generate.hh"
-#include "serve/thread_pool.hh"
 
 namespace sap {
 
@@ -136,43 +135,14 @@ runTriSolvePoint(const SystolicEngine &engine,
     return row;
 }
 
-/**
- * Shared fan-out: run @p point over every config, serially when
- * @p threads <= 1, otherwise over a worker pool with the results
- * put back in config order.
- */
-template <typename Config, typename PointFn>
-std::vector<SweepRow>
-runSweep(const std::vector<Config> &configs, std::size_t threads,
-         const PointFn &point)
-{
-    std::vector<SweepRow> rows;
-    rows.reserve(configs.size());
-    if (threads <= 1) {
-        for (const Config &cfg : configs)
-            rows.push_back(point(cfg));
-        return rows;
-    }
-
-    std::vector<std::future<SweepRow>> futures;
-    futures.reserve(configs.size());
-    {
-        ThreadPool pool(threads);
-        for (const Config &cfg : configs) {
-            auto task =
-                std::make_shared<std::packaged_task<SweepRow()>>(
-                    [&point, cfg] { return point(cfg); });
-            futures.push_back(task->get_future());
-            pool.post([task] { (*task)(); });
-        }
-        // ~ThreadPool drains the queue before joining.
-    }
-    for (std::future<SweepRow> &f : futures)
-        rows.push_back(f.get());
-    return rows;
-}
-
 } // namespace
+
+std::size_t
+defaultSweepThreads()
+{
+    std::size_t hw = std::thread::hardware_concurrency();
+    return std::min<std::size_t>(std::max<std::size_t>(hw, 2), 16);
+}
 
 std::vector<SweepRow>
 runMatVecSweep(const SystolicEngine &engine,
@@ -181,7 +151,7 @@ runMatVecSweep(const SystolicEngine &engine,
 {
     SAP_ASSERT(engine.kind() == ProblemKind::MatVec,
                engine.name(), " engine cannot run a matvec sweep");
-    return runSweep(configs, threads, [&engine](const MatVecConfig &c) {
+    return runConfigSweep(configs, threads, [&engine](const MatVecConfig &c) {
         return runMatVecPoint(engine, c);
     });
 }
@@ -193,7 +163,7 @@ runMatMulSweep(const SystolicEngine &engine,
 {
     SAP_ASSERT(engine.kind() == ProblemKind::MatMul,
                engine.name(), " engine cannot run a matmul sweep");
-    return runSweep(configs, threads, [&engine](const MatMulConfig &c) {
+    return runConfigSweep(configs, threads, [&engine](const MatMulConfig &c) {
         return runMatMulPoint(engine, c);
     });
 }
@@ -205,7 +175,7 @@ runTriSolveSweep(const SystolicEngine &engine,
 {
     SAP_ASSERT(engine.kind() == ProblemKind::TriSolve,
                engine.name(), " engine cannot run a trisolve sweep");
-    return runSweep(configs, threads,
+    return runConfigSweep(configs, threads,
                     [&engine](const TriSolveConfig &c) {
                         return runTriSolvePoint(engine, c);
                     });

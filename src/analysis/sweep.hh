@@ -8,11 +8,14 @@
 #ifndef SAP_ANALYSIS_SWEEP_HH
 #define SAP_ANALYSIS_SWEEP_HH
 
+#include <future>
+#include <memory>
 #include <vector>
 
 #include "base/types.hh"
 #include "engine/engine.hh"
 #include "serve/fingerprint.hh"
+#include "serve/thread_pool.hh"
 
 namespace sap {
 
@@ -108,6 +111,57 @@ std::vector<SweepRow>
 runTriSolveSweep(const SystolicEngine &engine,
                  const std::vector<TriSolveConfig> &configs,
                  std::size_t threads = 1);
+
+/**
+ * The generic fan-out behind the typed sweep runners, exposed so the
+ * paper table/figure benchmarks share one execution engine: evaluate
+ * @p point over every config — serially when @p threads <= 1,
+ * otherwise over a serve/thread_pool.hh worker pool — and return the
+ * results in config order either way.
+ *
+ * @p point must be a pure function of its config (derive workload
+ * seeds from the config, like the typed runners do); that is the
+ * contract that makes the parallel table bit-identical to the serial
+ * one. Row is deduced from the callable's return type.
+ */
+template <typename Config, typename PointFn,
+          typename Row = decltype(std::declval<PointFn>()(
+              std::declval<const Config &>()))>
+std::vector<Row>
+runConfigSweep(const std::vector<Config> &configs, std::size_t threads,
+               const PointFn &point)
+{
+    std::vector<Row> rows;
+    rows.reserve(configs.size());
+    if (threads <= 1) {
+        for (const Config &cfg : configs)
+            rows.push_back(point(cfg));
+        return rows;
+    }
+
+    std::vector<std::future<Row>> futures;
+    futures.reserve(configs.size());
+    {
+        ThreadPool pool(threads);
+        for (const Config &cfg : configs) {
+            auto task = std::make_shared<std::packaged_task<Row()>>(
+                [&point, cfg] { return point(cfg); });
+            futures.push_back(task->get_future());
+            pool.post([task] { (*task)(); });
+        }
+        // ~ThreadPool drains the queue before joining.
+    }
+    for (std::future<Row> &f : futures)
+        rows.push_back(f.get());
+    return rows;
+}
+
+/**
+ * Worker count for interactive sweep consumers (the table benches):
+ * the hardware concurrency, at least 2 so the parallel path is
+ * always exercised, capped at 16 to stay polite on big hosts.
+ */
+std::size_t defaultSweepThreads();
 
 } // namespace sap
 

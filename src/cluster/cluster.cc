@@ -121,6 +121,16 @@ Cluster::stats() const
     return out;
 }
 
+ServerStats
+Cluster::statsSnapshot() const
+{
+    std::vector<ServerStats> parts;
+    parts.reserve(shards_.size());
+    for (const std::unique_ptr<Shard> &shard : shards_)
+        parts.push_back(shard->stats(/*include_samples=*/true));
+    return mergeServerStats(parts);
+}
+
 const Shard &
 Cluster::shard(std::size_t i) const
 {

@@ -141,6 +141,16 @@ class Cluster
     /** Summed counters plus per-shard snapshots. */
     ClusterStats stats() const;
 
+    /**
+     * Whole-installation snapshot with the per-shard StatsRecorder
+     * data *merged*: one ServerStats whose per-(engine, shape)
+     * groups combine every shard's counts, and whose p50/p99 come
+     * from the shards' concatenated latency reservoirs (exact, not
+     * percentile-of-percentiles). This is what the network layer's
+     * STATS frame serves; stats() keeps the per-shard detail.
+     */
+    ServerStats statsSnapshot() const;
+
     /** Direct access to shard @p i (for tests and monitoring). */
     const Shard &shard(std::size_t i) const;
 

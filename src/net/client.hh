@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Blocking client for the net/ wire protocol: the library an
+ * external process links to reach a NetServer-fronted cluster.
+ *
+ * One NetClient is one TCP connection with a simple blocking call
+ * discipline: submit() sends one SUBMIT and waits for its response;
+ * submitBatch() pipelines N SUBMITs before reading (responses come
+ * back in completion order — the cluster serves shards
+ * independently — and are matched to requests by tag); stats() and
+ * ping() round-trip the STATS and PING frames.
+ *
+ * Transport failures (connection refused, mid-stream close, a
+ * malformed byte stream from the server) are reported per call via
+ * Result::transportOk / lastError(); application-level failures
+ * (malformed request, unknown engine) come back as normal responses
+ * with ok = false, exactly as the in-process serving layer reports
+ * them.
+ *
+ * Thread-safety: a NetClient is NOT thread-safe; give each client
+ * thread its own connection (the server multiplexes any number).
+ */
+
+#ifndef SAP_NET_CLIENT_HH
+#define SAP_NET_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/protocol.hh"
+
+namespace sap {
+
+/**
+ * TCP client speaking the sap wire protocol (see file comment).
+ */
+class NetClient
+{
+  public:
+    /** What one submitted request came back as. */
+    struct Result
+    {
+        /** False when the transport or framing failed mid-call. */
+        bool transportOk = false;
+        /** Why (when !transportOk). */
+        std::string transportError;
+        /** The decoded response (valid when transportOk). An ERROR
+         *  frame decodes as ok = false with the server's message. */
+        WireResponse response;
+    };
+
+    /**
+     * @param max_payload Per-frame payload cap the client will
+     *        accept from the server; match the server's
+     *        NetServer::Options::maxPayloadBytes when that was
+     *        raised above the default (responses can be as large as
+     *        the requests the server accepts).
+     */
+    explicit NetClient(
+        std::uint32_t max_payload = kDefaultMaxPayloadBytes)
+        : max_payload_(max_payload), decoder_(max_payload)
+    {
+    }
+
+    /** Disconnects. */
+    ~NetClient();
+
+    NetClient(const NetClient &) = delete;
+    NetClient &operator=(const NetClient &) = delete;
+
+    /**
+     * Connect to @p host:@p port (IPv4 dotted quad or "localhost").
+     * @return false with lastError() set on failure.
+     */
+    bool connect(const std::string &host, std::uint16_t port);
+
+    /** Close the connection (idempotent). */
+    void disconnect();
+
+    /** True while the socket is open. */
+    bool connected() const { return fd_ >= 0; }
+
+    /** The last transport error seen by any call. */
+    const std::string &lastError() const { return error_; }
+
+    /** Send one request and block for its response. */
+    Result submit(const ServeRequest &req);
+
+    /**
+     * Pipeline all of @p reqs, then collect every response; the
+     * returned vector is in request order regardless of the order
+     * responses arrived in. After a transport failure the remaining
+     * results carry transportOk = false.
+     */
+    std::vector<Result> submitBatch(const std::vector<ServeRequest>
+                                        &reqs);
+
+    /**
+     * Request the server's aggregated statistics snapshot
+     * (Cluster::statsSnapshot() over the wire).
+     */
+    bool stats(ServerStats *out);
+
+    /** PING round-trip. */
+    bool ping();
+
+    /**
+     * Golden-model cross-check of a wire response against the host
+     * oracle for @p req — bit-exact, the same check the serving
+     * layer applies (integer workloads; trisolve wants unit-diagonal
+     * systems so every intermediate is exact).
+     */
+    static bool matchesOracle(const ServeRequest &req,
+                              const WireResponse &resp);
+
+  private:
+    bool sendAll(const std::vector<std::uint8_t> &bytes);
+    /** Block until one complete frame arrives. */
+    bool readFrame(Frame *out);
+    bool fail(const std::string &message);
+
+    int fd_ = -1;
+    std::uint32_t max_payload_ = kDefaultMaxPayloadBytes;
+    FrameDecoder decoder_;
+    std::uint64_t next_tag_ = 1;
+    std::string error_;
+};
+
+} // namespace sap
+
+#endif // SAP_NET_CLIENT_HH

@@ -1,0 +1,623 @@
+#include "net/protocol.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace sap {
+
+namespace {
+
+/** Set @p error (when non-null) and return false. */
+bool
+failDecode(std::string *error, const std::string &reason)
+{
+    if (error)
+        *error = reason;
+    return false;
+}
+
+} // namespace
+
+std::string
+frameTypeName(std::uint16_t type)
+{
+    switch (static_cast<FrameType>(type)) {
+    case FrameType::Submit:
+        return "SUBMIT";
+    case FrameType::Response:
+        return "RESPONSE";
+    case FrameType::Stats:
+        return "STATS";
+    case FrameType::Ping:
+        return "PING";
+    case FrameType::Error:
+        return "ERROR";
+    }
+    return "type " + std::to_string(type);
+}
+
+//----------------------------------------------------------------------
+// WireWriter
+//----------------------------------------------------------------------
+
+void
+WireWriter::u16(std::uint16_t v)
+{
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+WireWriter::u32(std::uint32_t v)
+{
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void
+WireWriter::u64(std::uint64_t v)
+{
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void
+WireWriter::f64(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+WireWriter::str(const std::string &s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void
+WireWriter::vec(const Vec<Scalar> &v)
+{
+    i64(v.size());
+    for (Index i = 0; i < v.size(); ++i)
+        f64(v[i]);
+}
+
+void
+WireWriter::dense(const Dense<Scalar> &m)
+{
+    i64(m.rows());
+    i64(m.cols());
+    for (Index r = 0; r < m.rows(); ++r)
+        for (Index c = 0; c < m.cols(); ++c)
+            f64(m(r, c));
+}
+
+//----------------------------------------------------------------------
+// WireReader
+//----------------------------------------------------------------------
+
+bool
+WireReader::u8(std::uint8_t *out)
+{
+    if (remaining() < 1)
+        return false;
+    *out = data_[pos_++];
+    return true;
+}
+
+bool
+WireReader::u16(std::uint16_t *out)
+{
+    std::uint8_t lo, hi;
+    if (!u8(&lo) || !u8(&hi))
+        return false;
+    *out = static_cast<std::uint16_t>(lo |
+                                      (static_cast<unsigned>(hi) << 8));
+    return true;
+}
+
+bool
+WireReader::u32(std::uint32_t *out)
+{
+    std::uint16_t lo, hi;
+    if (!u16(&lo) || !u16(&hi))
+        return false;
+    *out = lo | (static_cast<std::uint32_t>(hi) << 16);
+    return true;
+}
+
+bool
+WireReader::u64(std::uint64_t *out)
+{
+    std::uint32_t lo, hi;
+    if (!u32(&lo) || !u32(&hi))
+        return false;
+    *out = lo | (static_cast<std::uint64_t>(hi) << 32);
+    return true;
+}
+
+bool
+WireReader::i64(std::int64_t *out)
+{
+    std::uint64_t v;
+    if (!u64(&v))
+        return false;
+    *out = static_cast<std::int64_t>(v);
+    return true;
+}
+
+bool
+WireReader::f64(double *out)
+{
+    std::uint64_t bits;
+    if (!u64(&bits))
+        return false;
+    std::memcpy(out, &bits, sizeof(bits));
+    return true;
+}
+
+bool
+WireReader::str(std::string *out)
+{
+    std::uint32_t len;
+    if (!u32(&len) || len > kMaxWireString || len > remaining())
+        return false;
+    out->assign(reinterpret_cast<const char *>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+}
+
+bool
+WireReader::vec(Vec<Scalar> *out)
+{
+    std::int64_t n;
+    if (!i64(&n) || n < 0 || n > kMaxWireDim ||
+        static_cast<std::size_t>(n) > remaining() / 8)
+        return false;
+    Vec<Scalar> v(n);
+    for (Index i = 0; i < n; ++i)
+        if (!f64(&v[i]))
+            return false;
+    *out = std::move(v);
+    return true;
+}
+
+bool
+WireReader::dense(Dense<Scalar> *out)
+{
+    std::int64_t rows, cols;
+    if (!i64(&rows) || !i64(&cols))
+        return false;
+    if (rows < 0 || cols < 0 || rows > kMaxWireDim ||
+        cols > kMaxWireDim)
+        return false;
+    // rows*cols fits in 64 bits after the per-dimension caps; the
+    // remaining() bound rejects lengths the payload cannot back.
+    std::uint64_t count = static_cast<std::uint64_t>(rows) *
+                          static_cast<std::uint64_t>(cols);
+    if (count > remaining() / 8)
+        return false;
+    Dense<Scalar> m(rows, cols);
+    for (Index r = 0; r < rows; ++r)
+        for (Index c = 0; c < cols; ++c)
+            if (!f64(&m(r, c)))
+                return false;
+    *out = std::move(m);
+    return true;
+}
+
+//----------------------------------------------------------------------
+// FrameDecoder
+//----------------------------------------------------------------------
+
+void
+FrameDecoder::feed(const std::uint8_t *data, std::size_t len)
+{
+    if (poisoned_)
+        return; // the stream is dead; don't accumulate garbage
+    // Compact lazily so long sessions don't grow the buffer forever.
+    if (consumed_ > 0 && consumed_ >= buf_.size() / 2) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+        consumed_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + len);
+}
+
+FrameDecoder::Result
+FrameDecoder::next(Frame *out, std::string *error)
+{
+    if (poisoned_) {
+        if (error)
+            *error = poison_reason_;
+        return Result::Malformed;
+    }
+    const std::size_t avail = buf_.size() - consumed_;
+    if (avail < kFrameHeaderBytes)
+        return Result::NeedMore;
+
+    WireReader r(buf_.data() + consumed_, avail);
+    FrameHeader h;
+    // Reads cannot fail: avail >= kFrameHeaderBytes.
+    r.u32(&h.magic);
+    r.u16(&h.version);
+    r.u16(&h.type);
+    r.u64(&h.tag);
+    r.u32(&h.payloadLen);
+
+    if (h.magic != kWireMagic)
+        poison_reason_ = "bad magic 0x" + [&] {
+            char hex[16];
+            std::snprintf(hex, sizeof(hex), "%08x", h.magic);
+            return std::string(hex);
+        }();
+    else if (h.version != kWireVersion)
+        poison_reason_ = "unsupported protocol version " +
+                         std::to_string(h.version) + " (speaking " +
+                         std::to_string(kWireVersion) + ")";
+    else if (h.payloadLen > max_payload_)
+        poison_reason_ = "payload length " +
+                         std::to_string(h.payloadLen) +
+                         " exceeds the " +
+                         std::to_string(max_payload_) + "-byte cap";
+    if (!poison_reason_.empty()) {
+        poisoned_ = true;
+        buf_.clear();
+        consumed_ = 0;
+        if (error)
+            *error = poison_reason_;
+        return Result::Malformed;
+    }
+
+    if (avail < kFrameHeaderBytes + h.payloadLen)
+        return Result::NeedMore;
+
+    out->header = h;
+    const std::uint8_t *p = buf_.data() + consumed_ + kFrameHeaderBytes;
+    out->payload.assign(p, p + h.payloadLen);
+    consumed_ += kFrameHeaderBytes + h.payloadLen;
+    return Result::Ok;
+}
+
+//----------------------------------------------------------------------
+// Frame builders
+//----------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+buildFrame(FrameType type, std::uint64_t tag,
+           const std::vector<std::uint8_t> &payload)
+{
+    // The len field is u32; silently wrapping would emit a corrupt
+    // frame, so an over-large payload is a caller bug.
+    SAP_ASSERT(payload.size() <= 0xFFFFFFFFu,
+               "frame payload of ", payload.size(),
+               " bytes exceeds the u32 length field");
+    WireWriter w;
+    w.u32(kWireMagic);
+    w.u16(kWireVersion);
+    w.u16(static_cast<std::uint16_t>(type));
+    w.u64(tag);
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    std::vector<std::uint8_t> frame = w.take();
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    return frame;
+}
+
+std::vector<std::uint8_t>
+buildSubmitFrame(std::uint64_t tag, const ServeRequest &req)
+{
+    return buildFrame(FrameType::Submit, tag, encodeSubmit(req));
+}
+
+std::vector<std::uint8_t>
+buildResponseFrame(std::uint64_t tag, const WireResponse &resp)
+{
+    return buildFrame(FrameType::Response, tag, encodeResponse(resp));
+}
+
+std::vector<std::uint8_t>
+buildStatsRequestFrame(std::uint64_t tag)
+{
+    return buildFrame(FrameType::Stats, tag, {});
+}
+
+std::vector<std::uint8_t>
+buildStatsFrame(std::uint64_t tag, const ServerStats &stats)
+{
+    return buildFrame(FrameType::Stats, tag, encodeStats(stats));
+}
+
+std::vector<std::uint8_t>
+buildPingFrame(std::uint64_t tag)
+{
+    return buildFrame(FrameType::Ping, tag, {});
+}
+
+std::vector<std::uint8_t>
+buildErrorFrame(std::uint64_t tag, const std::string &message)
+{
+    return buildFrame(FrameType::Error, tag, encodeError(message));
+}
+
+//----------------------------------------------------------------------
+// SUBMIT payload
+//----------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+encodeSubmit(const ServeRequest &req)
+{
+    WireWriter w;
+    w.str(req.engine);
+    w.u8(static_cast<std::uint8_t>(req.plan.kind));
+    w.i64(req.plan.w);
+    w.u8(req.crossCheck ? 1 : 0);
+    switch (req.plan.kind) {
+    case ProblemKind::MatVec:
+        w.dense(req.plan.a);
+        w.vec(req.plan.x);
+        w.vec(req.plan.b);
+        break;
+    case ProblemKind::MatMul:
+        w.dense(req.plan.a);
+        w.dense(req.plan.bmat);
+        w.dense(req.plan.e);
+        break;
+    case ProblemKind::TriSolve:
+        w.dense(req.plan.a);
+        w.vec(req.plan.b);
+        break;
+    }
+    return w.take();
+}
+
+bool
+decodeSubmit(const std::vector<std::uint8_t> &payload,
+             ServeRequest *out, std::string *error)
+{
+    WireReader r(payload);
+    ServeRequest req;
+    if (!r.str(&req.engine))
+        return failDecode(error, "truncated SUBMIT: engine name");
+    std::uint8_t kind_byte;
+    if (!r.u8(&kind_byte))
+        return failDecode(error, "truncated SUBMIT: problem kind");
+    if (kind_byte > static_cast<std::uint8_t>(ProblemKind::TriSolve))
+        return failDecode(error, "unknown problem kind " +
+                                     std::to_string(kind_byte));
+    req.plan.kind = static_cast<ProblemKind>(kind_byte);
+    if (!r.i64(&req.plan.w))
+        return failDecode(error, "truncated SUBMIT: array size");
+    if (req.plan.w < 1 || req.plan.w > kMaxWireDim)
+        return failDecode(error, "array size w=" +
+                                     std::to_string(req.plan.w) +
+                                     " out of range");
+    std::uint8_t cross;
+    if (!r.u8(&cross))
+        return failDecode(error, "truncated SUBMIT: flags");
+    req.crossCheck = cross != 0;
+
+    if (!r.dense(&req.plan.a))
+        return failDecode(error, "truncated SUBMIT: matrix A");
+    if (req.plan.a.rows() == 0 || req.plan.a.cols() == 0)
+        return failDecode(error, "zero-dimension matrix A (" +
+                                     std::to_string(req.plan.a.rows()) +
+                                     "x" +
+                                     std::to_string(req.plan.a.cols()) +
+                                     ")");
+    switch (req.plan.kind) {
+    case ProblemKind::MatVec:
+        if (!r.vec(&req.plan.x))
+            return failDecode(error, "truncated SUBMIT: vector x");
+        if (!r.vec(&req.plan.b))
+            return failDecode(error, "truncated SUBMIT: vector b");
+        break;
+    case ProblemKind::MatMul:
+        if (!r.dense(&req.plan.bmat))
+            return failDecode(error, "truncated SUBMIT: matrix B");
+        if (req.plan.bmat.rows() == 0 || req.plan.bmat.cols() == 0)
+            return failDecode(error, "zero-dimension matrix B");
+        if (!r.dense(&req.plan.e))
+            return failDecode(error, "truncated SUBMIT: matrix E");
+        break;
+    case ProblemKind::TriSolve:
+        if (!r.vec(&req.plan.b))
+            return failDecode(error, "truncated SUBMIT: vector b");
+        break;
+    }
+    if (r.remaining() != 0)
+        return failDecode(error,
+                          std::to_string(r.remaining()) +
+                              " trailing bytes after SUBMIT payload");
+    *out = std::move(req);
+    return true;
+}
+
+//----------------------------------------------------------------------
+// RESPONSE payload
+//----------------------------------------------------------------------
+
+WireResponse
+WireResponse::of(ServeResponse resp)
+{
+    WireResponse wire;
+    wire.ok = resp.ok;
+    wire.error = std::move(resp.error);
+    wire.cacheHit = resp.cacheHit;
+    wire.crossCheckOk = resp.crossCheckOk;
+    wire.latencyMicros = resp.latencyMicros;
+    wire.simCycles = resp.result.stats.cycles;
+    wire.y = std::move(resp.result.y);
+    wire.c = std::move(resp.result.c);
+    return wire;
+}
+
+std::vector<std::uint8_t>
+encodeResponse(const WireResponse &resp)
+{
+    WireWriter w;
+    w.u8(resp.ok ? 1 : 0);
+    w.str(resp.error);
+    w.u8(resp.cacheHit ? 1 : 0);
+    w.u8(resp.crossCheckOk ? 1 : 0);
+    w.f64(resp.latencyMicros);
+    w.i64(resp.simCycles);
+    w.vec(resp.y);
+    w.dense(resp.c);
+    return w.take();
+}
+
+bool
+decodeResponse(const std::vector<std::uint8_t> &payload,
+               WireResponse *out, std::string *error)
+{
+    WireReader r(payload);
+    WireResponse resp;
+    std::uint8_t ok, hit, cross;
+    if (!r.u8(&ok) || !r.str(&resp.error) || !r.u8(&hit) ||
+        !r.u8(&cross) || !r.f64(&resp.latencyMicros) ||
+        !r.i64(&resp.simCycles) || !r.vec(&resp.y) ||
+        !r.dense(&resp.c))
+        return failDecode(error, "truncated RESPONSE payload");
+    if (r.remaining() != 0)
+        return failDecode(error,
+                          "trailing bytes after RESPONSE payload");
+    resp.ok = ok != 0;
+    resp.cacheHit = hit != 0;
+    resp.crossCheckOk = cross != 0;
+    *out = std::move(resp);
+    return true;
+}
+
+//----------------------------------------------------------------------
+// STATS payload
+//----------------------------------------------------------------------
+
+namespace {
+
+void
+encodeLatency(WireWriter &w, const LatencySummary &l)
+{
+    w.u64(l.samples);
+    w.f64(l.mean);
+    w.f64(l.p50);
+    w.f64(l.p99);
+    w.f64(l.max);
+}
+
+bool
+decodeLatency(WireReader &r, LatencySummary *l)
+{
+    return r.u64(&l->samples) && r.f64(&l->mean) && r.f64(&l->p50) &&
+           r.f64(&l->p99) && r.f64(&l->max);
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeStats(const ServerStats &stats)
+{
+    WireWriter w;
+    w.u64(stats.requests);
+    w.u64(stats.failures);
+    w.u64(stats.crossCheckFailures);
+    w.u64(stats.planCache.hits);
+    w.u64(stats.planCache.misses);
+    w.u64(stats.planCache.evictions);
+    w.u64(stats.planCache.collisions);
+    encodeLatency(w, stats.latency);
+    w.u32(static_cast<std::uint32_t>(stats.groups.size()));
+    for (const GroupStats &g : stats.groups) {
+        w.str(g.key.engine);
+        w.u8(static_cast<std::uint8_t>(g.key.kind));
+        w.i64(g.key.rows);
+        w.i64(g.key.cols);
+        w.i64(g.key.outCols);
+        w.i64(g.key.w);
+        w.u64(g.requests);
+        w.u64(g.cacheHits);
+        w.i64(g.simCycles);
+        encodeLatency(w, g.latency);
+    }
+    return w.take();
+}
+
+bool
+decodeStats(const std::vector<std::uint8_t> &payload, ServerStats *out,
+            std::string *error)
+{
+    WireReader r(payload);
+    ServerStats stats;
+    std::uint32_t group_count;
+    if (!r.u64(&stats.requests) || !r.u64(&stats.failures) ||
+        !r.u64(&stats.crossCheckFailures) ||
+        !r.u64(&stats.planCache.hits) ||
+        !r.u64(&stats.planCache.misses) ||
+        !r.u64(&stats.planCache.evictions) ||
+        !r.u64(&stats.planCache.collisions) ||
+        !decodeLatency(r, &stats.latency) || !r.u32(&group_count))
+        return failDecode(error, "truncated STATS payload");
+    // Each group is at least 50 bytes; reject counts the payload
+    // cannot possibly back before reserving anything.
+    if (group_count > r.remaining() / 50)
+        return failDecode(error, "STATS group count " +
+                                     std::to_string(group_count) +
+                                     " exceeds payload");
+    stats.groups.reserve(group_count);
+    for (std::uint32_t i = 0; i < group_count; ++i) {
+        GroupStats g;
+        std::uint8_t kind_byte;
+        if (!r.str(&g.key.engine) || !r.u8(&kind_byte) ||
+            !r.i64(&g.key.rows) || !r.i64(&g.key.cols) ||
+            !r.i64(&g.key.outCols) || !r.i64(&g.key.w) ||
+            !r.u64(&g.requests) || !r.u64(&g.cacheHits) ||
+            !r.i64(&g.simCycles) || !decodeLatency(r, &g.latency))
+            return failDecode(error, "truncated STATS group " +
+                                         std::to_string(i));
+        if (kind_byte >
+            static_cast<std::uint8_t>(ProblemKind::TriSolve))
+            return failDecode(error, "unknown problem kind " +
+                                         std::to_string(kind_byte) +
+                                         " in STATS group");
+        g.key.kind = static_cast<ProblemKind>(kind_byte);
+        stats.groups.push_back(std::move(g));
+    }
+    if (r.remaining() != 0)
+        return failDecode(error, "trailing bytes after STATS payload");
+    *out = std::move(stats);
+    return true;
+}
+
+//----------------------------------------------------------------------
+// ERROR payload
+//----------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+encodeError(const std::string &message)
+{
+    WireWriter w;
+    // Cap defensively: the decode side rejects over-long strings.
+    w.str(message.size() > kMaxWireString
+              ? message.substr(0, kMaxWireString)
+              : message);
+    return w.take();
+}
+
+bool
+decodeError(const std::vector<std::uint8_t> &payload, std::string *out,
+            std::string *error)
+{
+    WireReader r(payload);
+    if (!r.str(out))
+        return failDecode(error, "truncated ERROR payload");
+    if (r.remaining() != 0)
+        return failDecode(error, "trailing bytes after ERROR payload");
+    return true;
+}
+
+} // namespace sap

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * The versioned, length-prefixed binary wire protocol that carries
+ * serving requests to an array cluster and responses back.
+ *
+ * The hyper-systolic reading of the paper's scheme treats computation
+ * as data moving through a fixed communication structure; one level
+ * up, a serving installation treats *requests* the same way — a
+ * framed stream moving through a network boundary into the array
+ * cluster. This file defines that boundary:
+ *
+ *   frame   := header | payload
+ *   header  := magic u32 | version u16 | type u16 | tag u64 | len u32
+ *   payload := `len` bytes, layout per frame type
+ *
+ * All integers are little-endian; Scalars travel as IEEE-754 bit
+ * patterns (u64), so integer-valued workloads round-trip bit-exactly
+ * and results can be cross-checked against the host oracle.
+ *
+ * Frame types: SUBMIT (a full ServeRequest: engine name, problem
+ * kind, matrices), RESPONSE (the served result), STATS (empty
+ * payload = request; non-empty = an aggregated ServerStats
+ * snapshot), PING (echoed verbatim), ERROR (a human-readable
+ * message).
+ *
+ * Robustness contract: decoding is strictly bounds-checked and never
+ * trusts a length against fewer bytes than it promises. Errors split
+ * into two severities:
+ *
+ *  - *frame-level* (bad magic, unsupported version, payload length
+ *    over the cap): the byte stream cannot be re-synchronized, so
+ *    FrameDecoder poisons itself — the server answers with one ERROR
+ *    frame and closes that connection;
+ *  - *payload-level* (truncated or trailing payload bytes, unknown
+ *    problem kind or frame type, zero/negative or oversized
+ *    dimensions): framing is intact, so the offending frame yields
+ *    an ERROR frame and the connection keeps serving.
+ *
+ * Neither severity may ever crash, assert, or silently disconnect.
+ */
+
+#ifndef SAP_NET_PROTOCOL_HH
+#define SAP_NET_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server_stats.hh"
+#include "serve/shard.hh"
+
+namespace sap {
+
+/** First four bytes of every frame: "SAP1" read as a LE u32. */
+constexpr std::uint32_t kWireMagic = 0x31504153u;
+
+/** Protocol version this build speaks. */
+constexpr std::uint16_t kWireVersion = 1;
+
+/** Frame types on the wire (u16). */
+enum class FrameType : std::uint16_t
+{
+    Submit = 1,   ///< client → server: one ServeRequest
+    Response = 2, ///< server → client: the served result
+    Stats = 3,    ///< empty = stats request; else a stats snapshot
+    Ping = 4,     ///< liveness check, echoed verbatim
+    Error = 5,    ///< malformed input or unexpected frame
+};
+
+/** Printable frame-type name ("SUBMIT", ... / "type 17"). */
+std::string frameTypeName(std::uint16_t type);
+
+/** Fixed-size frame prelude; see the file comment for the layout. */
+struct FrameHeader
+{
+    std::uint32_t magic = kWireMagic;
+    std::uint16_t version = kWireVersion;
+    std::uint16_t type = 0;
+    /** Caller-chosen request id, echoed back in the response. */
+    std::uint64_t tag = 0;
+    std::uint32_t payloadLen = 0;
+};
+
+/** Encoded size of a FrameHeader. */
+constexpr std::size_t kFrameHeaderBytes = 20;
+
+/** Default cap on payload bytes a decoder will accept (64 MiB). */
+constexpr std::uint32_t kDefaultMaxPayloadBytes = 64u << 20;
+
+/** Cap on matrix/vector dimensions accepted off the wire. */
+constexpr Index kMaxWireDim = 1 << 20;
+
+/** Cap on string lengths (engine names, error messages). */
+constexpr std::uint32_t kMaxWireString = 1 << 16;
+
+/**
+ * Append-only little-endian byte sink: the encode half of the
+ * protocol. Also the tool tests use to craft malformed frames.
+ */
+class WireWriter
+{
+  public:
+    void u8(std::uint8_t v) { bytes_.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    /** IEEE-754 bit pattern as u64. */
+    void f64(double v);
+    /** u32 length followed by the raw bytes. */
+    void str(const std::string &s);
+    /** i64 length followed by the elements as f64. */
+    void vec(const Vec<Scalar> &v);
+    /** i64 rows, i64 cols, then row-major elements as f64. */
+    void dense(const Dense<Scalar> &m);
+
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/**
+ * Bounds-checked little-endian reader over a borrowed byte span: the
+ * decode half. Every read reports failure instead of walking out of
+ * the buffer; compound reads (str/vec/dense) additionally reject
+ * negative or over-cap sizes and lengths that promise more bytes
+ * than remain.
+ */
+class WireReader
+{
+  public:
+    WireReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+    explicit WireReader(const std::vector<std::uint8_t> &bytes)
+        : WireReader(bytes.data(), bytes.size())
+    {
+    }
+
+    bool u8(std::uint8_t *out);
+    bool u16(std::uint16_t *out);
+    bool u32(std::uint32_t *out);
+    bool u64(std::uint64_t *out);
+    bool i64(std::int64_t *out);
+    bool f64(double *out);
+    bool str(std::string *out);
+    bool vec(Vec<Scalar> *out);
+    bool dense(Dense<Scalar> *out);
+
+    /** Bytes not yet consumed. */
+    std::size_t remaining() const { return size_ - pos_; }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/** One decoded frame: header plus owned payload bytes. */
+struct Frame
+{
+    FrameHeader header;
+    std::vector<std::uint8_t> payload;
+};
+
+/**
+ * Incremental frame splitter for a TCP byte stream.
+ *
+ * feed() appends raw bytes; next() yields complete frames in order.
+ * A frame-level violation (bad magic/version, payload length over
+ * the cap) poisons the decoder permanently — the stream cannot be
+ * re-synchronized — and next() keeps returning Malformed with the
+ * same message. Unknown frame *types* are NOT a framing error: the
+ * length field still delimits them, so they are delivered for the
+ * application layer to reject.
+ */
+class FrameDecoder
+{
+  public:
+    enum class Result
+    {
+        Ok,        ///< *out holds a complete frame
+        NeedMore,  ///< not enough buffered bytes yet
+        Malformed, ///< frame-level violation; decoder is poisoned
+    };
+
+    explicit FrameDecoder(
+        std::uint32_t max_payload = kDefaultMaxPayloadBytes)
+        : max_payload_(max_payload)
+    {
+    }
+
+    /** Append @p len raw stream bytes. */
+    void feed(const std::uint8_t *data, std::size_t len);
+
+    /**
+     * Extract the next complete frame into @p out.
+     * On Malformed, @p error (optional) receives the reason.
+     */
+    Result next(Frame *out, std::string *error = nullptr);
+
+    /** True once a frame-level violation was seen. */
+    bool poisoned() const { return poisoned_; }
+
+  private:
+    std::uint32_t max_payload_;
+    std::vector<std::uint8_t> buf_;
+    std::size_t consumed_ = 0; ///< bytes of buf_ already handed out
+    bool poisoned_ = false;
+    std::string poison_reason_;
+};
+
+/**
+ * The response payload as it travels on the wire: the subset of
+ * ServeResponse a remote client can use. Both result containers are
+ * always encoded; the one the problem kind does not produce is
+ * empty.
+ */
+struct WireResponse
+{
+    bool ok = false;
+    std::string error;
+    bool cacheHit = false;
+    bool crossCheckOk = true;
+    /** Service time measured server-side, in microseconds. */
+    double latencyMicros = 0;
+    /** Simulated array cycles the request consumed. */
+    Cycle simCycles = 0;
+    Vec<Scalar> y;   ///< MatVec / TriSolve result
+    Dense<Scalar> c; ///< MatMul result
+
+    /** Project the wire-visible fields out of a served response.
+     *  Pass by value: callers that own the response (the server's
+     *  writer loop) move it in, so result matrices are not copied. */
+    static WireResponse of(ServeResponse resp);
+};
+
+//----------------------------------------------------------------------
+// Frame builders (header + payload, ready to write to a socket).
+//----------------------------------------------------------------------
+
+/** Generic frame around an already-encoded payload. */
+std::vector<std::uint8_t> buildFrame(FrameType type, std::uint64_t tag,
+                                     const std::vector<std::uint8_t>
+                                         &payload);
+
+/** SUBMIT carrying @p req (engine, kind, w, crossCheck, operands). */
+std::vector<std::uint8_t> buildSubmitFrame(std::uint64_t tag,
+                                           const ServeRequest &req);
+
+/** RESPONSE carrying @p resp. */
+std::vector<std::uint8_t> buildResponseFrame(std::uint64_t tag,
+                                             const WireResponse &resp);
+
+/** Empty-payload STATS: "send me a snapshot". */
+std::vector<std::uint8_t> buildStatsRequestFrame(std::uint64_t tag);
+
+/** STATS carrying an aggregated snapshot. */
+std::vector<std::uint8_t> buildStatsFrame(std::uint64_t tag,
+                                          const ServerStats &stats);
+
+/** Empty-payload PING. */
+std::vector<std::uint8_t> buildPingFrame(std::uint64_t tag);
+
+/** ERROR carrying @p message. */
+std::vector<std::uint8_t> buildErrorFrame(std::uint64_t tag,
+                                          const std::string &message);
+
+//----------------------------------------------------------------------
+// Payload codecs. Decoders return false and set *error on any
+// malformed payload (truncated, trailing bytes, unknown kind,
+// zero/negative or over-cap dimensions); they never assert.
+//----------------------------------------------------------------------
+
+/** SUBMIT payload from a request. */
+std::vector<std::uint8_t> encodeSubmit(const ServeRequest &req);
+
+/** @return true and fill @p out, or false with @p error set. */
+bool decodeSubmit(const std::vector<std::uint8_t> &payload,
+                  ServeRequest *out, std::string *error);
+
+/** RESPONSE payload. */
+std::vector<std::uint8_t> encodeResponse(const WireResponse &resp);
+
+/** @copydoc decodeSubmit() */
+bool decodeResponse(const std::vector<std::uint8_t> &payload,
+                    WireResponse *out, std::string *error);
+
+/** STATS payload (whole-installation snapshot incl. groups). */
+std::vector<std::uint8_t> encodeStats(const ServerStats &stats);
+
+/** @copydoc decodeSubmit() */
+bool decodeStats(const std::vector<std::uint8_t> &payload,
+                 ServerStats *out, std::string *error);
+
+/** ERROR payload. */
+std::vector<std::uint8_t> encodeError(const std::string &message);
+
+/** @copydoc decodeSubmit() */
+bool decodeError(const std::vector<std::uint8_t> &payload,
+                 std::string *out, std::string *error);
+
+} // namespace sap
+
+#endif // SAP_NET_PROTOCOL_HH

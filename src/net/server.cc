@@ -1,0 +1,633 @@
+#include "net/server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+
+namespace sap {
+
+namespace {
+
+/** Poll period; also bounds shutdown-flush latency. */
+constexpr int kPollTimeoutMs = 50;
+
+/** Shutdown flush gives a slow client at most this many periods. */
+constexpr int kMaxFlushSpins = 40; // ~2 s
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string
+errnoString(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+NetServer::NetServer(const Options &opts) : opts_(opts) {}
+
+NetServer::~NetServer()
+{
+    stop();
+}
+
+bool
+NetServer::start()
+{
+    std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+    if (running_.load()) {
+        error_ = "start() called twice";
+        return false;
+    }
+    if (stopped_) {
+        // stop() permanently shuts the completion queue down (its
+        // writer may have late completions to drain); a stopped
+        // server cannot be revived.
+        error_ = "NetServer cannot be restarted after stop(); "
+                 "construct a new instance";
+        return false;
+    }
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        error_ = errnoString("socket");
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opts_.port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 64) != 0 || !setNonBlocking(listen_fd_)) {
+        error_ = errnoString("bind/listen");
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        error_ = errnoString("getsockname");
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    port_ = ntohs(addr.sin_port);
+
+    if (::pipe(wake_pipe_) != 0 || !setNonBlocking(wake_pipe_[0]) ||
+        !setNonBlocking(wake_pipe_[1])) {
+        error_ = errnoString("pipe");
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        if (wake_pipe_[0] >= 0)
+            ::close(wake_pipe_[0]);
+        if (wake_pipe_[1] >= 0)
+            ::close(wake_pipe_[1]);
+        wake_pipe_[0] = wake_pipe_[1] = -1;
+        return false;
+    }
+
+    cluster_ = std::make_unique<Cluster>(opts_.cluster);
+    reads_quiesced_ = false;
+    flush_and_exit_.store(false);
+    serving_.store(true);
+    running_.store(true);
+    io_thread_ = std::thread([this] { ioLoop(); });
+    writer_thread_ = std::thread([this] { writerLoop(); });
+    return true;
+}
+
+void
+NetServer::stop()
+{
+    std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+    bool expected = true;
+    if (!running_.compare_exchange_strong(expected, false))
+        return;
+    stopped_ = true;
+
+    // 1. Stop accepting and reading; wait for the IO thread to
+    //    acknowledge, so no submitToQueue() races the cluster drain.
+    serving_.store(false);
+    wakeIoThread();
+    {
+        std::unique_lock<std::mutex> lock(quiesce_mutex_);
+        quiesce_cv_.wait(lock, [this] { return reads_quiesced_; });
+    }
+
+    // 2. Drain the cluster: every accepted request completes and its
+    //    completion lands in queue_ (shards drain on destruction).
+    //    Under cluster_mutex_, so a STATS snapshot the writer is
+    //    taking right now finishes first.
+    {
+        std::lock_guard<std::mutex> lock(cluster_mutex_);
+        cluster_.reset();
+    }
+
+    // 3. The writer converts the remaining completions to output
+    //    buffers, then exits on the shutdown signal.
+    queue_.shutdown();
+    writer_thread_.join();
+
+    // 4. Let the IO thread flush what clients will accept (bounded),
+    //    then close everything.
+    flush_and_exit_.store(true);
+    wakeIoThread();
+    io_thread_.join();
+
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+NetServerStats
+NetServer::netStats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return net_stats_;
+}
+
+void
+NetServer::wakeIoThread()
+{
+    std::uint8_t byte = 1;
+    // Best-effort: a full pipe already guarantees a pending wake.
+    [[maybe_unused]] ssize_t n =
+        ::write(wake_pipe_[1], &byte, 1);
+}
+
+void
+NetServer::forgetTags(std::uint64_t conn_id)
+{
+    std::lock_guard<std::mutex> lock(tags_mutex_);
+    for (auto it = tags_.begin(); it != tags_.end();) {
+        if (it->second.connId == conn_id)
+            it = tags_.erase(it);
+        else
+            ++it;
+    }
+}
+
+bool
+NetServer::hasPendingTags(std::uint64_t conn_id)
+{
+    {
+        std::lock_guard<std::mutex> lock(tags_mutex_);
+        for (const auto &entry : tags_)
+            if (entry.second.connId == conn_id)
+                return true;
+    }
+    std::lock_guard<std::mutex> lock(stats_requests_mutex_);
+    for (const PendingTag &req : stats_requests_)
+        if (req.connId == conn_id)
+            return true;
+    return false;
+}
+
+void
+NetServer::closeConnLocked(std::uint64_t conn_id)
+{
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end())
+        return;
+    ::close(it->second->fd);
+    conns_.erase(it);
+    // Completions still in flight for this connection are dropped
+    // when the writer fails to find their tag mapping.
+    forgetTags(conn_id);
+}
+
+void
+NetServer::enqueueOutputLocked(Connection &conn,
+                               const std::vector<std::uint8_t> &bytes)
+{
+    conn.outbuf.insert(conn.outbuf.end(), bytes.begin(), bytes.end());
+}
+
+bool
+NetServer::enqueueOutput(std::uint64_t conn_id,
+                         std::vector<std::uint8_t> bytes)
+{
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        auto it = conns_.find(conn_id);
+        if (it == conns_.end())
+            return false; // connection is gone; drop the frame
+        Connection &conn = *it->second;
+        if (conn.outbuf.empty()) {
+            // Common case (client keeping up): adopt the frame
+            // buffer instead of copying it under the lock.
+            conn.outbuf = std::move(bytes);
+            conn.outoff = 0;
+        } else {
+            enqueueOutputLocked(conn, bytes);
+        }
+    }
+    wakeIoThread();
+    return true;
+}
+
+bool
+NetServer::flushLocked(Connection &conn)
+{
+    while (conn.outoff < conn.outbuf.size()) {
+        ssize_t n = ::send(conn.fd, conn.outbuf.data() + conn.outoff,
+                           conn.outbuf.size() - conn.outoff,
+                           MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.outoff += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true;
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false; // peer is gone
+    }
+    // Fully flushed: reclaim the buffer.
+    conn.outbuf.clear();
+    conn.outoff = 0;
+    return true;
+}
+
+void
+NetServer::acceptReady()
+{
+    for (;;) {
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno != EAGAIN && errno != EWOULDBLOCK) {
+                // Persistent failure (EMFILE/ENFILE...): the pending
+                // connection keeps the listen socket readable, so
+                // back off from polling it for a while instead of
+                // spinning the IO thread hot.
+                listen_backoff_ = 20; // ~1 s of poll periods
+            }
+            return;
+        }
+        if (!setNonBlocking(fd)) {
+            ::close(fd);
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        {
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            conns_.emplace(next_conn_id_,
+                           std::make_unique<Connection>(
+                               fd, opts_.maxPayloadBytes));
+            ++next_conn_id_;
+        }
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++net_stats_.connectionsAccepted;
+    }
+}
+
+bool
+NetServer::readReady(std::uint64_t conn_id, Connection &conn)
+{
+    std::uint8_t buf[65536];
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            if (conn.closing)
+                return true; // a malformed frame ended reading
+        }
+        ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            conn.decoder.feed(buf, static_cast<std::size_t>(n));
+            Frame frame;
+            std::string err;
+            for (;;) {
+                FrameDecoder::Result res =
+                    conn.decoder.next(&frame, &err);
+                if (res == FrameDecoder::Result::NeedMore)
+                    break;
+                if (res == FrameDecoder::Result::Ok) {
+                    handleFrame(conn_id, conn, frame);
+                    continue;
+                }
+                // Frame-level violation: the stream cannot recover.
+                // One ERROR frame, then close after the flush.
+                {
+                    std::lock_guard<std::mutex> lock(stats_mutex_);
+                    ++net_stats_.protocolErrors;
+                }
+                std::lock_guard<std::mutex> lock(conns_mutex_);
+                enqueueOutputLocked(conn, buildErrorFrame(0, err));
+                conn.closing = true;
+                return true;
+            }
+            continue;
+        }
+        if (n == 0) {
+            // Peer finished writing; deliver what we owe, then close.
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            conn.closing = true;
+            return true;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;
+        if (errno == EINTR)
+            continue;
+        return false; // dead socket
+    }
+}
+
+void
+NetServer::handleFrame(std::uint64_t conn_id, Connection &conn,
+                       const Frame &frame)
+{
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++net_stats_.framesReceived;
+    }
+    const std::uint64_t tag = frame.header.tag;
+
+    auto send_error = [&](const std::string &message) {
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++net_stats_.protocolErrors;
+        }
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        enqueueOutputLocked(conn, buildErrorFrame(tag, message));
+    };
+
+    switch (frame.header.type) {
+    case static_cast<std::uint16_t>(FrameType::Submit): {
+        ServeRequest req;
+        std::string err;
+        if (!decodeSubmit(frame.payload, &req, &err)) {
+            send_error(err);
+            return;
+        }
+        std::uint64_t server_tag;
+        {
+            std::lock_guard<std::mutex> lock(tags_mutex_);
+            server_tag = next_tag_++;
+            tags_[server_tag] = {conn_id, tag};
+        }
+        cluster_->submitToQueue(std::move(req), &queue_, server_tag);
+        return;
+    }
+    case static_cast<std::uint16_t>(FrameType::Ping): {
+        // Echoed verbatim, payload included (protocol.hh contract).
+        std::vector<std::uint8_t> echo =
+            buildFrame(FrameType::Ping, tag, frame.payload);
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        enqueueOutputLocked(conn, echo);
+        return;
+    }
+    case static_cast<std::uint16_t>(FrameType::Stats): {
+        // Empty payload = request (a snapshot in either direction is
+        // harmless to serve again, so no payload check). The
+        // snapshot + encode work is milliseconds on a loaded
+        // installation, so it runs on the writer thread — the IO
+        // thread only hands the request over via the tag-0 marker.
+        {
+            std::lock_guard<std::mutex> lock(stats_requests_mutex_);
+            stats_requests_.push_back({conn_id, tag});
+        }
+        queue_.push({0, {}});
+        return;
+    }
+    case static_cast<std::uint16_t>(FrameType::Response):
+    case static_cast<std::uint16_t>(FrameType::Error):
+        send_error("unexpected " + frameTypeName(frame.header.type) +
+                   " frame from a client");
+        return;
+    default:
+        send_error("unknown frame " + frameTypeName(frame.header.type));
+        return;
+    }
+}
+
+void
+NetServer::ioLoop()
+{
+    std::vector<pollfd> pfds;
+    std::vector<std::uint64_t> ids; // 0 = wake, 1 = listen, else conn
+    int flush_spins = 0;
+
+    for (;;) {
+        const bool serving = serving_.load();
+        if (!serving && !reads_quiesced_) {
+            std::lock_guard<std::mutex> lock(quiesce_mutex_);
+            reads_quiesced_ = true;
+            quiesce_cv_.notify_all();
+        }
+        const bool exiting = flush_and_exit_.load();
+
+        pfds.clear();
+        ids.clear();
+        pfds.push_back({wake_pipe_[0], POLLIN, 0});
+        ids.push_back(0);
+        if (serving && listen_backoff_ == 0) {
+            pfds.push_back({listen_fd_, POLLIN, 0});
+            ids.push_back(1);
+        } else if (listen_backoff_ > 0) {
+            --listen_backoff_; // see acceptReady()
+        }
+
+        bool any_output = false;
+        {
+            std::lock_guard<std::mutex> lock(conns_mutex_);
+            // Close what is closing, fully flushed, AND owed nothing:
+            // a client may pipeline SUBMITs and shutdown its write
+            // side before reading — its responses are still in
+            // flight in the cluster, so the connection must survive
+            // until the writer has delivered (and we flushed) them.
+            for (auto it = conns_.begin(); it != conns_.end();) {
+                Connection &c = *it->second;
+                if (c.closing && c.outoff >= c.outbuf.size() &&
+                    !hasPendingTags(it->first)) {
+                    std::uint64_t id = it->first;
+                    ++it;
+                    closeConnLocked(id);
+                } else {
+                    ++it;
+                }
+            }
+            for (const auto &entry : conns_) {
+                Connection &c = *entry.second;
+                const std::size_t queued = c.outbuf.size() - c.outoff;
+                short events = 0;
+                // Backpressure: a client that is not reading its
+                // responses stops being read from until it drains.
+                if (serving && !c.closing &&
+                    queued <= opts_.maxQueuedOutputBytes)
+                    events |= POLLIN;
+                if (queued > 0) {
+                    events |= POLLOUT;
+                    any_output = true;
+                }
+                if (events == 0)
+                    continue;
+                pfds.push_back({c.fd, events, 0});
+                ids.push_back(entry.first);
+            }
+        }
+
+        if (exiting) {
+            if (!any_output || ++flush_spins > kMaxFlushSpins)
+                break;
+        }
+
+        int rc = ::poll(pfds.data(),
+                        static_cast<nfds_t>(pfds.size()),
+                        kPollTimeoutMs);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // poll itself failed; shut the loop down
+        }
+
+        for (std::size_t i = 0; i < pfds.size(); ++i) {
+            if (pfds[i].revents == 0)
+                continue;
+            if (ids[i] == 0) {
+                std::uint8_t drain[256];
+                while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+                }
+                continue;
+            }
+            if (ids[i] == 1) {
+                acceptReady();
+                continue;
+            }
+            const std::uint64_t conn_id = ids[i];
+            Connection *conn = nullptr;
+            {
+                std::lock_guard<std::mutex> lock(conns_mutex_);
+                auto it = conns_.find(conn_id);
+                if (it == conns_.end())
+                    continue;
+                conn = it->second.get();
+            }
+            // Only this thread erases connections, so the pointer
+            // stays valid without holding the lock.
+            if (pfds[i].revents & (POLLERR | POLLNVAL)) {
+                std::lock_guard<std::mutex> lock(conns_mutex_);
+                closeConnLocked(conn_id);
+                continue;
+            }
+            bool alive = true;
+            if (pfds[i].revents & POLLOUT) {
+                std::lock_guard<std::mutex> lock(conns_mutex_);
+                alive = flushLocked(*conn);
+            }
+            // Gated on `serving` (not just the requested events):
+            // poll() reports POLLHUP even when POLLIN was not asked
+            // for, and once this iteration acknowledged quiesce,
+            // reading — and the submitToQueue it can trigger — must
+            // not race stop()'s cluster teardown.
+            if (alive && serving &&
+                (pfds[i].revents & (POLLIN | POLLHUP)))
+                alive = readReady(conn_id, *conn);
+            if (!alive) {
+                std::lock_guard<std::mutex> lock(conns_mutex_);
+                closeConnLocked(conn_id);
+            }
+        }
+    }
+
+    // Exit: close every remaining connection, and make sure stop()
+    // never waits on a quiesce acknowledgement that already happened
+    // implicitly (e.g. the loop broke on a poll failure).
+    {
+        std::lock_guard<std::mutex> lock(quiesce_mutex_);
+        reads_quiesced_ = true;
+        quiesce_cv_.notify_all();
+    }
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    while (!conns_.empty())
+        closeConnLocked(conns_.begin()->first);
+}
+
+void
+NetServer::writerLoop()
+{
+    Completion c;
+    while (queue_.next(&c)) {
+        if (c.tag == 0) {
+            // STATS marker from the IO thread: snapshot, encode,
+            // and deliver here so the poll loop never stalls on it.
+            // The request is peeked, not popped, until the frame is
+            // buffered — its deque entry is what keeps a half-closed
+            // requester open (hasPendingTags).
+            PendingTag stats_req;
+            {
+                std::lock_guard<std::mutex> lock(
+                    stats_requests_mutex_);
+                if (stats_requests_.empty())
+                    continue;
+                stats_req = stats_requests_.front();
+            }
+            ServerStats stats;
+            bool have = false;
+            {
+                std::lock_guard<std::mutex> lock(cluster_mutex_);
+                if (cluster_) { // else: shutting down, drop it
+                    stats = cluster_->statsSnapshot();
+                    have = true;
+                }
+            }
+            if (have)
+                enqueueOutput(stats_req.connId,
+                              buildStatsFrame(stats_req.clientTag,
+                                              stats));
+            std::lock_guard<std::mutex> lock(stats_requests_mutex_);
+            stats_requests_.pop_front();
+            continue;
+        }
+        PendingTag pending;
+        {
+            std::lock_guard<std::mutex> lock(tags_mutex_);
+            auto it = tags_.find(c.tag);
+            if (it == tags_.end())
+                continue; // connection died; drop the response
+            pending = it->second;
+            // NOT erased yet: the tag entry is what keeps the IO
+            // thread from closing a half-closed (EOF'd) connection
+            // that is still owed this response. Erase only after
+            // the frame is in the connection's output buffer.
+        }
+        bool delivered = enqueueOutput(
+            pending.connId,
+            buildResponseFrame(pending.clientTag,
+                               WireResponse::of(std::move(c.response))));
+        {
+            std::lock_guard<std::mutex> lock(tags_mutex_);
+            tags_.erase(c.tag);
+        }
+        if (delivered) {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++net_stats_.responsesSent;
+        }
+    }
+}
+
+} // namespace sap

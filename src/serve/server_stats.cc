@@ -83,7 +83,8 @@ StatsRecorder::recordCrossCheckFailure()
 }
 
 ServerStats
-StatsRecorder::snapshot(const PlanCacheStats *cache_stats) const
+StatsRecorder::snapshot(const PlanCacheStats *cache_stats,
+                        bool include_samples) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     ServerStats out;
@@ -107,6 +108,8 @@ StatsRecorder::snapshot(const PlanCacheStats *cache_stats) const
         g.latency.p50 = percentile(s.reservoir, 0.5);
         g.latency.p99 = percentile(s.reservoir, 0.99);
         g.latency.max = s.latencyMax;
+        if (include_samples)
+            g.latencySamples = s.reservoir;
         out.groups.push_back(std::move(g));
 
         out.requests += s.requests;
@@ -114,6 +117,75 @@ StatsRecorder::snapshot(const PlanCacheStats *cache_stats) const
         out.latency.mean += s.latencySum;
         out.latency.max = std::max(out.latency.max, s.latencyMax);
         all.insert(all.end(), s.reservoir.begin(), s.reservoir.end());
+    }
+    out.latency.mean = out.latency.samples == 0
+        ? 0.0
+        : out.latency.mean / static_cast<double>(out.latency.samples);
+    out.latency.p50 = percentile(all, 0.5);
+    out.latency.p99 = percentile(std::move(all), 0.99);
+    return out;
+}
+
+ServerStats
+mergeServerStats(const std::vector<ServerStats> &parts)
+{
+    // Re-accumulate per-key, mirroring the recorder's map so the
+    // merged groups come out in the same stable order.
+    struct Merged
+    {
+        GroupStats group;
+        double latencySum = 0;
+        std::vector<double> samples;
+    };
+    using MapKey =
+        std::tuple<std::string, int, Index, Index, Index, Index>;
+    std::map<MapKey, Merged> merged;
+
+    ServerStats out;
+    for (const ServerStats &part : parts) {
+        out.requests += part.requests;
+        out.failures += part.failures;
+        out.crossCheckFailures += part.crossCheckFailures;
+        out.planCache.hits += part.planCache.hits;
+        out.planCache.misses += part.planCache.misses;
+        out.planCache.evictions += part.planCache.evictions;
+        out.planCache.collisions += part.planCache.collisions;
+        for (const GroupStats &g : part.groups) {
+            MapKey key{g.key.engine, static_cast<int>(g.key.kind),
+                       g.key.rows, g.key.cols, g.key.outCols,
+                       g.key.w};
+            Merged &m = merged[key];
+            if (m.group.requests == 0)
+                m.group.key = g.key;
+            m.group.requests += g.requests;
+            m.group.cacheHits += g.cacheHits;
+            m.group.simCycles += g.simCycles;
+            m.group.latency.samples += g.latency.samples;
+            m.latencySum +=
+                g.latency.mean * static_cast<double>(g.latency.samples);
+            m.group.latency.max =
+                std::max(m.group.latency.max, g.latency.max);
+            m.samples.insert(m.samples.end(), g.latencySamples.begin(),
+                             g.latencySamples.end());
+        }
+    }
+
+    std::vector<double> all;
+    for (auto &entry : merged) {
+        Merged &m = entry.second;
+        m.group.latency.mean =
+            m.group.latency.samples == 0
+                ? 0.0
+                : m.latencySum /
+                      static_cast<double>(m.group.latency.samples);
+        m.group.latency.p50 = percentile(m.samples, 0.5);
+        m.group.latency.p99 = percentile(m.samples, 0.99);
+        all.insert(all.end(), m.samples.begin(), m.samples.end());
+
+        out.latency.samples += m.group.latency.samples;
+        out.latency.mean += m.latencySum;
+        out.latency.max = std::max(out.latency.max, m.group.latency.max);
+        out.groups.push_back(std::move(m.group));
     }
     out.latency.mean = out.latency.samples == 0
         ? 0.0

@@ -52,6 +52,14 @@ struct GroupStats
     std::uint64_t cacheHits = 0;
     Cycle simCycles = 0; ///< total simulated cycles served
     LatencySummary latency;
+    /**
+     * The group's latency reservoir (microseconds, bounded — see
+     * StatsRecorder). Empty unless the snapshot was taken with
+     * include_samples, which aggregators (Cluster::statsSnapshot)
+     * request so merged percentiles come from merged samples rather
+     * than from averaging per-shard percentiles.
+     */
+    std::vector<double> latencySamples;
 };
 
 /** Whole-server snapshot returned by Server::stats(). */
@@ -90,10 +98,12 @@ class StatsRecorder
 
     /**
      * Consistent snapshot; @p cache_stats (optional) is copied into
-     * ServerStats::planCache.
+     * ServerStats::planCache. @p include_samples additionally copies
+     * each group's latency reservoir into
+     * GroupStats::latencySamples (for exact cross-shard merging).
      */
-    ServerStats snapshot(const PlanCacheStats *cache_stats = nullptr)
-        const;
+    ServerStats snapshot(const PlanCacheStats *cache_stats = nullptr,
+                         bool include_samples = false) const;
 
   private:
     struct Series
@@ -117,6 +127,19 @@ class StatsRecorder
     std::uint64_t failures_ = 0;
     std::uint64_t cross_check_failures_ = 0;
 };
+
+/**
+ * Merge per-shard snapshots into one whole-installation view:
+ * counters are summed, per-(engine, shape) groups with the same key
+ * are combined, and latency percentiles are recomputed from the
+ * concatenated latencySamples reservoirs — so take the inputs with
+ * include_samples for exact merged p50/p99 (summary-only inputs
+ * degrade to sample-weighted means and max-of-max, with zero
+ * percentiles). Groups come back in the recorder's stable order and
+ * with their merged samples dropped (the merge is a reporting
+ * artifact, not a recorder).
+ */
+ServerStats mergeServerStats(const std::vector<ServerStats> &parts);
 
 } // namespace sap
 

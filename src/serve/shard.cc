@@ -344,8 +344,14 @@ Shard::serveGroup(Digest digest, std::vector<Job> &jobs)
 ServerStats
 Shard::stats() const
 {
+    return stats(/*include_samples=*/false);
+}
+
+ServerStats
+Shard::stats(bool include_samples) const
+{
     PlanCacheStats cache_stats = cache_.stats();
-    return stats_.snapshot(&cache_stats);
+    return stats_.snapshot(&cache_stats, include_samples);
 }
 
 } // namespace sap

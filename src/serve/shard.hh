@@ -141,6 +141,13 @@ class Shard
     /** Consistent statistics snapshot (includes plan-cache stats). */
     ServerStats stats() const;
 
+    /**
+     * As stats(); @p include_samples additionally exports each
+     * group's latency reservoir so an aggregator
+     * (Cluster::statsSnapshot) can merge percentiles exactly.
+     */
+    ServerStats stats(bool include_samples) const;
+
     /** Worker count. */
     std::size_t threadCount() const { return pool_.threadCount(); }
 

@@ -478,6 +478,72 @@ TEST(Cluster, MalformedRequestsResolveToErrorsThroughTheRouter)
         EXPECT_EQ(cluster.shard(s).planCache().size(), 0u);
 }
 
+TEST(Cluster, StatsSnapshotMergesShardsExactly)
+{
+    Cluster::Options opts;
+    opts.shards = 3;
+    Cluster cluster(opts);
+
+    // Several distinct matrices of one shape (spread over shards by
+    // digest routing) plus one of another shape.
+    const int kSameShape = 8;
+    for (int i = 0; i < kSameShape; ++i) {
+        ServeRequest req = matVecRequest(
+            "linear", randomIntDense(6, 6, 2000 + i), 2100 + i, 3);
+        ASSERT_TRUE(cluster.submit(std::move(req)).get().ok);
+    }
+    ServeRequest other = matVecRequest(
+        "linear", randomIntDense(9, 4, 2300), 2301, 3);
+    ASSERT_TRUE(cluster.submit(std::move(other)).get().ok);
+
+    ServerStats merged = cluster.statsSnapshot();
+    ClusterStats per_shard = cluster.stats();
+
+    // Counters agree with the per-shard view.
+    EXPECT_EQ(merged.requests, per_shard.requests);
+    EXPECT_EQ(merged.requests,
+              static_cast<std::uint64_t>(kSameShape + 1));
+    EXPECT_EQ(merged.failures, 0u);
+    EXPECT_EQ(merged.planCache.misses, per_shard.planCache.misses);
+
+    // One merged group per (engine, shape), combining every shard's
+    // requests for that shape.
+    ASSERT_EQ(merged.groups.size(), 2u);
+    EXPECT_EQ(merged.groups[0].key.rows, 6);
+    EXPECT_EQ(merged.groups[0].requests,
+              static_cast<std::uint64_t>(kSameShape));
+    EXPECT_EQ(merged.groups[1].key.rows, 9);
+    EXPECT_EQ(merged.groups[1].requests, 1u);
+
+    // The 6x6 shape really did land on more than one shard, so the
+    // merge combined distinct recorders (not a trivial copy)...
+    std::size_t shards_with_6x6 = 0;
+    std::uint64_t group_requests_summed = 0;
+    for (const ServerStats &s : per_shard.shards) {
+        for (const GroupStats &g : s.groups) {
+            if (g.key.rows == 6) {
+                ++shards_with_6x6;
+                group_requests_summed += g.requests;
+            }
+        }
+    }
+    EXPECT_GT(shards_with_6x6, 1u);
+    EXPECT_EQ(group_requests_summed, merged.groups[0].requests);
+
+    // ...and the merged percentiles come from merged samples: every
+    // shard recorded latencies, so the merged p50/p99 are positive
+    // and ordered, and samples cover every request.
+    EXPECT_EQ(merged.groups[0].latency.samples,
+              static_cast<std::uint64_t>(kSameShape));
+    EXPECT_GT(merged.groups[0].latency.p50, 0.0);
+    EXPECT_LE(merged.groups[0].latency.p50,
+              merged.groups[0].latency.p99);
+    EXPECT_LE(merged.groups[0].latency.p99,
+              merged.groups[0].latency.max);
+    // The merged view is a reporting artifact: samples are dropped.
+    EXPECT_TRUE(merged.groups[0].latencySamples.empty());
+}
+
 TEST(Cluster, ZeroCapacityCachesServeEveryRequestUncached)
 {
     Cluster::Options opts;

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Wire-protocol unit and property tests: encode/decode round-trips
+ * over randomized requests for all three problem kinds, incremental
+ * frame decoding under adversarial chunking, and the malformed-
+ * payload catalogue — every bad input must fail cleanly with a
+ * reason, never crash or over-read.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "mat/generate.hh"
+#include "net/protocol.hh"
+
+namespace sap {
+namespace {
+
+//---------------------------------------------------------------------
+// Round-trip properties
+//---------------------------------------------------------------------
+
+/** Randomized request shapes per seed, mirroring the property suite. */
+class NetRoundTrip : public ::testing::TestWithParam<int>
+{
+  protected:
+    ServeRequest
+    drawRequest()
+    {
+        Rng rng(7000 + GetParam());
+        Index n = rng.uniformInt(1, 10);
+        Index m = rng.uniformInt(1, 10);
+        Index w = rng.uniformInt(1, 4);
+        std::uint64_t seed = 7100 + GetParam();
+        ServeRequest req;
+        req.crossCheck = GetParam() % 2 == 0;
+        switch (GetParam() % 3) {
+        case 0:
+            req.engine = "linear";
+            req.plan = EnginePlan::matVec(
+                randomIntDense(n, m, seed), randomIntVec(m, seed + 1),
+                randomIntVec(n, seed + 2), w);
+            break;
+        case 1: {
+            Index p = rng.uniformInt(1, 10);
+            req.engine = "hex";
+            req.plan = EnginePlan::matMul(
+                randomIntDense(n, p, seed),
+                randomIntDense(p, m, seed + 1),
+                randomIntDense(n, m, seed + 2), w);
+            break;
+        }
+        default:
+            req.engine = "tri";
+            req.plan = EnginePlan::triSolve(
+                randomLowerTriangular(n, seed),
+                randomIntVec(n, seed + 1), w);
+            break;
+        }
+        return req;
+    }
+};
+
+TEST_P(NetRoundTrip, SubmitEncodeDecodeIsIdentity)
+{
+    ServeRequest req = drawRequest();
+    ServeRequest back;
+    std::string err;
+    ASSERT_TRUE(decodeSubmit(encodeSubmit(req), &back, &err)) << err;
+    EXPECT_EQ(back.engine, req.engine);
+    EXPECT_EQ(back.plan.kind, req.plan.kind);
+    EXPECT_EQ(back.plan.w, req.plan.w);
+    EXPECT_EQ(back.crossCheck, req.crossCheck);
+    EXPECT_TRUE(back.plan.a == req.plan.a);
+    EXPECT_TRUE(back.plan.x == req.plan.x);
+    EXPECT_TRUE(back.plan.b == req.plan.b);
+    EXPECT_TRUE(back.plan.bmat == req.plan.bmat);
+    EXPECT_TRUE(back.plan.e == req.plan.e);
+}
+
+TEST_P(NetRoundTrip, ResponseEncodeDecodeIsIdentity)
+{
+    Rng rng(7300 + GetParam());
+    WireResponse resp;
+    resp.ok = GetParam() % 4 != 0;
+    resp.error = resp.ok ? "" : "engine 'nope' not found";
+    resp.cacheHit = GetParam() % 2 == 0;
+    resp.crossCheckOk = GetParam() % 3 != 0;
+    resp.latencyMicros = rng.uniformReal(0, 1e6);
+    resp.simCycles = rng.uniformInt(0, 1 << 20);
+    resp.y = randomIntVec(rng.uniformInt(0, 12), 7400 + GetParam());
+    resp.c = randomIntDense(rng.uniformInt(1, 6),
+                            rng.uniformInt(1, 6), 7500 + GetParam());
+
+    WireResponse back;
+    std::string err;
+    ASSERT_TRUE(decodeResponse(encodeResponse(resp), &back, &err))
+        << err;
+    EXPECT_EQ(back.ok, resp.ok);
+    EXPECT_EQ(back.error, resp.error);
+    EXPECT_EQ(back.cacheHit, resp.cacheHit);
+    EXPECT_EQ(back.crossCheckOk, resp.crossCheckOk);
+    EXPECT_EQ(back.latencyMicros, resp.latencyMicros);
+    EXPECT_EQ(back.simCycles, resp.simCycles);
+    EXPECT_TRUE(back.y == resp.y);
+    EXPECT_TRUE(back.c == resp.c);
+}
+
+TEST_P(NetRoundTrip, FrameSurvivesAdversarialChunking)
+{
+    // Deliver the frame byte stream in random-sized fragments; the
+    // decoder must reassemble the identical frame.
+    ServeRequest req = drawRequest();
+    std::vector<std::uint8_t> bytes = buildSubmitFrame(
+        99 + static_cast<std::uint64_t>(GetParam()), req);
+
+    Rng rng(7600 + GetParam());
+    FrameDecoder decoder;
+    Frame frame;
+    std::string err;
+    std::size_t off = 0;
+    bool got = false;
+    while (off < bytes.size()) {
+        std::size_t chunk = static_cast<std::size_t>(rng.uniformInt(
+            1, 7));
+        chunk = std::min(chunk, bytes.size() - off);
+        decoder.feed(bytes.data() + off, chunk);
+        off += chunk;
+        FrameDecoder::Result res = decoder.next(&frame, &err);
+        ASSERT_NE(res, FrameDecoder::Result::Malformed) << err;
+        if (res == FrameDecoder::Result::Ok) {
+            got = true;
+            EXPECT_EQ(off, bytes.size()); // complete exactly at the end
+        }
+    }
+    ASSERT_TRUE(got);
+    EXPECT_EQ(frame.header.tag,
+              99 + static_cast<std::uint64_t>(GetParam()));
+    ServeRequest back;
+    ASSERT_TRUE(decodeSubmit(frame.payload, &back, &err)) << err;
+    EXPECT_TRUE(back.plan.a == req.plan.a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetRoundTrip, ::testing::Range(0, 18));
+
+TEST(NetProtocol, StatsEncodeDecodeIsIdentity)
+{
+    ServerStats stats;
+    stats.requests = 1234;
+    stats.failures = 5;
+    stats.crossCheckFailures = 1;
+    stats.planCache = {100, 34, 7, 2};
+    stats.latency = {1234, 55.5, 40.0, 200.0, 400.25};
+    for (int g = 0; g < 3; ++g) {
+        GroupStats group;
+        group.key.engine = g == 0 ? "linear" : (g == 1 ? "hex" : "tri");
+        group.key.kind = static_cast<ProblemKind>(g);
+        group.key.rows = 8 + g;
+        group.key.cols = 8;
+        group.key.outCols = g == 1 ? 8 : 0;
+        group.key.w = 4;
+        group.requests = 400 + static_cast<std::uint64_t>(g);
+        group.cacheHits = 300;
+        group.simCycles = 99999;
+        group.latency = {400, 50.0, 45.0, 180.0, 300.0};
+        stats.groups.push_back(group);
+    }
+
+    ServerStats back;
+    std::string err;
+    ASSERT_TRUE(decodeStats(encodeStats(stats), &back, &err)) << err;
+    EXPECT_EQ(back.requests, stats.requests);
+    EXPECT_EQ(back.failures, stats.failures);
+    EXPECT_EQ(back.crossCheckFailures, stats.crossCheckFailures);
+    EXPECT_EQ(back.planCache.hits, stats.planCache.hits);
+    EXPECT_EQ(back.planCache.collisions, stats.planCache.collisions);
+    EXPECT_EQ(back.latency.p99, stats.latency.p99);
+    ASSERT_EQ(back.groups.size(), stats.groups.size());
+    for (std::size_t i = 0; i < back.groups.size(); ++i) {
+        EXPECT_EQ(back.groups[i].key.engine,
+                  stats.groups[i].key.engine);
+        EXPECT_EQ(back.groups[i].key.kind, stats.groups[i].key.kind);
+        EXPECT_EQ(back.groups[i].key.outCols,
+                  stats.groups[i].key.outCols);
+        EXPECT_EQ(back.groups[i].requests, stats.groups[i].requests);
+        EXPECT_EQ(back.groups[i].latency.p50,
+                  stats.groups[i].latency.p50);
+    }
+}
+
+TEST(NetProtocol, ErrorEncodeDecodeIsIdentity)
+{
+    std::string back, err;
+    ASSERT_TRUE(decodeError(encodeError("zero diagonal at 3"), &back,
+                            &err))
+        << err;
+    EXPECT_EQ(back, "zero diagonal at 3");
+}
+
+//---------------------------------------------------------------------
+// Frame-level malformations (decoder poisons itself)
+//---------------------------------------------------------------------
+
+TEST(NetProtocol, BadMagicPoisonsDecoder)
+{
+    std::vector<std::uint8_t> bytes = buildPingFrame(1);
+    bytes[0] ^= 0xFF;
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    Frame frame;
+    std::string err;
+    EXPECT_EQ(decoder.next(&frame, &err),
+              FrameDecoder::Result::Malformed);
+    EXPECT_NE(err.find("magic"), std::string::npos) << err;
+    EXPECT_TRUE(decoder.poisoned());
+
+    // The decoder stays poisoned even across good frames.
+    std::vector<std::uint8_t> good = buildPingFrame(2);
+    decoder.feed(good.data(), good.size());
+    EXPECT_EQ(decoder.next(&frame, &err),
+              FrameDecoder::Result::Malformed);
+}
+
+TEST(NetProtocol, BadVersionPoisonsDecoder)
+{
+    std::vector<std::uint8_t> bytes = buildPingFrame(1);
+    bytes[4] = 0x7F; // version low byte
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    Frame frame;
+    std::string err;
+    EXPECT_EQ(decoder.next(&frame, &err),
+              FrameDecoder::Result::Malformed);
+    EXPECT_NE(err.find("version"), std::string::npos) << err;
+}
+
+TEST(NetProtocol, OversizedLengthPrefixPoisonsDecoder)
+{
+    // A header promising 4 GiB must be rejected from the header
+    // alone — long before any allocation.
+    WireWriter w;
+    w.u32(kWireMagic);
+    w.u16(kWireVersion);
+    w.u16(static_cast<std::uint16_t>(FrameType::Submit));
+    w.u64(1);
+    w.u32(0xFFFFFFFFu);
+    std::vector<std::uint8_t> bytes = w.take();
+
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    Frame frame;
+    std::string err;
+    EXPECT_EQ(decoder.next(&frame, &err),
+              FrameDecoder::Result::Malformed);
+    EXPECT_NE(err.find("cap"), std::string::npos) << err;
+}
+
+TEST(NetProtocol, UnknownFrameTypeIsDeliveredNotFatal)
+{
+    // Unknown types keep framing intact; the application layer
+    // answers ERROR but the stream survives.
+    std::vector<std::uint8_t> bytes =
+        buildFrame(static_cast<FrameType>(77), 5, {1, 2, 3});
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    Frame frame;
+    std::string err;
+    ASSERT_EQ(decoder.next(&frame, &err), FrameDecoder::Result::Ok);
+    EXPECT_EQ(frame.header.type, 77);
+    EXPECT_EQ(frame.payload.size(), 3u);
+
+    std::vector<std::uint8_t> good = buildPingFrame(6);
+    decoder.feed(good.data(), good.size());
+    ASSERT_EQ(decoder.next(&frame, &err), FrameDecoder::Result::Ok);
+    EXPECT_EQ(frame.header.tag, 6u);
+}
+
+//---------------------------------------------------------------------
+// Payload-level malformations (per-request errors)
+//---------------------------------------------------------------------
+
+/** A valid matvec SUBMIT payload to mutate. */
+std::vector<std::uint8_t>
+goodSubmitPayload()
+{
+    ServeRequest req;
+    req.engine = "linear";
+    req.plan = EnginePlan::matVec(randomIntDense(3, 3, 1),
+                                  randomIntVec(3, 2),
+                                  randomIntVec(3, 3), 2);
+    return encodeSubmit(req);
+}
+
+TEST(NetProtocol, TruncatedSubmitFailsCleanly)
+{
+    std::vector<std::uint8_t> payload = goodSubmitPayload();
+    // Every prefix must fail with a reason, never crash or succeed.
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+        std::vector<std::uint8_t> cut(payload.begin(),
+                                      payload.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              len));
+        ServeRequest out;
+        std::string err;
+        EXPECT_FALSE(decodeSubmit(cut, &out, &err)) << "len=" << len;
+        EXPECT_FALSE(err.empty()) << "len=" << len;
+    }
+}
+
+TEST(NetProtocol, TrailingBytesRejected)
+{
+    std::vector<std::uint8_t> payload = goodSubmitPayload();
+    payload.push_back(0);
+    ServeRequest out;
+    std::string err;
+    EXPECT_FALSE(decodeSubmit(payload, &out, &err));
+    EXPECT_NE(err.find("trailing"), std::string::npos) << err;
+}
+
+TEST(NetProtocol, UnknownProblemKindRejected)
+{
+    // Payload layout: str engine (u32 len + bytes), then the kind
+    // byte.
+    std::vector<std::uint8_t> payload = goodSubmitPayload();
+    payload[4 + 6] = 9; // "linear" is 6 bytes
+    ServeRequest out;
+    std::string err;
+    EXPECT_FALSE(decodeSubmit(payload, &out, &err));
+    EXPECT_NE(err.find("unknown problem kind"), std::string::npos)
+        << err;
+}
+
+TEST(NetProtocol, ZeroDimensionMatrixRejected)
+{
+    ServeRequest req;
+    req.engine = "linear";
+    // Bypass EnginePlan::matVec (it asserts): craft the plan by hand.
+    req.plan.kind = ProblemKind::MatVec;
+    req.plan.w = 2;
+    req.plan.a = Dense<Scalar>(0, 3);
+    req.plan.x = randomIntVec(3, 1);
+    req.plan.b = Vec<Scalar>(0);
+    ServeRequest out;
+    std::string err;
+    EXPECT_FALSE(decodeSubmit(encodeSubmit(req), &out, &err));
+    EXPECT_NE(err.find("zero-dimension"), std::string::npos) << err;
+}
+
+TEST(NetProtocol, NonPositiveArraySizeRejected)
+{
+    WireWriter w;
+    w.str("linear");
+    w.u8(0);  // MatVec
+    w.i64(0); // w = 0
+    w.u8(0);
+    ServeRequest out;
+    std::string err;
+    EXPECT_FALSE(decodeSubmit(w.take(), &out, &err));
+    EXPECT_NE(err.find("array size"), std::string::npos) << err;
+}
+
+TEST(NetProtocol, HugeDimensionClaimRejected)
+{
+    // A dense header claiming 2^40 rows backed by no bytes must be
+    // rejected by the reader's remaining-bytes bound.
+    WireWriter w;
+    w.str("linear");
+    w.u8(0);
+    w.i64(2);
+    w.u8(0);
+    w.i64(Index(1) << 40); // rows
+    w.i64(4);              // cols
+    ServeRequest out;
+    std::string err;
+    EXPECT_FALSE(decodeSubmit(w.take(), &out, &err));
+}
+
+TEST(NetProtocol, NegativeVectorLengthRejected)
+{
+    WireWriter w;
+    w.str("tri");
+    w.u8(2); // TriSolve
+    w.i64(2);
+    w.u8(0);
+    w.dense(randomIntDense(2, 2, 1));
+    w.i64(-5); // b length
+    ServeRequest out;
+    std::string err;
+    EXPECT_FALSE(decodeSubmit(w.take(), &out, &err));
+}
+
+TEST(NetProtocol, TruncatedStatsAndErrorPayloadsFailCleanly)
+{
+    ServerStats stats;
+    stats.requests = 10;
+    GroupStats g;
+    g.key.engine = "linear";
+    g.requests = 10;
+    stats.groups.push_back(g);
+    std::vector<std::uint8_t> payload = encodeStats(stats);
+    for (std::size_t len = 0; len < payload.size(); len += 3) {
+        std::vector<std::uint8_t> cut(payload.begin(),
+                                      payload.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              len));
+        ServerStats out;
+        std::string err;
+        EXPECT_FALSE(decodeStats(cut, &out, &err)) << "len=" << len;
+    }
+    std::string message, err;
+    EXPECT_FALSE(decodeError({1, 2}, &message, &err));
+}
+
+} // namespace
+} // namespace sap

@@ -1,0 +1,641 @@
+/**
+ * @file
+ * Loopback integration tests for the TCP front end: every problem
+ * kind served over the wire bit-identical to the host oracle,
+ * multi-client concurrency, the STATS and PING round-trips, and the
+ * malformed-frame suite — garbage on a connection must earn an ERROR
+ * frame and leave the server (and other connections) healthy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "mat/generate.hh"
+#include "mat/ops.hh"
+#include "net/client.hh"
+#include "net/server.hh"
+
+namespace sap {
+namespace {
+
+NetServer::Options
+smallServerOptions()
+{
+    NetServer::Options opts;
+    opts.cluster.shards = 2;
+    opts.cluster.threadsPerShard = 2;
+    return opts;
+}
+
+ServeRequest
+matVecRequest(std::uint64_t seed, Index n = 6, Index w = 3)
+{
+    ServeRequest req;
+    req.engine = "linear";
+    req.plan = EnginePlan::matVec(randomIntDense(n, n, seed),
+                                  randomIntVec(n, seed + 1),
+                                  randomIntVec(n, seed + 2), w);
+    return req;
+}
+
+ServeRequest
+matMulRequest(std::uint64_t seed, Index n = 6, Index w = 3)
+{
+    ServeRequest req;
+    req.engine = "hex";
+    req.plan = EnginePlan::matMul(randomIntDense(n, n, seed),
+                                  randomIntDense(n, n, seed + 1),
+                                  randomIntDense(n, n, seed + 2), w);
+    return req;
+}
+
+ServeRequest
+triSolveRequest(std::uint64_t seed, Index n = 6, Index w = 3)
+{
+    ServeRequest req;
+    req.engine = "tri";
+    req.plan = EnginePlan::triSolve(randomUnitLowerTriangular(n, seed),
+                                    randomIntVec(n, seed + 1), w);
+    return req;
+}
+
+/**
+ * A raw loopback connection for crafting arbitrary (including
+ * malformed) byte streams, below the NetClient abstraction.
+ */
+class RawConn
+{
+  public:
+    explicit RawConn(std::uint16_t port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port);
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    ~RawConn()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    bool ok() const { return fd_ >= 0; }
+
+    /** Half-close: no more writes, reads stay open. */
+    void shutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+    void
+    send(const std::vector<std::uint8_t> &bytes)
+    {
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            ssize_t n = ::send(fd_, bytes.data() + off,
+                               bytes.size() - off, MSG_NOSIGNAL);
+            if (n <= 0)
+                return;
+            off += static_cast<std::size_t>(n);
+        }
+    }
+
+    /** Block for one frame; false on close/garbage. */
+    bool
+    readFrame(Frame *out)
+    {
+        std::uint8_t buf[4096];
+        for (;;) {
+            std::string err;
+            FrameDecoder::Result res = decoder_.next(out, &err);
+            if (res == FrameDecoder::Result::Ok)
+                return true;
+            if (res == FrameDecoder::Result::Malformed)
+                return false;
+            ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+            if (n <= 0)
+                return false;
+            decoder_.feed(buf, static_cast<std::size_t>(n));
+        }
+    }
+
+    /** True when the server closed the connection (EOF). */
+    bool
+    awaitClose()
+    {
+        std::uint8_t buf[4096];
+        for (;;) {
+            ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+            if (n == 0)
+                return true;
+            if (n < 0)
+                return false;
+            decoder_.feed(buf, static_cast<std::size_t>(n));
+        }
+    }
+
+  private:
+    int fd_ = -1;
+    FrameDecoder decoder_;
+};
+
+//---------------------------------------------------------------------
+// Happy paths
+//---------------------------------------------------------------------
+
+TEST(NetServer, ServesEveryKindBitIdenticalOverLoopback)
+{
+    NetServer server(smallServerOptions());
+    ASSERT_TRUE(server.start()) << server.error();
+
+    NetClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()))
+        << client.lastError();
+
+    std::vector<ServeRequest> reqs = {
+        matVecRequest(100), matMulRequest(200), triSolveRequest(300)};
+    std::vector<NetClient::Result> results = client.submitBatch(reqs);
+    ASSERT_EQ(results.size(), reqs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        ASSERT_TRUE(results[i].transportOk)
+            << results[i].transportError;
+        ASSERT_TRUE(results[i].response.ok)
+            << results[i].response.error;
+        EXPECT_TRUE(
+            NetClient::matchesOracle(reqs[i], results[i].response))
+            << "kind " << static_cast<int>(reqs[i].plan.kind);
+    }
+}
+
+TEST(NetServer, RepeatedMatrixHitsThePlanCacheOverTheWire)
+{
+    NetServer server(smallServerOptions());
+    ASSERT_TRUE(server.start()) << server.error();
+
+    NetClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+
+    ServeRequest req = matVecRequest(42);
+    NetClient::Result first = client.submit(req);
+    ASSERT_TRUE(first.transportOk && first.response.ok);
+    EXPECT_FALSE(first.response.cacheHit);
+
+    req.plan.x = randomIntVec(req.plan.a.cols(), 4242);
+    NetClient::Result second = client.submit(req);
+    ASSERT_TRUE(second.transportOk && second.response.ok);
+    EXPECT_TRUE(second.response.cacheHit);
+    EXPECT_TRUE(NetClient::matchesOracle(req, second.response));
+}
+
+TEST(NetServer, PingAndStatsRoundTrip)
+{
+    NetServer server(smallServerOptions());
+    ASSERT_TRUE(server.start()) << server.error();
+
+    NetClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+    EXPECT_TRUE(client.ping()) << client.lastError();
+
+    // Serve a few requests, then check the aggregated snapshot.
+    for (int i = 0; i < 3; ++i) {
+        NetClient::Result r = client.submit(matVecRequest(500 + i));
+        ASSERT_TRUE(r.transportOk && r.response.ok);
+    }
+    ServerStats stats;
+    ASSERT_TRUE(client.stats(&stats)) << client.lastError();
+    EXPECT_EQ(stats.requests, 3u);
+    EXPECT_EQ(stats.failures, 0u);
+    ASSERT_FALSE(stats.groups.empty());
+    EXPECT_EQ(stats.groups[0].key.engine, "linear");
+    EXPECT_EQ(stats.groups[0].requests, 3u);
+    EXPECT_GT(stats.groups[0].latency.p50, 0.0);
+}
+
+TEST(NetServer, PingEchoesItsPayloadVerbatim)
+{
+    NetServer server(smallServerOptions());
+    ASSERT_TRUE(server.start()) << server.error();
+
+    RawConn conn(server.port());
+    ASSERT_TRUE(conn.ok());
+    std::vector<std::uint8_t> payload = {0xDE, 0xAD, 0xBE, 0xEF, 0x00};
+    conn.send(buildFrame(FrameType::Ping, 77, payload));
+
+    Frame frame;
+    ASSERT_TRUE(conn.readFrame(&frame));
+    EXPECT_EQ(frame.header.type,
+              static_cast<std::uint16_t>(FrameType::Ping));
+    EXPECT_EQ(frame.header.tag, 77u);
+    EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(NetServer, CrossCheckFlagTravelsTheWire)
+{
+    NetServer server(smallServerOptions());
+    ASSERT_TRUE(server.start()) << server.error();
+
+    NetClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+    ServeRequest req = matVecRequest(77);
+    req.crossCheck = true;
+    NetClient::Result r = client.submit(req);
+    ASSERT_TRUE(r.transportOk && r.response.ok);
+    EXPECT_TRUE(r.response.crossCheckOk);
+}
+
+TEST(NetServer, ApplicationErrorsComeBackAsFailedResponses)
+{
+    NetServer server(smallServerOptions());
+    ASSERT_TRUE(server.start()) << server.error();
+
+    NetClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+
+    // Unknown engine: decodes fine, fails in the shard.
+    ServeRequest req = matVecRequest(900);
+    req.engine = "warp-drive";
+    NetClient::Result r = client.submit(req);
+    ASSERT_TRUE(r.transportOk) << r.transportError;
+    EXPECT_FALSE(r.response.ok);
+    EXPECT_NE(r.response.error.find("unknown engine"),
+              std::string::npos)
+        << r.response.error;
+
+    // Shape mismatch: also a per-request failure.
+    ServeRequest bad = matVecRequest(901);
+    bad.plan.x = randomIntVec(bad.plan.a.cols() + 1, 902);
+    r = client.submit(bad);
+    ASSERT_TRUE(r.transportOk) << r.transportError;
+    EXPECT_FALSE(r.response.ok);
+
+    // The connection keeps serving after both failures.
+    ServeRequest good = matVecRequest(903);
+    r = client.submit(good);
+    ASSERT_TRUE(r.transportOk && r.response.ok);
+    EXPECT_TRUE(NetClient::matchesOracle(good, r.response));
+}
+
+TEST(NetServer, ManyClientsManyKindsConcurrently)
+{
+    NetServer::Options opts = smallServerOptions();
+    opts.cluster.shards = 4;
+    NetServer server(opts);
+    ASSERT_TRUE(server.start()) << server.error();
+
+    const int kClients = 4;
+    const int kRounds = 5;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            NetClient client;
+            if (!client.connect("127.0.0.1", server.port())) {
+                failures.fetch_add(1);
+                return;
+            }
+            for (int i = 0; i < kRounds; ++i) {
+                std::uint64_t seed =
+                    static_cast<std::uint64_t>(1000 + c * 100 + i);
+                std::vector<ServeRequest> reqs = {
+                    matVecRequest(seed), matMulRequest(seed + 40),
+                    triSolveRequest(seed + 80)};
+                std::vector<NetClient::Result> results =
+                    client.submitBatch(reqs);
+                for (std::size_t k = 0; k < results.size(); ++k) {
+                    if (!results[k].transportOk ||
+                        !results[k].response.ok ||
+                        !NetClient::matchesOracle(
+                            reqs[k], results[k].response))
+                        failures.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    NetServerStats net = server.netStats();
+    EXPECT_EQ(net.connectionsAccepted,
+              static_cast<std::uint64_t>(kClients));
+    EXPECT_EQ(net.responsesSent,
+              static_cast<std::uint64_t>(kClients * kRounds * 3));
+    EXPECT_EQ(net.protocolErrors, 0u);
+}
+
+TEST(NetServer, HalfClosedClientStillGetsEveryResponse)
+{
+    // A standards-following client may pipeline its SUBMITs,
+    // shutdown its write side, and then read to EOF: the server
+    // must deliver every owed response before closing, not drop
+    // the in-flight ones with the read side.
+    NetServer server(smallServerOptions());
+    ASSERT_TRUE(server.start()) << server.error();
+
+    RawConn conn(server.port());
+    ASSERT_TRUE(conn.ok());
+    const int kRequests = 6;
+    std::vector<ServeRequest> reqs;
+    for (int i = 0; i < kRequests; ++i) {
+        reqs.push_back(matVecRequest(7000 + i));
+        conn.send(buildSubmitFrame(static_cast<std::uint64_t>(i),
+                                   reqs.back()));
+    }
+    conn.shutdownWrite();
+
+    std::vector<bool> got(kRequests, false);
+    for (int i = 0; i < kRequests; ++i) {
+        Frame frame;
+        ASSERT_TRUE(conn.readFrame(&frame)) << "response " << i;
+        ASSERT_EQ(frame.header.type,
+                  static_cast<std::uint16_t>(FrameType::Response));
+        ASSERT_LT(frame.header.tag,
+                  static_cast<std::uint64_t>(kRequests));
+        WireResponse resp;
+        std::string err;
+        ASSERT_TRUE(decodeResponse(frame.payload, &resp, &err)) << err;
+        EXPECT_TRUE(resp.ok) << resp.error;
+        EXPECT_TRUE(NetClient::matchesOracle(
+            reqs[static_cast<std::size_t>(frame.header.tag)], resp));
+        got[static_cast<std::size_t>(frame.header.tag)] = true;
+    }
+    for (int i = 0; i < kRequests; ++i)
+        EXPECT_TRUE(got[static_cast<std::size_t>(i)]) << i;
+    // After the last owed response the server closes the connection.
+    EXPECT_TRUE(conn.awaitClose());
+}
+
+TEST(NetServer, RestartAfterStopIsRefused)
+{
+    NetServer server(smallServerOptions());
+    ASSERT_TRUE(server.start()) << server.error();
+    server.stop();
+    EXPECT_FALSE(server.start());
+    EXPECT_NE(server.error().find("restarted"), std::string::npos)
+        << server.error();
+}
+
+TEST(NetServer, StopWhileClientsConnectedIsClean)
+{
+    NetServer server(smallServerOptions());
+    ASSERT_TRUE(server.start()) << server.error();
+    NetClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+    NetClient::Result r = client.submit(matVecRequest(1));
+    ASSERT_TRUE(r.transportOk && r.response.ok);
+    server.stop();
+    // The socket is gone; the client sees a transport failure, not a
+    // hang.
+    r = client.submit(matVecRequest(2));
+    EXPECT_FALSE(r.transportOk);
+}
+
+//---------------------------------------------------------------------
+// Malformed-frame suite: ERROR frames, healthy server
+//---------------------------------------------------------------------
+
+/**
+ * Fixture driving a healthy control client alongside each
+ * malformed-input connection: after every abuse, the control client
+ * must still be served correctly.
+ */
+class NetServerMalformed : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        server = std::make_unique<NetServer>(smallServerOptions());
+        ASSERT_TRUE(server->start()) << server->error();
+        ASSERT_TRUE(control.connect("127.0.0.1", server->port()))
+            << control.lastError();
+    }
+
+    void
+    expectServerStillHealthy()
+    {
+        ServeRequest req = matVecRequest(31337);
+        NetClient::Result r = control.submit(req);
+        ASSERT_TRUE(r.transportOk) << r.transportError;
+        ASSERT_TRUE(r.response.ok) << r.response.error;
+        EXPECT_TRUE(NetClient::matchesOracle(req, r.response));
+    }
+
+    std::unique_ptr<NetServer> server;
+    NetClient control;
+};
+
+TEST_F(NetServerMalformed, BadMagicGetsErrorThenClose)
+{
+    RawConn conn(server->port());
+    ASSERT_TRUE(conn.ok());
+    std::vector<std::uint8_t> bytes = buildPingFrame(1);
+    bytes[0] ^= 0xFF;
+    conn.send(bytes);
+
+    Frame frame;
+    ASSERT_TRUE(conn.readFrame(&frame));
+    EXPECT_EQ(frame.header.type,
+              static_cast<std::uint16_t>(FrameType::Error));
+    std::string message, err;
+    ASSERT_TRUE(decodeError(frame.payload, &message, &err));
+    EXPECT_NE(message.find("magic"), std::string::npos) << message;
+    // Frame-level: the stream cannot re-sync, so the server closes.
+    EXPECT_TRUE(conn.awaitClose());
+    expectServerStillHealthy();
+}
+
+TEST_F(NetServerMalformed, BadVersionGetsErrorThenClose)
+{
+    RawConn conn(server->port());
+    ASSERT_TRUE(conn.ok());
+    std::vector<std::uint8_t> bytes = buildPingFrame(1);
+    bytes[4] = 0x42;
+    conn.send(bytes);
+
+    Frame frame;
+    ASSERT_TRUE(conn.readFrame(&frame));
+    EXPECT_EQ(frame.header.type,
+              static_cast<std::uint16_t>(FrameType::Error));
+    std::string message, err;
+    ASSERT_TRUE(decodeError(frame.payload, &message, &err));
+    EXPECT_NE(message.find("version"), std::string::npos) << message;
+    EXPECT_TRUE(conn.awaitClose());
+    expectServerStillHealthy();
+}
+
+TEST_F(NetServerMalformed, OversizedLengthPrefixGetsErrorThenClose)
+{
+    RawConn conn(server->port());
+    ASSERT_TRUE(conn.ok());
+    WireWriter w;
+    w.u32(kWireMagic);
+    w.u16(kWireVersion);
+    w.u16(static_cast<std::uint16_t>(FrameType::Submit));
+    w.u64(9);
+    w.u32(0xF0000000u); // 3.75 GiB "payload"
+    conn.send(w.take());
+
+    Frame frame;
+    ASSERT_TRUE(conn.readFrame(&frame));
+    EXPECT_EQ(frame.header.type,
+              static_cast<std::uint16_t>(FrameType::Error));
+    std::string message, err;
+    ASSERT_TRUE(decodeError(frame.payload, &message, &err));
+    EXPECT_NE(message.find("cap"), std::string::npos) << message;
+    EXPECT_TRUE(conn.awaitClose());
+    expectServerStillHealthy();
+}
+
+TEST_F(NetServerMalformed, TruncatedSubmitPayloadKeepsConnection)
+{
+    RawConn conn(server->port());
+    ASSERT_TRUE(conn.ok());
+    // A syntactically framed SUBMIT whose payload is cut short:
+    // payload-level, so the connection survives.
+    ServeRequest req = matVecRequest(5);
+    std::vector<std::uint8_t> payload = encodeSubmit(req);
+    payload.resize(payload.size() / 2);
+    conn.send(buildFrame(FrameType::Submit, 11, payload));
+
+    Frame frame;
+    ASSERT_TRUE(conn.readFrame(&frame));
+    EXPECT_EQ(frame.header.type,
+              static_cast<std::uint16_t>(FrameType::Error));
+    EXPECT_EQ(frame.header.tag, 11u);
+
+    // Same connection serves a well-formed request afterwards.
+    conn.send(buildSubmitFrame(12, req));
+    ASSERT_TRUE(conn.readFrame(&frame));
+    EXPECT_EQ(frame.header.type,
+              static_cast<std::uint16_t>(FrameType::Response));
+    EXPECT_EQ(frame.header.tag, 12u);
+    WireResponse resp;
+    std::string err;
+    ASSERT_TRUE(decodeResponse(frame.payload, &resp, &err)) << err;
+    EXPECT_TRUE(resp.ok);
+    EXPECT_TRUE(NetClient::matchesOracle(req, resp));
+    expectServerStillHealthy();
+}
+
+TEST_F(NetServerMalformed, UnknownProblemKindKeepsConnection)
+{
+    RawConn conn(server->port());
+    ASSERT_TRUE(conn.ok());
+    WireWriter w;
+    w.str("linear");
+    w.u8(42); // no such kind
+    w.i64(3);
+    w.u8(0);
+    conn.send(buildFrame(FrameType::Submit, 21, w.take()));
+
+    Frame frame;
+    ASSERT_TRUE(conn.readFrame(&frame));
+    EXPECT_EQ(frame.header.type,
+              static_cast<std::uint16_t>(FrameType::Error));
+    EXPECT_EQ(frame.header.tag, 21u);
+    std::string message, err;
+    ASSERT_TRUE(decodeError(frame.payload, &message, &err));
+    EXPECT_NE(message.find("unknown problem kind"), std::string::npos)
+        << message;
+
+    ServeRequest req = matVecRequest(6);
+    conn.send(buildSubmitFrame(22, req));
+    ASSERT_TRUE(conn.readFrame(&frame));
+    EXPECT_EQ(frame.header.type,
+              static_cast<std::uint16_t>(FrameType::Response));
+    expectServerStillHealthy();
+}
+
+TEST_F(NetServerMalformed, ZeroDimensionMatrixKeepsConnection)
+{
+    RawConn conn(server->port());
+    ASSERT_TRUE(conn.ok());
+    WireWriter w;
+    w.str("linear");
+    w.u8(0); // MatVec
+    w.i64(3);
+    w.u8(0);
+    w.i64(0); // A rows = 0
+    w.i64(4); // A cols
+    w.i64(4); // x length
+    for (int i = 0; i < 4; ++i)
+        w.f64(1.0);
+    w.i64(0); // b length
+    conn.send(buildFrame(FrameType::Submit, 31, w.take()));
+
+    Frame frame;
+    ASSERT_TRUE(conn.readFrame(&frame));
+    EXPECT_EQ(frame.header.type,
+              static_cast<std::uint16_t>(FrameType::Error));
+    EXPECT_EQ(frame.header.tag, 31u);
+    std::string message, err;
+    ASSERT_TRUE(decodeError(frame.payload, &message, &err));
+    EXPECT_NE(message.find("zero-dimension"), std::string::npos)
+        << message;
+    expectServerStillHealthy();
+}
+
+TEST_F(NetServerMalformed, UnknownFrameTypeKeepsConnection)
+{
+    RawConn conn(server->port());
+    ASSERT_TRUE(conn.ok());
+    conn.send(buildFrame(static_cast<FrameType>(200), 41, {9, 9}));
+
+    Frame frame;
+    ASSERT_TRUE(conn.readFrame(&frame));
+    EXPECT_EQ(frame.header.type,
+              static_cast<std::uint16_t>(FrameType::Error));
+    EXPECT_EQ(frame.header.tag, 41u);
+
+    conn.send(buildPingFrame(42));
+    ASSERT_TRUE(conn.readFrame(&frame));
+    EXPECT_EQ(frame.header.type,
+              static_cast<std::uint16_t>(FrameType::Ping));
+    EXPECT_EQ(frame.header.tag, 42u);
+    expectServerStillHealthy();
+}
+
+TEST_F(NetServerMalformed, MidFrameDisconnectLeavesServerHealthy)
+{
+    {
+        RawConn conn(server->port());
+        ASSERT_TRUE(conn.ok());
+        ServeRequest req = matVecRequest(7);
+        std::vector<std::uint8_t> bytes = buildSubmitFrame(51, req);
+        bytes.resize(bytes.size() / 3); // drop mid-frame
+        conn.send(bytes);
+        // Destructor closes the socket with a frame half-sent.
+    }
+    expectServerStillHealthy();
+    EXPECT_EQ(server->netStats().protocolErrors, 0u);
+}
+
+TEST_F(NetServerMalformed, GarbageFloodDoesNotStarveOtherClients)
+{
+    RawConn conn(server->port());
+    ASSERT_TRUE(conn.ok());
+    std::vector<std::uint8_t> garbage(4096, 0xAB);
+    conn.send(garbage);
+
+    Frame frame;
+    ASSERT_TRUE(conn.readFrame(&frame));
+    EXPECT_EQ(frame.header.type,
+              static_cast<std::uint16_t>(FrameType::Error));
+    EXPECT_TRUE(conn.awaitClose());
+    expectServerStillHealthy();
+    EXPECT_GE(server->netStats().protocolErrors, 1u);
+}
+
+} // namespace
+} // namespace sap

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/formulas.hh"
+#include "analysis/sweep.hh"
 #include "base/math_util.hh"
 #include "base/random.hh"
 #include "dbt/interleave.hh"
@@ -19,6 +20,7 @@
 #include "mat/generate.hh"
 #include "mat/ops.hh"
 #include "mat/triangular.hh"
+#include "serve/fingerprint.hh"
 
 namespace sap {
 namespace {
@@ -200,6 +202,117 @@ TEST_P(RandomMatMul, EveryMatMulEngineExactOnRandomShape)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatMul, ::testing::Range(0, 16));
+
+//---------------------------------------------------------------------
+// Parallel property harness: the every-engine exactness sweeps are
+// the slowest property family, and engines are stateless, so the
+// (seed × engine) points fan out over the serving thread pool via
+// the shared analysis/sweep.hh runConfigSweep runner. Workers only
+// compute (gtest assertions are not thread-safe); the main thread
+// requires every pooled digest to be bit-identical to the serial
+// pass and to the host oracle.
+//---------------------------------------------------------------------
+
+/** One engine-exactness point: (result digest, oracle digest).
+ *  A pure function of (engine, seed) — the parallel contract. */
+std::pair<Digest, Digest>
+matVecEnginePoint(const std::string &name, int seed)
+{
+    Rng rng(1000 + seed); // same draw as the RandomShapes fixture
+    Index n = rng.uniformInt(1, 12);
+    Index m = rng.uniformInt(1, 12);
+    Index w = rng.uniformInt(1, 5);
+    Dense<Scalar> a = randomIntDense(n, m, 3200 + seed);
+    Vec<Scalar> x = randomIntVec(m, 3300 + seed);
+    Vec<Scalar> b = randomIntVec(n, 3400 + seed);
+    EngineRunResult r =
+        makeEngine(name)->run(EnginePlan::matVec(a, x, b, w));
+    return {fingerprintVec(r.y), fingerprintVec(matVec(a, x, b))};
+}
+
+/** @copydoc matVecEnginePoint() */
+std::pair<Digest, Digest>
+matMulEnginePoint(const std::string &name, int seed)
+{
+    Rng rng(5000 + seed); // same draw as the RandomMatMul fixture
+    Index n = rng.uniformInt(1, 9);
+    Index p = rng.uniformInt(1, 9);
+    Index m = rng.uniformInt(1, 9);
+    Index w = rng.uniformInt(1, 4);
+    Dense<Scalar> a = randomIntDense(n, p, 6200 + seed);
+    Dense<Scalar> b = randomIntDense(p, m, 7200 + seed);
+    Dense<Scalar> e = randomIntDense(n, m, 8200 + seed);
+    EngineRunResult r =
+        makeEngine(name)->run(EnginePlan::matMul(a, b, e, w));
+    return {fingerprintDense(r.c),
+            fingerprintDense(matMulAdd(a, b, e))};
+}
+
+TEST(ParallelProperty, MatVecEngineSweepPooledBitIdenticalToSerial)
+{
+    std::vector<std::pair<std::string, int>> points;
+    for (int seed = 0; seed < 24; ++seed) {
+        Rng rng(1000 + seed);
+        Index n = rng.uniformInt(1, 12);
+        rng.uniformInt(1, 12);
+        Index w = rng.uniformInt(1, 5);
+        for (const std::string &name :
+             engineNames(ProblemKind::MatVec)) {
+            if (name == "overlapped" && ceilDiv(n, w) < 2)
+                continue; // split needs at least two block rows
+            points.emplace_back(name, seed);
+        }
+    }
+
+    std::vector<std::pair<Digest, Digest>> serial;
+    serial.reserve(points.size());
+    for (const auto &pt : points)
+        serial.push_back(matVecEnginePoint(pt.first, pt.second));
+
+    std::vector<std::pair<Digest, Digest>> pooled = runConfigSweep(
+        points, /*threads=*/4,
+        [](const std::pair<std::string, int> &pt) {
+            return matVecEnginePoint(pt.first, pt.second);
+        });
+
+    ASSERT_EQ(pooled.size(), serial.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(pooled[i].first, serial[i].first)
+            << points[i].first << " seed " << points[i].second;
+        EXPECT_EQ(pooled[i].first, pooled[i].second)
+            << points[i].first << " seed " << points[i].second
+            << " diverges from the host oracle";
+    }
+}
+
+TEST(ParallelProperty, MatMulEngineSweepPooledBitIdenticalToSerial)
+{
+    std::vector<std::pair<std::string, int>> points;
+    for (int seed = 0; seed < 16; ++seed)
+        for (const std::string &name :
+             engineNames(ProblemKind::MatMul))
+            points.emplace_back(name, seed);
+
+    std::vector<std::pair<Digest, Digest>> serial;
+    serial.reserve(points.size());
+    for (const auto &pt : points)
+        serial.push_back(matMulEnginePoint(pt.first, pt.second));
+
+    std::vector<std::pair<Digest, Digest>> pooled = runConfigSweep(
+        points, /*threads=*/4,
+        [](const std::pair<std::string, int> &pt) {
+            return matMulEnginePoint(pt.first, pt.second);
+        });
+
+    ASSERT_EQ(pooled.size(), serial.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(pooled[i].first, serial[i].first)
+            << points[i].first << " seed " << points[i].second;
+        EXPECT_EQ(pooled[i].first, pooled[i].second)
+            << points[i].first << " seed " << points[i].second
+            << " diverges from the host oracle";
+    }
+}
 
 //---------------------------------------------------------------------
 // Algebraic identities
