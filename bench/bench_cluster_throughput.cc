@@ -64,13 +64,15 @@ makeHexWorkload(int matrices)
 }
 
 ServeRequest
-hexRequest(const HexWorkload &wl, int matrix, std::uint64_t seed)
+hexRequest(const HexWorkload &wl, int matrix, std::uint64_t seed,
+           ExecMode mode = ExecMode::Simulate)
 {
     ServeRequest req;
     req.engine = "hex";
     req.plan = EnginePlan::matMul(
         wl.as[matrix], wl.bs[matrix],
         randomIntDense(wl.s, wl.s, seed), wl.w);
+    req.plan.mode = mode;
     return req;
 }
 
@@ -81,7 +83,7 @@ hexRequest(const HexWorkload &wl, int matrix, std::uint64_t seed)
  */
 double
 hammer(Cluster &cluster, const HexWorkload &wl, int clients,
-       int requests_per_client)
+       int requests_per_client, ExecMode mode = ExecMode::Simulate)
 {
     auto t0 = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
@@ -95,7 +97,8 @@ hammer(Cluster &cluster, const HexWorkload &wl, int clients,
                 int m = (c + i) % matrices;
                 futures.push_back(cluster.submit(hexRequest(
                     wl, m,
-                    static_cast<std::uint64_t>(5000 + 100 * c + i))));
+                    static_cast<std::uint64_t>(5000 + 100 * c + i),
+                    mode)));
             }
             for (auto &f : futures)
                 SAP_ASSERT(f.get().ok, "cluster bench request failed");
@@ -191,6 +194,69 @@ printShardScaling(std::vector<BenchJsonEntry> *json)
                     equal_workers_req_per_s);
 }
 
+/**
+ * Fast vs simulate through the full cluster path: the same matrix
+ * stream against a warm plan cache, so routing, caching, and thread
+ * hand-off cost is identical and the delta is purely the execution
+ * path — cycle-level stepping vs the bit-identical semantics replay.
+ */
+void
+printModeAxis(std::vector<BenchJsonEntry> *json)
+{
+    const int kClients = 4;
+    const int kMatrices = 16;
+    const int kRequestsPerClient = 32;
+
+    printHeader("CLUSTER-3",
+                "execution mode: fast semantics replay vs cycle "
+                "simulation through the cluster (warm cache)");
+    std::printf("%-10s %12s %10s %9s\n", "mode", "wall", "req/s",
+                "hit rate");
+
+    HexWorkload wl = makeHexWorkload(kMatrices);
+    double wall_by_mode[2] = {0, 0};
+    for (int m = 0; m < 2; ++m) {
+        ExecMode mode = m == 0 ? ExecMode::Simulate : ExecMode::Fast;
+        Cluster::Options opts;
+        opts.shards = 2;
+        opts.threadsPerShard = 2;
+        opts.planCacheCapacityPerShard = kMatrices;
+        Cluster cluster(opts);
+
+        // Warm pass: land every matrix's plan in its shard's cache
+        // so the timed pass isolates the execution path.
+        {
+            std::vector<std::future<ServeResponse>> warm;
+            for (int k = 0; k < kMatrices; ++k)
+                warm.push_back(cluster.submit(hexRequest(
+                    wl, k, static_cast<std::uint64_t>(4000 + k),
+                    mode)));
+            for (auto &f : warm)
+                SAP_ASSERT(f.get().ok, "cluster warm-up failed");
+        }
+
+        double wall =
+            hammer(cluster, wl, kClients, kRequestsPerClient, mode);
+        wall_by_mode[m] = wall;
+        ClusterStats stats = cluster.stats();
+        double total =
+            static_cast<double>(kClients * kRequestsPerClient);
+        double req_per_s = total / wall;
+        std::printf("%-10s %10.2fms %10.0f %8.0f%%\n",
+                    execModeName(mode).c_str(), wall * 1e3, req_per_s,
+                    stats.planCache.hitRate() * 100.0);
+        json->push_back({"mode_axis",
+                         {{"mode", execModeName(mode)},
+                          {"engine", "hex"},
+                          {"clients", std::to_string(kClients)},
+                          {"matrices", std::to_string(kMatrices)}},
+                         {{"req_per_s", req_per_s},
+                          {"hit_rate", stats.planCache.hitRate()}}});
+    }
+    std::printf("fast vs simulate: %.2fx\n",
+                wall_by_mode[0] / wall_by_mode[1]);
+}
+
 /** submitBatch() grouping vs a loop of individual submits. */
 void
 printBatchGrouping(std::vector<BenchJsonEntry> *json)
@@ -264,6 +330,7 @@ print()
 {
     std::vector<BenchJsonEntry> json;
     printShardScaling(&json);
+    printModeAxis(&json);
     printBatchGrouping(&json);
     writeBenchJson("cluster_throughput", json);
 }

@@ -136,6 +136,108 @@ printAmortization(std::vector<BenchJsonEntry> *json)
     }
 }
 
+/**
+ * Fast (semantics replay) vs simulate on cached plans: both paths
+ * stream the same requests through one prepared plan, so the only
+ * difference is cycle-level stepping vs the blocked replay — with
+ * results bit-identical by construction (test_semantics proves it;
+ * here we measure what that equivalence buys).
+ */
+void
+printModeComparison(std::vector<BenchJsonEntry> *json)
+{
+    printHeader("SERVE-3", "execution mode: fast semantics replay vs "
+                           "cycle simulation (cached plans)");
+    std::printf("%-10s %-22s %10s %10s %8s\n", "engine", "workload",
+                "simulate", "fast", "speedup");
+
+    struct Case
+    {
+        const char *engine;
+        Index s, w;
+        int requests;
+    };
+    for (const Case &c : {Case{"linear", 256, 64, 16},
+                          Case{"overlapped", 256, 16, 16},
+                          Case{"hex", 36, 6, 6},
+                          Case{"mesh", 64, 8, 8},
+                          Case{"tri", 256, 32, 12}}) {
+        auto engine = requireEngine(c.engine);
+        EnginePlan plan;
+        std::vector<EngineInputs> inputs;
+        switch (engine->kind()) {
+        case ProblemKind::MatVec:
+            plan = EnginePlan::matVec(randomIntDense(c.s, c.s, 1),
+                                      Vec<Scalar>(c.s),
+                                      Vec<Scalar>(c.s), c.w);
+            for (int i = 0; i < c.requests; ++i)
+                inputs.push_back(EngineInputs::matVec(
+                    randomIntVec(c.s, 300 + 2 * i),
+                    randomIntVec(c.s, 301 + 2 * i)));
+            break;
+        case ProblemKind::MatMul:
+            plan = EnginePlan::matMul(randomIntDense(c.s, c.s, 1),
+                                      randomIntDense(c.s, c.s, 2),
+                                      c.w);
+            for (int i = 0; i < c.requests; ++i)
+                inputs.push_back(EngineInputs::matMul(
+                    randomIntDense(c.s, c.s, 300 + i)));
+            break;
+        case ProblemKind::TriSolve:
+            plan = EnginePlan::triSolve(
+                randomUnitLowerTriangular(c.s, 1), Vec<Scalar>(c.s),
+                c.w);
+            for (int i = 0; i < c.requests; ++i)
+                inputs.push_back(
+                    EngineInputs::triSolve(randomIntVec(c.s, 300 + i)));
+            break;
+        }
+        auto prepared = engine->prepare(plan);
+
+        double wall[2] = {0, 0};
+        for (int m = 0; m < 2; ++m) {
+            ExecMode mode =
+                m == 0 ? ExecMode::Simulate : ExecMode::Fast;
+            {
+                // Untimed warm-up: touch the path once so one-time
+                // allocation noise does not land on either side.
+                EngineInputs in = inputs.front();
+                in.mode = mode;
+                EngineRunResult r =
+                    engine->runPrepared(*prepared, in);
+                benchmark::DoNotOptimize(r);
+            }
+            auto t0 = std::chrono::steady_clock::now();
+            for (const EngineInputs &base : inputs) {
+                EngineInputs in = base;
+                in.mode = mode;
+                EngineRunResult r =
+                    engine->runPrepared(*prepared, in);
+                benchmark::DoNotOptimize(r);
+            }
+            wall[m] = secondsSince(t0);
+        }
+        double sim_rps = c.requests / wall[0];
+        double fast_rps = c.requests / wall[1];
+
+        char workload[64];
+        std::snprintf(workload, sizeof(workload),
+                      "%lldx%lld w=%lld R=%d", (long long)c.s,
+                      (long long)c.s, (long long)c.w, c.requests);
+        std::printf("%-10s %-22s %8.2fms %8.2fms %7.2fx\n",
+                    c.engine, workload, wall[0] * 1e3, wall[1] * 1e3,
+                    wall[0] / wall[1]);
+        json->push_back({"mode_comparison",
+                         {{"engine", c.engine},
+                          {"s", std::to_string(c.s)},
+                          {"w", std::to_string(c.w)},
+                          {"requests", std::to_string(c.requests)}},
+                         {{"simulate_req_per_s", sim_rps},
+                          {"fast_req_per_s", fast_rps},
+                          {"speedup", wall[0] / wall[1]}}});
+    }
+}
+
 /** Mixed-topology request stream through the Server, 1..4 workers. */
 void
 printThreadScaling(std::vector<BenchJsonEntry> *json)
@@ -207,6 +309,7 @@ print()
 {
     std::vector<BenchJsonEntry> json;
     printAmortization(&json);
+    printModeComparison(&json);
     printThreadScaling(&json);
     writeBenchJson("serve_throughput", json);
 }

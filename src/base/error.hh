@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Recoverable error type for the library's user-facing seams.
+ *
+ * SAP_ASSERT/SAP_PANIC (base/logging.hh) guard *internal* invariants
+ * and abort: a violated schedule or a corrupt plan is a bug, not an
+ * input. Malformed *inputs* — bad shapes handed to a plan factory, a
+ * zero diagonal in a triangular system, an execution-mode/option
+ * combination the engine cannot honor — are the caller's to handle,
+ * so they throw EngineError instead. The serving layer catches it at
+ * the request boundary and turns it into an error response; library
+ * callers catch it like any std::runtime_error.
+ *
+ * Lives in base/ (not engine/) because the plan classes below the
+ * engine layer (solve/trisolve_plan.hh) throw it too.
+ */
+
+#ifndef SAP_BASE_ERROR_HH
+#define SAP_BASE_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace sap {
+
+/** Recoverable, caller-visible failure: bad input or bad request. */
+class EngineError : public std::runtime_error
+{
+  public:
+    explicit EngineError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+} // namespace sap
+
+#endif // SAP_BASE_ERROR_HH

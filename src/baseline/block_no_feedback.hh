@@ -60,6 +60,14 @@ class BlockNoFeedbackPlan
     BlockNoFeedbackResult run(const Vec<Scalar> &x,
                               const Vec<Scalar> &b) const;
 
+    /**
+     * Semantics replay of run() (src/semantics/): blocks replayed
+     * through the mat-vec semantics kernel in the same order; y
+     * bit-identical, stats from analysis/formulas.hh.
+     */
+    BlockNoFeedbackResult runSemantics(const Vec<Scalar> &x,
+                                       const Vec<Scalar> &b) const;
+
   private:
     Index w_;
     Index rows_, cols_;

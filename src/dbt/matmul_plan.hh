@@ -76,6 +76,16 @@ class MatMulPlan
     /** Fast block-level execution (the algebraic oracle). */
     MatMulExecResult runBlockLevel(const Dense<Scalar> &e) const;
 
+    /**
+     * Semantics replay of run() (src/semantics/): every O value
+     * accumulated in the array's MAC order with the feedback
+     * composition replayed through the routing tables, so C is
+     * bit-identical to the simulation (runBlockLevel() is not —
+     * it accumulates block-wise); stats from analysis/formulas.hh,
+     * no feedback measurement object.
+     */
+    MatMulPlanResult runSemantics(const Dense<Scalar> &e) const;
+
   private:
     /** Precomputed source of one in-band I position. */
     struct InputRoute

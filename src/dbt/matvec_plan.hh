@@ -86,6 +86,26 @@ class MatVecPlan
                                     const Vec<Scalar> &b) const;
 
     /**
+     * Semantics replay of run() (src/semantics/): the band
+     * accumulation performed as host arithmetic in the array's
+     * operation order, so y is bit-identical to the simulation;
+     * stats come from analysis/formulas.hh instead of measurement,
+     * and no trace is produced.
+     */
+    MatVecPlanResult runSemantics(const Vec<Scalar> &x,
+                                  const Vec<Scalar> &b) const;
+
+    /** Semantics replay of runOverlapped() (bit-identical, no
+     *  trace, formula-derived stats). */
+    MatVecPlanResult runOverlappedSemantics(const Vec<Scalar> &x,
+                                            const Vec<Scalar> &b) const;
+
+    /** Semantics replay of runGroupedPlan(); conflictFree is true
+     *  by construction (the schedule proof lives in the sim). */
+    GroupedRunResult runGroupedSemantics(const Vec<Scalar> &x,
+                                         const Vec<Scalar> &b) const;
+
+    /**
      * Build the array-ready spec (exposed for drivers and tests).
      * The returned spec points at this plan's band matrix, so the
      * plan must outlive it.

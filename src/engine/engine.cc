@@ -1,6 +1,9 @@
 #include "engine/engine.hh"
 
+#include "analysis/formulas.hh"
+#include "base/error.hh"
 #include "base/logging.hh"
+#include "base/math_util.hh"
 #include "baseline/block_no_feedback.hh"
 #include "dbt/matmul_plan.hh"
 #include "dbt/matvec_plan.hh"
@@ -22,6 +25,34 @@ problemKindName(ProblemKind k)
         return "trisolve";
     }
     SAP_PANIC("unknown ProblemKind ", static_cast<int>(k));
+}
+
+std::string
+execModeName(ExecMode m)
+{
+    switch (m) {
+      case ExecMode::Simulate:
+        return "simulate";
+      case ExecMode::Fast:
+        return "fast";
+      case ExecMode::Validate:
+        return "validate";
+    }
+    SAP_PANIC("unknown ExecMode ", static_cast<int>(m));
+}
+
+bool
+parseExecMode(const std::string &name, ExecMode *out)
+{
+    if (name == "simulate")
+        *out = ExecMode::Simulate;
+    else if (name == "fast")
+        *out = ExecMode::Fast;
+    else if (name == "validate")
+        *out = ExecMode::Validate;
+    else
+        return false;
+    return true;
 }
 
 EnginePlan
@@ -71,30 +102,52 @@ EnginePlan::triSolve(Dense<Scalar> l, Vec<Scalar> b, Index w)
     return p;
 }
 
+std::string
+EnginePlan::check() const
+{
+    if (w < 1)
+        return "array size w must be >= 1";
+    if (a.rows() <= 0 || a.cols() <= 0)
+        return "empty matrix A";
+    if (kind == ProblemKind::MatVec) {
+        if (x.size() != a.cols())
+            return "x length " + std::to_string(x.size()) +
+                   " != A cols " + std::to_string(a.cols());
+        if (b.size() != a.rows())
+            return "b length " + std::to_string(b.size()) +
+                   " != A rows " + std::to_string(a.rows());
+    } else if (kind == ProblemKind::MatMul) {
+        if (bmat.rows() != a.cols())
+            return "B rows " + std::to_string(bmat.rows()) +
+                   " != A cols " + std::to_string(a.cols());
+        if (e.rows() != a.rows() || e.cols() != bmat.cols())
+            return "E shape " + std::to_string(e.rows()) + "x" +
+                   std::to_string(e.cols()) + " != " +
+                   std::to_string(a.rows()) + "x" +
+                   std::to_string(bmat.cols());
+    } else {
+        if (a.rows() != a.cols())
+            return "L must be square, got " +
+                   std::to_string(a.rows()) + "x" +
+                   std::to_string(a.cols());
+        if (b.size() != a.rows())
+            return "b length " + std::to_string(b.size()) +
+                   " != order " + std::to_string(a.rows());
+        for (Index i = 0; i < a.rows(); ++i)
+            if (a(i, i) == 0)
+                return "zero diagonal at " + std::to_string(i);
+    }
+    if (mode == ExecMode::Fast && recordTrace)
+        return "recordTrace requires simulate or validate mode";
+    return {};
+}
+
 void
 EnginePlan::validate() const
 {
-    SAP_ASSERT(w >= 1, "array size w = ", w, " must be at least 1");
-    SAP_ASSERT(a.rows() > 0 && a.cols() > 0, "empty matrix A");
-    if (kind == ProblemKind::MatVec) {
-        SAP_ASSERT(x.size() == a.cols(), "x length ", x.size(),
-                   " != A cols ", a.cols());
-        SAP_ASSERT(b.size() == a.rows(), "b length ", b.size(),
-                   " != A rows ", a.rows());
-    } else if (kind == ProblemKind::MatMul) {
-        SAP_ASSERT(bmat.rows() == a.cols(), "B rows ", bmat.rows(),
-                   " != A cols ", a.cols());
-        SAP_ASSERT(e.rows() == a.rows() && e.cols() == bmat.cols(),
-                   "E shape ", e.rows(), "x", e.cols(), " != ",
-                   a.rows(), "x", bmat.cols());
-    } else {
-        SAP_ASSERT(a.rows() == a.cols(), "L must be square, got ",
-                   a.rows(), "x", a.cols());
-        SAP_ASSERT(b.size() == a.rows(), "b length ", b.size(),
-                   " != order ", a.rows());
-        for (Index i = 0; i < a.rows(); ++i)
-            SAP_ASSERT(a(i, i) != 0, "zero diagonal at ", i);
-    }
+    std::string error = check();
+    if (!error.empty())
+        throw EngineError(error);
 }
 
 EngineInputs
@@ -135,6 +188,7 @@ EngineInputs::of(const EnginePlan &plan)
         in.b = plan.b;
     }
     in.recordTrace = plan.recordTrace;
+    in.mode = plan.mode;
     return in;
 }
 
@@ -252,6 +306,77 @@ preparedAs(const PreparedPlan &prepared, const char *engine)
     return *p;
 }
 
+/**
+ * Validate-mode diff: every field an engine reports must agree
+ * between the simulated and the fast execution — results bit-exactly
+ * (the semantics path replays the array's accumulation order, so
+ * even floating-point workloads must match to the last bit), stats
+ * because the fast path derives them from the closed-form step
+ * counts the sims are asserted against. Traces are exempt (fast mode
+ * never produces one) and so is the feedback measurement object.
+ */
+void
+diffOrThrow(const std::string &engine, const EngineRunResult &sim,
+            const EngineRunResult &fast)
+{
+    auto fail = [&](const char *field) {
+        throw EngineError("validate mode: " + engine +
+                          " fast path diverged from the simulator in "
+                          "field '" + field + "'");
+    };
+    if (fast.y.size() != sim.y.size() || !(fast.y == sim.y))
+        fail("y");
+    if (fast.c.rows() != sim.c.rows() ||
+        fast.c.cols() != sim.c.cols() || !(fast.c == sim.c))
+        fail("c");
+    if (fast.stats.cycles != sim.stats.cycles)
+        fail("stats.cycles");
+    if (fast.stats.peCount != sim.stats.peCount)
+        fail("stats.peCount");
+    if (fast.stats.usefulMacs != sim.stats.usefulMacs)
+        fail("stats.usefulMacs");
+    if (fast.totalCycles != sim.totalCycles)
+        fail("totalCycles");
+    if (fast.feedbackDelay != sim.feedbackDelay)
+        fail("feedbackDelay");
+    if (fast.feedbackRegisters != sim.feedbackRegisters)
+        fail("feedbackRegisters");
+    if (fast.conflictFree != sim.conflictFree)
+        fail("conflictFree");
+    if (fast.topologyRespected != sim.topologyRespected)
+        fail("topologyRespected");
+}
+
+/**
+ * The per-engine mode switch: every engine's runPrepared() body is a
+ * (sim, fast) lambda pair behind this dispatcher. Fast mode cannot
+ * trace — the semantics path has no cycle timeline — so the
+ * combination is rejected rather than silently dropping events.
+ */
+template <typename SimFn, typename FastFn>
+EngineRunResult
+dispatchMode(ExecMode mode, const std::string &engine,
+             bool record_trace, const SimFn &sim, const FastFn &fast)
+{
+    switch (mode) {
+      case ExecMode::Simulate:
+        return sim();
+      case ExecMode::Fast:
+        if (record_trace)
+            throw EngineError(
+                engine +
+                ": recordTrace requires simulate or validate mode");
+        return fast();
+      case ExecMode::Validate: {
+        EngineRunResult s = sim();
+        EngineRunResult f = fast();
+        diffOrThrow(engine, s, f);
+        return s;
+      }
+    }
+    SAP_PANIC("unknown ExecMode ", static_cast<int>(mode));
+}
+
 } // namespace
 
 std::shared_ptr<const PreparedPlan>
@@ -279,6 +404,7 @@ SystolicEngine::runPrepared(const PreparedPlan &prepared,
         request.b = in.b;
     }
     request.recordTrace = in.recordTrace;
+    request.mode = in.mode;
     return run(request);
 }
 
@@ -331,16 +457,20 @@ class LinearEngine : public SystolicEngine
         const MatVecPrepared &p =
             preparedAs<MatVecPrepared>(prepared, "linear");
         prepared.validateInputs(in);
-        MatVecPlanResult r = p.plan.run(in.x, in.b, in.recordTrace);
-
-        EngineRunResult out;
-        out.y = std::move(r.y);
-        out.stats = r.stats;
-        out.totalCycles = r.stats.cycles;
-        out.trace = std::move(r.trace);
-        out.feedbackDelay = r.observedFeedbackDelay;
-        out.feedbackRegisters = r.feedbackRegisters;
-        return out;
+        auto fill = [](MatVecPlanResult r) {
+            EngineRunResult out;
+            out.y = std::move(r.y);
+            out.stats = r.stats;
+            out.totalCycles = r.stats.cycles;
+            out.trace = std::move(r.trace);
+            out.feedbackDelay = r.observedFeedbackDelay;
+            out.feedbackRegisters = r.feedbackRegisters;
+            return out;
+        };
+        return dispatchMode(
+            in.mode, "linear", in.recordTrace,
+            [&] { return fill(p.plan.run(in.x, in.b, in.recordTrace)); },
+            [&] { return fill(p.plan.runSemantics(in.x, in.b)); });
     }
 
     EngineRunResult
@@ -377,17 +507,21 @@ class GroupedEngine : public SystolicEngine
         const MatVecPrepared &p =
             preparedAs<MatVecPrepared>(prepared, "grouped");
         prepared.validateInputs(in);
-        GroupedRunResult r = p.plan.runGroupedPlan(in.x, in.b);
-
-        EngineRunResult out;
-        out.y = p.plan.transform().extractY(r.logical.ybar);
-        out.stats = r.grouped;
-        out.totalCycles = r.grouped.cycles;
-        out.trace = std::move(r.logical.trace);
-        out.feedbackDelay = r.logical.observedFeedbackDelay;
-        out.feedbackRegisters = r.logical.feedbackRegisters;
-        out.conflictFree = r.conflictFree;
-        return out;
+        auto fill = [&p](GroupedRunResult r) {
+            EngineRunResult out;
+            out.y = p.plan.transform().extractY(r.logical.ybar);
+            out.stats = r.grouped;
+            out.totalCycles = r.grouped.cycles;
+            out.trace = std::move(r.logical.trace);
+            out.feedbackDelay = r.logical.observedFeedbackDelay;
+            out.feedbackRegisters = r.logical.feedbackRegisters;
+            out.conflictFree = r.conflictFree;
+            return out;
+        };
+        return dispatchMode(
+            in.mode, "grouped", in.recordTrace,
+            [&] { return fill(p.plan.runGroupedPlan(in.x, in.b)); },
+            [&] { return fill(p.plan.runGroupedSemantics(in.x, in.b)); });
     }
 
     EngineRunResult
@@ -425,15 +559,21 @@ class OverlappedEngine : public SystolicEngine
         const MatVecPrepared &p =
             preparedAs<MatVecPrepared>(prepared, "overlapped");
         prepared.validateInputs(in);
-        MatVecPlanResult r = p.plan.runOverlapped(in.x, in.b);
-
-        EngineRunResult out;
-        out.y = std::move(r.y);
-        out.stats = r.stats;
-        out.totalCycles = r.stats.cycles;
-        out.feedbackDelay = r.observedFeedbackDelay;
-        out.feedbackRegisters = r.feedbackRegisters;
-        return out;
+        auto fill = [](MatVecPlanResult r) {
+            EngineRunResult out;
+            out.y = std::move(r.y);
+            out.stats = r.stats;
+            out.totalCycles = r.stats.cycles;
+            out.feedbackDelay = r.observedFeedbackDelay;
+            out.feedbackRegisters = r.feedbackRegisters;
+            return out;
+        };
+        return dispatchMode(
+            in.mode, "overlapped", in.recordTrace,
+            [&] { return fill(p.plan.runOverlapped(in.x, in.b)); },
+            [&] {
+                return fill(p.plan.runOverlappedSemantics(in.x, in.b));
+            });
     }
 
     EngineRunResult
@@ -478,19 +618,23 @@ class HexEngine : public SystolicEngine
         const MatMulPrepared &p =
             preparedAs<MatMulPrepared>(prepared, name().c_str());
         prepared.validateInputs(in);
-        MatMulPlanResult r = p.plan.run(in.e);
-
-        EngineRunResult out;
-        out.c = std::move(r.c);
-        out.stats = r.stats;
-        out.totalCycles = r.totalCycles;
-        out.feedback = r.feedback;
-        out.topologyRespected =
-            !r.feedback || r.feedback->topologyRespected();
-        if (strict_)
-            SAP_ASSERT(out.topologyRespected,
-                       "spiral feedback topology violated");
-        return out;
+        auto fill = [this](MatMulPlanResult r) {
+            EngineRunResult out;
+            out.c = std::move(r.c);
+            out.stats = r.stats;
+            out.totalCycles = r.totalCycles;
+            out.feedback = r.feedback;
+            out.topologyRespected =
+                !r.feedback || r.feedback->topologyRespected();
+            if (strict_)
+                SAP_ASSERT(out.topologyRespected,
+                           "spiral feedback topology violated");
+            return out;
+        };
+        return dispatchMode(
+            in.mode, name(), in.recordTrace,
+            [&] { return fill(p.plan.run(in.e)); },
+            [&] { return fill(p.plan.runSemantics(in.e)); });
     }
 
     EngineRunResult
@@ -530,14 +674,18 @@ class MeshEngine : public SystolicEngine
         const MeshPrepared &p =
             preparedAs<MeshPrepared>(prepared, "mesh");
         prepared.validateInputs(in);
-        MeshRunResult r = p.plan.run(in.e, in.recordTrace);
-
-        EngineRunResult out;
-        out.c = std::move(r.c);
-        out.stats = r.stats;
-        out.totalCycles = r.stats.cycles;
-        out.trace = std::move(r.trace);
-        return out;
+        auto fill = [](MeshRunResult r) {
+            EngineRunResult out;
+            out.c = std::move(r.c);
+            out.stats = r.stats;
+            out.totalCycles = r.stats.cycles;
+            out.trace = std::move(r.trace);
+            return out;
+        };
+        return dispatchMode(
+            in.mode, "mesh", in.recordTrace,
+            [&] { return fill(p.plan.run(in.e, in.recordTrace)); },
+            [&] { return fill(p.plan.runSemantics(in.e)); });
     }
 
     EngineRunResult
@@ -576,14 +724,18 @@ class TriEngine : public SystolicEngine
         const TriSolvePrepared &p =
             preparedAs<TriSolvePrepared>(prepared, "tri");
         prepared.validateInputs(in);
-        TriSolvePlanResult r = p.plan.run(in.b, in.recordTrace);
-
-        EngineRunResult out;
-        out.y = std::move(r.y);
-        out.stats = r.stats;
-        out.totalCycles = r.stats.cycles;
-        out.trace = std::move(r.trace);
-        return out;
+        auto fill = [](TriSolvePlanResult r) {
+            EngineRunResult out;
+            out.y = std::move(r.y);
+            out.stats = r.stats;
+            out.totalCycles = r.stats.cycles;
+            out.trace = std::move(r.trace);
+            return out;
+        };
+        return dispatchMode(
+            in.mode, "tri", in.recordTrace,
+            [&] { return fill(p.plan.run(in.b, in.recordTrace)); },
+            [&] { return fill(p.plan.runSemantics(in.b)); });
     }
 
     EngineRunResult
@@ -621,15 +773,19 @@ class NoFeedbackEngine : public SystolicEngine
         const NoFeedbackPrepared &p =
             preparedAs<NoFeedbackPrepared>(prepared, "no-feedback");
         prepared.validateInputs(in);
-        BlockNoFeedbackResult r = p.plan.run(in.x, in.b);
-
-        EngineRunResult out;
-        out.y = std::move(r.y);
-        out.stats = r.stats;
-        out.totalCycles = r.stats.cycles;
-        // No feedback loop exists; the defaults (delay −1, zero
-        // registers) are the honest report.
-        return out;
+        auto fill = [](BlockNoFeedbackResult r) {
+            EngineRunResult out;
+            out.y = std::move(r.y);
+            out.stats = r.stats;
+            out.totalCycles = r.stats.cycles;
+            // No feedback loop exists; the defaults (delay −1, zero
+            // registers) are the honest report.
+            return out;
+        };
+        return dispatchMode(
+            in.mode, "no-feedback", in.recordTrace,
+            [&] { return fill(p.plan.run(in.x, in.b)); },
+            [&] { return fill(p.plan.runSemantics(in.x, in.b)); });
     }
 
     EngineRunResult

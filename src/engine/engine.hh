@@ -21,6 +21,7 @@
 #ifndef SAP_ENGINE_ENGINE_HH
 #define SAP_ENGINE_ENGINE_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,6 +45,31 @@ enum class ProblemKind
 
 /** Printable kind name ("matvec" / "matmul" / "trisolve"). */
 std::string problemKindName(ProblemKind k);
+
+/**
+ * How an engine executes a plan.
+ *
+ * The cycle simulators *measure* the paper's claims; the semantics
+ * path (src/semantics/) *replays* each engine's DBT operation order
+ * as blocked host arithmetic, bit-identical to the array, with the
+ * cycle statistics supplied by the closed-form step counts
+ * (analysis/formulas.hh) that PR 4 asserted against measurement.
+ */
+enum class ExecMode : std::uint8_t
+{
+    Simulate = 0, ///< cycle-accurate simulation (the default)
+    Fast = 1,     ///< semantics replay + formula-derived stats
+    Validate = 2, ///< run both, diff every reported field, return sim
+};
+
+/** Printable mode name ("simulate" / "fast" / "validate"). */
+std::string execModeName(ExecMode m);
+
+/**
+ * Parse a mode name as printed by execModeName().
+ * @return true and set @p out on success; false on an unknown name.
+ */
+bool parseExecMode(const std::string &name, ExecMode *out);
 
 /**
  * A size-independent problem instance plus array options: the single
@@ -73,9 +99,14 @@ struct EnginePlan
     /**
      * Record port-level events into EngineRunResult::trace.
      * Supported by the "linear", "tri", and "mesh" engines; the
-     * other topologies return an empty trace regardless.
+     * other topologies return an empty trace regardless. Tracing
+     * requires cycle-level execution: combining recordTrace with
+     * ExecMode::Fast is rejected (EngineError) instead of silently
+     * returning an empty trace.
      */
     bool recordTrace = false;
+    /** Execution mode (see ExecMode). */
+    ExecMode mode = ExecMode::Simulate;
 
     /** Plan for y = A·x + b. */
     static EnginePlan matVec(Dense<Scalar> a, Vec<Scalar> x,
@@ -96,7 +127,15 @@ struct EnginePlan
     static EnginePlan triSolve(Dense<Scalar> l, Vec<Scalar> b,
                                Index w);
 
-    /** Shape consistency checks (asserts on failure). */
+    /**
+     * Shape consistency checks, reported instead of fatal: returns
+     * an empty string when the plan is well-formed, else a
+     * human-readable reason. The serve layer reuses this so the
+     * library and request validation seams cannot drift.
+     */
+    std::string check() const;
+
+    /** As check(), but throws EngineError on a malformed plan. */
     void validate() const;
 };
 
@@ -148,6 +187,8 @@ struct EngineInputs
     Dense<Scalar> e;  ///< MatMul additive matrix
     /** Record port events (engines that support tracing only). */
     bool recordTrace = false;
+    /** Execution mode for this request (see ExecMode). */
+    ExecMode mode = ExecMode::Simulate;
 
     /** Inputs for one y = A·x + b request. */
     static EngineInputs matVec(Vec<Scalar> x, Vec<Scalar> b);
@@ -228,9 +269,15 @@ class SystolicEngine
     virtual std::string description() const = 0;
 
     /**
-     * Execute @p plan on this topology.
+     * Execute @p plan on this topology, honoring plan.mode: Simulate
+     * runs the cycle-accurate array, Fast replays the same operation
+     * order as blocked host arithmetic (bit-identical results,
+     * formula-derived cycle stats, never a trace), Validate runs
+     * both and throws EngineError on any reported-field mismatch.
      *
      * @pre plan.kind == kind() (asserted).
+     * @throws EngineError for Fast mode combined with recordTrace,
+     *         or a Validate-mode diff failure.
      */
     virtual EngineRunResult run(const EnginePlan &plan) const = 0;
 

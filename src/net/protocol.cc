@@ -356,7 +356,18 @@ encodeSubmit(const ServeRequest &req)
     w.str(req.engine);
     w.u8(static_cast<std::uint8_t>(req.plan.kind));
     w.i64(req.plan.w);
-    w.u8(req.crossCheck ? 1 : 0);
+    // Flags byte. recordTrace is encoded even though no RESPONSE
+    // frame could carry the trace back: the server rejects the bit
+    // with a clear error instead of silently dropping the data a
+    // client asked for.
+    std::uint8_t flags = 0;
+    if (req.crossCheck)
+        flags |= kSubmitFlagCrossCheck;
+    flags |= static_cast<std::uint8_t>(
+        static_cast<std::uint8_t>(req.plan.mode) << kSubmitModeShift);
+    if (req.plan.recordTrace)
+        flags |= kSubmitFlagRecordTrace;
+    w.u8(flags);
     switch (req.plan.kind) {
     case ProblemKind::MatVec:
         w.dense(req.plan.a);
@@ -397,10 +408,22 @@ decodeSubmit(const std::vector<std::uint8_t> &payload,
         return failDecode(error, "array size w=" +
                                      std::to_string(req.plan.w) +
                                      " out of range");
-    std::uint8_t cross;
-    if (!r.u8(&cross))
+    std::uint8_t flags;
+    if (!r.u8(&flags))
         return failDecode(error, "truncated SUBMIT: flags");
-    req.crossCheck = cross != 0;
+    req.crossCheck = (flags & kSubmitFlagCrossCheck) != 0;
+    const std::uint8_t mode_bits =
+        (flags >> kSubmitModeShift) & kSubmitModeMask;
+    if (mode_bits > static_cast<std::uint8_t>(ExecMode::Validate))
+        return failDecode(error, "unknown execution mode " +
+                                     std::to_string(mode_bits));
+    req.plan.mode = static_cast<ExecMode>(mode_bits);
+    if ((flags & kSubmitFlagRecordTrace) != 0)
+        return failDecode(error,
+                          "SUBMIT requests recordTrace, but RESPONSE "
+                          "frames carry no trace");
+    if ((flags & ~kSubmitFlagsKnown) != 0)
+        return failDecode(error, "reserved SUBMIT flag bits set");
 
     if (!r.dense(&req.plan.a))
         return failDecode(error, "truncated SUBMIT: matrix A");
@@ -535,6 +558,7 @@ encodeStats(const ServerStats &stats)
     for (const GroupStats &g : stats.groups) {
         w.str(g.key.engine);
         w.u8(static_cast<std::uint8_t>(g.key.kind));
+        w.u8(static_cast<std::uint8_t>(g.key.mode));
         w.i64(g.key.rows);
         w.i64(g.key.cols);
         w.i64(g.key.outCols);
@@ -562,8 +586,9 @@ decodeStats(const std::vector<std::uint8_t> &payload, ServerStats *out,
         !r.u64(&stats.planCache.collisions) ||
         !decodeLatency(r, &stats.latency) || !r.u32(&group_count))
         return failDecode(error, "truncated STATS payload");
-    // Each group is at least 50 bytes; reject counts the payload
-    // cannot possibly back before reserving anything.
+    // Each group is at least 51 bytes (the /50 bound stays
+    // conservative); reject counts the payload cannot possibly back
+    // before reserving anything.
     if (group_count > r.remaining() / 50)
         return failDecode(error, "STATS group count " +
                                      std::to_string(group_count) +
@@ -571,12 +596,13 @@ decodeStats(const std::vector<std::uint8_t> &payload, ServerStats *out,
     stats.groups.reserve(group_count);
     for (std::uint32_t i = 0; i < group_count; ++i) {
         GroupStats g;
-        std::uint8_t kind_byte;
+        std::uint8_t kind_byte, mode_byte;
         if (!r.str(&g.key.engine) || !r.u8(&kind_byte) ||
-            !r.i64(&g.key.rows) || !r.i64(&g.key.cols) ||
-            !r.i64(&g.key.outCols) || !r.i64(&g.key.w) ||
-            !r.u64(&g.requests) || !r.u64(&g.cacheHits) ||
-            !r.i64(&g.simCycles) || !decodeLatency(r, &g.latency))
+            !r.u8(&mode_byte) || !r.i64(&g.key.rows) ||
+            !r.i64(&g.key.cols) || !r.i64(&g.key.outCols) ||
+            !r.i64(&g.key.w) || !r.u64(&g.requests) ||
+            !r.u64(&g.cacheHits) || !r.i64(&g.simCycles) ||
+            !decodeLatency(r, &g.latency))
             return failDecode(error, "truncated STATS group " +
                                          std::to_string(i));
         if (kind_byte >
@@ -585,6 +611,11 @@ decodeStats(const std::vector<std::uint8_t> &payload, ServerStats *out,
                                          std::to_string(kind_byte) +
                                          " in STATS group");
         g.key.kind = static_cast<ProblemKind>(kind_byte);
+        if (mode_byte > static_cast<std::uint8_t>(ExecMode::Validate))
+            return failDecode(error, "unknown execution mode " +
+                                         std::to_string(mode_byte) +
+                                         " in STATS group");
+        g.key.mode = static_cast<ExecMode>(mode_byte);
         stats.groups.push_back(std::move(g));
     }
     if (r.remaining() != 0)

@@ -18,10 +18,18 @@
  * and results can be cross-checked against the host oracle.
  *
  * Frame types: SUBMIT (a full ServeRequest: engine name, problem
- * kind, matrices), RESPONSE (the served result), STATS (empty
+ * kind, flags, matrices), RESPONSE (the served result), STATS (empty
  * payload = request; non-empty = an aggregated ServerStats
  * snapshot), PING (echoed verbatim), ERROR (a human-readable
  * message).
+ *
+ * Still version 1, with two in-place evolutions: SUBMIT's crossCheck
+ * byte is now a flags byte (bit 0 keeps its old meaning, so old
+ * encoders interoperate — see kSubmitFlag*), and each STATS group
+ * record carries an execution-mode byte after the problem kind
+ * (which old STATS *decoders* do not understand; the snapshot is a
+ * monitoring artifact, not a stored format, so the break is
+ * accepted and documented here).
  *
  * Robustness contract: decoding is strictly bounds-checked and never
  * trusts a length against fewer bytes than it promises. Errors split
@@ -56,6 +64,27 @@ constexpr std::uint32_t kWireMagic = 0x31504153u;
 
 /** Protocol version this build speaks. */
 constexpr std::uint16_t kWireVersion = 1;
+
+/**
+ * SUBMIT flags byte (what used to be the crossCheck 0/1 byte; old
+ * encoders writing 0x00/0x01 decode identically):
+ *
+ *   bit 0    cross-check against the host oracle
+ *   bits 1–2 execution mode (ExecMode value; 3 is rejected)
+ *   bit 3    recordTrace — always *rejected* by the decoder, because
+ *            RESPONSE frames carry no trace; encoding it (rather
+ *            than dropping it client-side) turns a silently-lossy
+ *            request into an explicit error
+ *   bits 4–7 reserved, must be zero
+ */
+constexpr std::uint8_t kSubmitFlagCrossCheck = 1u << 0;
+constexpr unsigned kSubmitModeShift = 1;
+constexpr std::uint8_t kSubmitModeMask = 0x3;
+constexpr std::uint8_t kSubmitFlagRecordTrace = 1u << 3;
+/** Every flag bit a version-1 decoder understands. */
+constexpr std::uint8_t kSubmitFlagsKnown =
+    kSubmitFlagCrossCheck | (kSubmitModeMask << kSubmitModeShift) |
+    kSubmitFlagRecordTrace;
 
 /** Frame types on the wire (u16). */
 enum class FrameType : std::uint16_t
@@ -247,7 +276,9 @@ std::vector<std::uint8_t> buildFrame(FrameType type, std::uint64_t tag,
                                      const std::vector<std::uint8_t>
                                          &payload);
 
-/** SUBMIT carrying @p req (engine, kind, w, crossCheck, operands). */
+/** SUBMIT carrying @p req (engine, kind, w, flags, operands); the
+ *  flags byte packs crossCheck, the execution mode, and recordTrace
+ *  (see kSubmitFlag*). */
 std::vector<std::uint8_t> buildSubmitFrame(std::uint64_t tag,
                                            const ServeRequest &req);
 

@@ -1,0 +1,34 @@
+#include "semantics/band_kernel.hh"
+
+namespace sap {
+
+BandMatVecSemantics
+runBandMatVecSemantics(const BandMatVecSpec &spec)
+{
+    spec.validate();
+    const Index w = spec.w();
+    const Index rows = spec.rows();
+    const Band<Scalar> &abar = *spec.abar;
+
+    BandMatVecSemantics res;
+    res.ybar = Vec<Scalar>(rows);
+    for (Index i = 0; i < rows; ++i) {
+        Scalar acc;
+        if (spec.bIsExternal[i]) {
+            acc = spec.externalB[i];
+        } else {
+            // Feedback: ȳ_{i−w} re-enters as b̄_i (validate()
+            // guarantees i >= w for feedback rows).
+            acc = res.ybar[i - w];
+            res.usedFeedback = true;
+        }
+        // ȳ_i enters at PE w−1 and sheds one diagonal per cell on
+        // its way to PE 0: ascending d is the array's MAC order.
+        for (Index d = 0; d < w; ++d)
+            acc = acc + abar.at(i, i + d) * spec.xbar[i + d];
+        res.ybar[i] = acc;
+    }
+    return res;
+}
+
+} // namespace sap

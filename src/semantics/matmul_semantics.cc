@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Semantics (fast-mode) execution of the hexagonal mat-mul plan:
+ * every O-band value accumulated in the array's MAC order
+ * (ascending k along the reduction), with the Appendix feedback
+ * composition replayed through the plan's routing tables. O values
+ * are processed in exit-cycle order, which topologically orders the
+ * feedback dependencies (a value always exits strictly before the
+ * cycle its consumer is injected).
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/formulas.hh"
+#include "base/logging.hh"
+#include "dbt/matmul_plan.hh"
+
+namespace sap {
+
+MatMulPlanResult
+MatMulPlan::runSemantics(const Dense<Scalar> &e) const
+{
+    const MatMulDims &d = dims();
+    const Index w = d.w;
+    const Index N = d.order();
+    SAP_ASSERT(e.rows() == d.n && e.cols() == d.m,
+               "E must be n×m = ", d.n, "x", d.m);
+    Dense<Scalar> e_pad = e.paddedTo(d.nbar * w, d.mbar * w);
+
+    // Captured O values, keyed by bandIdx of the scalar position.
+    std::vector<Scalar> captured(routes_.size(), 0);
+    Dense<Scalar> c_pad(d.nbar * w, d.mbar * w);
+    Index macs = 0;
+
+    for (Cycle t = 0; t <= sched_.horizon; ++t) {
+        for (const HexIoSchedule::CEvent &ev : sched_.oEvents[t]) {
+            const Index i = ev.i;
+            const Index j = ev.j;
+            const std::size_t slot = bandIdx(i, j);
+
+            const InputRoute &rt = routes_[slot];
+            Scalar acc = 0;
+            switch (rt.kind) {
+              case InputRoute::Kind::Zero:
+                acc = 0;
+                break;
+              case InputRoute::Kind::FromE:
+                acc = e_pad(rt.r, rt.c);
+                break;
+              case InputRoute::Kind::FromO:
+                acc = captured[bandIdx(rt.r, rt.c)];
+                break;
+            }
+
+            // The c value for (i, j) meets a(i, k)·b(k, j) at PE
+            // (k−i, k−j) for ascending k — the array's MAC order.
+            const Index klo = std::max(i, j);
+            const Index khi = std::min(std::min(i, j) + w - 1, N - 1);
+            for (Index k = klo; k <= khi; ++k) {
+                acc = acc + transform_.abar().at(i, k) *
+                                transform_.bbar().at(k, j);
+                ++macs;
+            }
+
+            captured[slot] = acc;
+            if (extract_row_[slot] >= 0)
+                c_pad(extract_row_[slot], extract_col_[slot]) = acc;
+        }
+    }
+
+    MatMulPlanResult res;
+    res.c = c_pad.topLeft(d.n, d.m);
+    res.stats.cycles = formulas::tMatMul(w, d.pbar, d.nbar, d.mbar);
+    res.stats.peCount = w * w;
+    res.stats.usefulMacs = macs;
+    res.totalCycles = sched_.horizon + 1;
+    return res;
+}
+
+} // namespace sap

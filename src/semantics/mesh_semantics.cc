@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Semantics (fast-mode) execution of the output-stationary mesh
+ * plan: each w×w output block accumulated over the concatenated
+ * reduction in stream order (ascending t), exactly as PE (r, q)
+ * sees the skewed a/b streams meet.
+ */
+
+#include "analysis/formulas.hh"
+#include "base/logging.hh"
+#include "sim/mesh_array.hh"
+
+namespace sap {
+
+MeshRunResult
+MeshMatMulPlan::runSemantics(const Dense<Scalar> &e) const
+{
+    SAP_ASSERT(e.rows() == n_ && e.cols() == m_, "E shape ",
+               e.rows(), "x", e.cols(), " != ", n_, "x", m_);
+
+    MeshRunResult res;
+    res.c = Dense<Scalar>(n_, m_);
+    const Index ptot = pbar_ * w_; // concatenated reduction length
+
+    for (Index i = 0; i < nbar_; ++i) {
+        for (Index j = 0; j < mbar_; ++j) {
+            for (Index r = 0; r < w_; ++r) {
+                for (Index q = 0; q < w_; ++q) {
+                    const Index gi = i * w_ + r;
+                    const Index gj = j * w_ + q;
+                    // Preload E (zero on the padded fringe), then
+                    // accumulate the full padded reduction — padded
+                    // samples are valid zeros in the simulator too.
+                    Scalar acc = (gi < n_ && gj < m_) ? e(gi, gj) : 0;
+                    for (Index t = 0; t < ptot; ++t)
+                        acc += a_padded_(gi, t) * b_padded_(t, gj);
+                    if (gi < n_ && gj < m_)
+                        res.c(gi, gj) = acc;
+                }
+            }
+        }
+    }
+
+    res.stats.cycles = formulas::tMesh(w_, pbar_, nbar_, mbar_);
+    res.stats.peCount = w_ * w_;
+    res.stats.usefulMacs = nbar_ * mbar_ * w_ * w_ * ptot;
+    return res;
+}
+
+} // namespace sap

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Semantics (fast-mode) execution of the no-feedback baseline:
+ * every w×w block replayed through the mat-vec semantics kernel in
+ * the same row-major order, partials summed on the host exactly as
+ * the simulated baseline does.
+ */
+
+#include "base/logging.hh"
+#include "baseline/block_no_feedback.hh"
+
+namespace sap {
+
+BlockNoFeedbackResult
+BlockNoFeedbackPlan::runSemantics(const Vec<Scalar> &x,
+                                  const Vec<Scalar> &b) const
+{
+    SAP_ASSERT(x.size() == cols_ && b.size() == rows_,
+               "shape mismatch");
+    Vec<Scalar> xp = x.paddedTo(mbar_ * w_);
+
+    Vec<Scalar> y_acc(nbar_ * w_);
+    BlockNoFeedbackResult res;
+    res.stats.peCount = w_;
+
+    for (Index i = 0; i < nbar_; ++i) {
+        for (Index j = 0; j < mbar_; ++j) {
+            const MatVecPlan &plan =
+                blocks_[static_cast<std::size_t>(i * mbar_ + j)];
+            Vec<Scalar> xb = xp.slice(j * w_, w_);
+            MatVecPlanResult r =
+                plan.runSemantics(xb, Vec<Scalar>(w_));
+            for (Index t = 0; t < w_; ++t) {
+                y_acc[i * w_ + t] += r.y[t];
+                ++res.hostAdds;
+            }
+            res.perBlockCycles = r.stats.cycles;
+            res.stats.cycles += r.stats.cycles;
+            res.stats.usefulMacs += r.stats.usefulMacs;
+        }
+    }
+
+    res.y = Vec<Scalar>(rows_);
+    for (Index i = 0; i < rows_; ++i) {
+        res.y[i] = y_acc[i] + b[i];
+        ++res.hostAdds;
+    }
+    return res;
+}
+
+} // namespace sap

@@ -44,7 +44,21 @@ runMany(const SystolicEngine &engine, const EnginePlan &plan,
         ++out.planBuilds;
     }
 
-    out.results = engine.runManyPrepared(*prepared, inputs);
+    // The batch-wide mode overrides whatever the inputs carry; copy
+    // only when some input actually disagrees.
+    const std::vector<EngineInputs> *use = &inputs;
+    std::vector<EngineInputs> moded;
+    for (const EngineInputs &in : inputs) {
+        if (in.mode != opts.mode) {
+            moded = inputs;
+            for (EngineInputs &m : moded)
+                m.mode = opts.mode;
+            use = &moded;
+            break;
+        }
+    }
+
+    out.results = engine.runManyPrepared(*prepared, *use);
     if (opts.crossCheck)
         for (std::size_t i = 0; i < inputs.size(); ++i)
             if (!crossCheckOne(plan, inputs[i], out.results[i]))
@@ -105,12 +119,11 @@ runManyMatMul(const SystolicEngine &engine, const Dense<Scalar> &a,
             ++out.cacheHits;
         else
             ++out.planBuilds;
-        out.results.push_back(
-            engine.runPrepared(*cached.plan,
-                               EngineInputs::matMul(item.e)));
+        EngineInputs in = EngineInputs::matMul(item.e);
+        in.mode = opts.mode;
+        out.results.push_back(engine.runPrepared(*cached.plan, in));
         if (opts.crossCheck &&
-            !crossCheckOne(plan, EngineInputs::matMul(item.e),
-                           out.results.back()))
+            !crossCheckOne(plan, in, out.results.back()))
             ++out.crossCheckFailures;
     }
     return out;

@@ -37,6 +37,14 @@ struct BatchOptions
      * call).
      */
     PlanCache *cache = nullptr;
+
+    /**
+     * Execution path for every request in the batch (overrides the
+     * per-input mode fields): Simulate runs the cycle simulators,
+     * Fast the bit-identical semantics kernels, Validate both with
+     * a field-by-field diff. See SystolicEngine::run().
+     */
+    ExecMode mode = ExecMode::Simulate;
 };
 
 /** Result of one batched execution. */

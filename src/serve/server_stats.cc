@@ -34,14 +34,17 @@ ShapeKey::label() const
     if (kind == ProblemKind::MatMul)
         s += "x" + std::to_string(outCols);
     s += " w=" + std::to_string(w);
+    s += " ";
+    s += execModeName(mode);
     return s;
 }
 
 StatsRecorder::MapKey
 StatsRecorder::mapKey(const ShapeKey &key)
 {
-    return {key.engine, static_cast<int>(key.kind), key.rows,
-            key.cols, key.outCols, key.w};
+    return {key.engine, static_cast<int>(key.kind),
+            static_cast<int>(key.mode), key.rows, key.cols,
+            key.outCols, key.w};
 }
 
 void
@@ -138,7 +141,7 @@ mergeServerStats(const std::vector<ServerStats> &parts)
         std::vector<double> samples;
     };
     using MapKey =
-        std::tuple<std::string, int, Index, Index, Index, Index>;
+        std::tuple<std::string, int, int, Index, Index, Index, Index>;
     std::map<MapKey, Merged> merged;
 
     ServerStats out;
@@ -152,8 +155,8 @@ mergeServerStats(const std::vector<ServerStats> &parts)
         out.planCache.collisions += part.planCache.collisions;
         for (const GroupStats &g : part.groups) {
             MapKey key{g.key.engine, static_cast<int>(g.key.kind),
-                       g.key.rows, g.key.cols, g.key.outCols,
-                       g.key.w};
+                       static_cast<int>(g.key.mode), g.key.rows,
+                       g.key.cols, g.key.outCols, g.key.w};
             Merged &m = merged[key];
             if (m.group.requests == 0)
                 m.group.key = g.key;

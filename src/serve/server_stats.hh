@@ -16,11 +16,13 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "engine/engine.hh"
 #include "serve/plan_cache.hh"
 
 namespace sap {
 
-/** Identity of one (engine, problem shape) statistics group. */
+/** Identity of one (engine, problem shape, execution mode)
+ *  statistics group. */
 struct ShapeKey
 {
     std::string engine;
@@ -29,8 +31,9 @@ struct ShapeKey
     Index cols = 0;    ///< A cols
     Index outCols = 0; ///< MatMul: B cols (0 for MatVec)
     Index w = 0;       ///< array size
+    ExecMode mode = ExecMode::Simulate; ///< execution path served
 
-    /** "engine n×m[×p] w=..": stable human-readable label. */
+    /** "engine n×m[×p] w=.. mode": stable human-readable label. */
     std::string label() const;
 };
 
@@ -70,8 +73,9 @@ struct ServerStats
     std::uint64_t crossCheckFailures = 0;
     PlanCacheStats planCache;
     LatencySummary latency;
-    /** Per-(engine, shape) groups, in a stable order: by engine
-     *  name, then kind, then numeric shape (rows, cols, outCols, w). */
+    /** Per-(engine, shape, mode) groups, in a stable order: by
+     *  engine name, then kind, then execution mode, then numeric
+     *  shape (rows, cols, outCols, w). */
     std::vector<GroupStats> groups;
 };
 
@@ -118,7 +122,7 @@ class StatsRecorder
         std::vector<double> reservoir;
     };
     using MapKey =
-        std::tuple<std::string, int, Index, Index, Index, Index>;
+        std::tuple<std::string, int, int, Index, Index, Index, Index>;
 
     static MapKey mapKey(const ShapeKey &key);
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "base/error.hh"
 #include "base/logging.hh"
 #include "engine/registry.hh"
 #include "mat/ops.hh"
@@ -22,10 +23,10 @@ elapsedMicros(Clock::time_point t0)
 }
 
 /**
- * Request validation that *reports* instead of asserting: the same
- * conditions as EnginePlan::validate() plus the engine-kind match,
- * returned as an error string (empty = valid) so a malformed request
- * becomes an error response, not a dead shard.
+ * Request validation that *reports* instead of throwing: the
+ * engine-kind match plus exactly EnginePlan::check() — the serve
+ * path reuses the library's own validation seam, so the two can
+ * never drift apart again.
  */
 std::string
 validateRequest(const SystolicEngine &engine, const EnginePlan &plan)
@@ -34,37 +35,7 @@ validateRequest(const SystolicEngine &engine, const EnginePlan &plan)
         return "engine '" + engine.name() + "' serves " +
                problemKindName(engine.kind()) + " but the request is " +
                problemKindName(plan.kind);
-    if (plan.w < 1)
-        return "array size w must be >= 1";
-    if (plan.a.rows() <= 0 || plan.a.cols() <= 0)
-        return "empty matrix A";
-    if (plan.kind == ProblemKind::MatVec) {
-        if (plan.x.size() != plan.a.cols())
-            return "x length " + std::to_string(plan.x.size()) +
-                   " != A cols " + std::to_string(plan.a.cols());
-        if (plan.b.size() != plan.a.rows())
-            return "b length " + std::to_string(plan.b.size()) +
-                   " != A rows " + std::to_string(plan.a.rows());
-    } else if (plan.kind == ProblemKind::MatMul) {
-        if (plan.bmat.rows() != plan.a.cols())
-            return "B rows " + std::to_string(plan.bmat.rows()) +
-                   " != A cols " + std::to_string(plan.a.cols());
-        if (plan.e.rows() != plan.a.rows() ||
-            plan.e.cols() != plan.bmat.cols())
-            return "E shape mismatch";
-    } else {
-        if (plan.a.rows() != plan.a.cols())
-            return "L must be square, got " +
-                   std::to_string(plan.a.rows()) + "x" +
-                   std::to_string(plan.a.cols());
-        if (plan.b.size() != plan.a.rows())
-            return "b length " + std::to_string(plan.b.size()) +
-                   " != order " + std::to_string(plan.a.rows());
-        for (Index i = 0; i < plan.a.rows(); ++i)
-            if (plan.a(i, i) == 0)
-                return "zero diagonal at " + std::to_string(i);
-    }
-    return {};
+    return plan.check();
 }
 
 ShapeKey
@@ -78,6 +49,7 @@ shapeKeyOf(const std::string &engine_name, const EnginePlan &plan)
     key.outCols =
         plan.kind == ProblemKind::MatMul ? plan.bmat.cols() : 0;
     key.w = plan.w;
+    key.mode = plan.mode;
     return key;
 }
 
@@ -245,9 +217,16 @@ Shard::handle(const ServeRequest &req, Digest digest)
     if (!error.empty())
         return fail(std::move(error), t0);
 
-    PlanCache::Prepared cached =
-        cache_.prepare(*engine, req.plan, digest);
-    return finish(req, *engine, *cached.plan, cached.hit, t0);
+    // Preparation and execution can fail recoverably (a singular
+    // triangular system, a validate-mode divergence): an error
+    // response, not a dead shard.
+    try {
+        PlanCache::Prepared cached =
+            cache_.prepare(*engine, req.plan, digest);
+        return finish(req, *engine, *cached.plan, cached.hit, t0);
+    } catch (const EngineError &e) {
+        return fail(e.what(), t0);
+    }
 }
 
 ServeResponse
@@ -309,9 +288,13 @@ Shard::serveGroup(Digest digest, std::vector<Job> &jobs)
                 job.promise.set_value(fail(std::move(error), t0));
                 continue;
             }
-            job.promise.set_value(finish(req, *leader_engine,
-                                         *shared_plan,
-                                         /*cacheHit=*/true, t0));
+            try {
+                job.promise.set_value(finish(req, *leader_engine,
+                                             *shared_plan,
+                                             /*cacheHit=*/true, t0));
+            } catch (const EngineError &e) {
+                job.promise.set_value(fail(e.what(), t0));
+            }
             continue;
         }
         if (leader) {
@@ -331,13 +314,17 @@ Shard::serveGroup(Digest digest, std::vector<Job> &jobs)
             job.promise.set_value(fail(std::move(error), t0));
             continue;
         }
-        PlanCache::Prepared cached =
-            cache_.prepare(*engine, req.plan, digest);
-        leader = &job;
-        leader_engine = engine;
-        shared_plan = cached.plan;
-        job.promise.set_value(
-            finish(req, *engine, *shared_plan, cached.hit, t0));
+        try {
+            PlanCache::Prepared cached =
+                cache_.prepare(*engine, req.plan, digest);
+            leader = &job;
+            leader_engine = engine;
+            shared_plan = cached.plan;
+            job.promise.set_value(
+                finish(req, *engine, *shared_plan, cached.hit, t0));
+        } catch (const EngineError &e) {
+            job.promise.set_value(fail(e.what(), t0));
+        }
     }
 }
 

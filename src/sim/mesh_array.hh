@@ -141,6 +141,13 @@ class MeshMatMulPlan
     MeshRunResult run(const Dense<Scalar> &e,
                       bool record_trace = false) const;
 
+    /**
+     * Semantics replay of run() (src/semantics/): per-block
+     * accumulation in stream order, bit-identical C, stats from
+     * analysis/formulas.hh, no trace.
+     */
+    MeshRunResult runSemantics(const Dense<Scalar> &e) const;
+
   private:
     Index w_;
     Index n_, p_, m_;

@@ -1,5 +1,8 @@
 #include "solve/trisolve_plan.hh"
 
+#include <string>
+
+#include "base/error.hh"
 #include "base/logging.hh"
 #include "base/math_util.hh"
 #include "mat/block.hh"
@@ -14,8 +17,13 @@ TriSolvePlan::TriSolvePlan(const Dense<Scalar> &l, Index w)
                "x", l.cols());
     SAP_ASSERT(n_ >= 1, "empty system");
     SAP_ASSERT(w >= 1, "array size w = ", w, " must be at least 1");
+    // A singular system is a caller input problem, not an internal
+    // invariant: fail recoverably before the back-substitution
+    // array would divide by the zero.
     for (Index i = 0; i < n_; ++i)
-        SAP_ASSERT(l(i, i) != 0, "zero diagonal at ", i);
+        if (l(i, i) == 0)
+            throw EngineError("zero diagonal at " +
+                              std::to_string(i));
 
     BlockPartition<Scalar> part(l, w);
     nbar_ = part.blockRows();

@@ -57,10 +57,12 @@ class TriSolvePlan
 {
   public:
     /**
-     * @param l Lower-triangular matrix (n×n, nonzero diagonal;
-     *          elements above the diagonal are ignored, matching
-     *          forwardSolve()).
+     * @param l Lower-triangular matrix (n×n; elements above the
+     *          diagonal are ignored, matching forwardSolve()).
      * @param w The fixed systolic array size.
+     * @throws EngineError if any diagonal element of @p l is zero
+     *         (a singular system is the caller's input problem, not
+     *         an internal invariant).
      */
     TriSolvePlan(const Dense<Scalar> &l, Index w);
 
@@ -82,6 +84,14 @@ class TriSolvePlan
      */
     TriSolvePlanResult run(const Vec<Scalar> &b,
                            bool record_trace = false) const;
+
+    /**
+     * Semantics replay of run() (src/semantics/): panels through
+     * the mat-vec semantics kernel, diagonal blocks forward-
+     * substituted in the array's retirement order; y bit-identical
+     * to the simulation, stats from analysis/formulas.hh, no trace.
+     */
+    TriSolvePlanResult runSemantics(const Vec<Scalar> &b) const;
 
   private:
     Index n_;

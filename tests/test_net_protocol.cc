@@ -34,6 +34,7 @@ class NetRoundTrip : public ::testing::TestWithParam<int>
         std::uint64_t seed = 7100 + GetParam();
         ServeRequest req;
         req.crossCheck = GetParam() % 2 == 0;
+        req.plan.mode = static_cast<ExecMode>(GetParam() % 3);
         switch (GetParam() % 3) {
         case 0:
             req.engine = "linear";
@@ -71,6 +72,7 @@ TEST_P(NetRoundTrip, SubmitEncodeDecodeIsIdentity)
     EXPECT_EQ(back.plan.kind, req.plan.kind);
     EXPECT_EQ(back.plan.w, req.plan.w);
     EXPECT_EQ(back.crossCheck, req.crossCheck);
+    EXPECT_EQ(back.plan.mode, req.plan.mode);
     EXPECT_TRUE(back.plan.a == req.plan.a);
     EXPECT_TRUE(back.plan.x == req.plan.x);
     EXPECT_TRUE(back.plan.b == req.plan.b);
@@ -159,6 +161,7 @@ TEST(NetProtocol, StatsEncodeDecodeIsIdentity)
         group.key.cols = 8;
         group.key.outCols = g == 1 ? 8 : 0;
         group.key.w = 4;
+        group.key.mode = static_cast<ExecMode>(g);
         group.requests = 400 + static_cast<std::uint64_t>(g);
         group.cacheHits = 300;
         group.simCycles = 99999;
@@ -180,6 +183,7 @@ TEST(NetProtocol, StatsEncodeDecodeIsIdentity)
         EXPECT_EQ(back.groups[i].key.engine,
                   stats.groups[i].key.engine);
         EXPECT_EQ(back.groups[i].key.kind, stats.groups[i].key.kind);
+        EXPECT_EQ(back.groups[i].key.mode, stats.groups[i].key.mode);
         EXPECT_EQ(back.groups[i].key.outCols,
                   stats.groups[i].key.outCols);
         EXPECT_EQ(back.groups[i].requests, stats.groups[i].requests);
@@ -387,6 +391,94 @@ TEST(NetProtocol, NegativeVectorLengthRejected)
     ServeRequest out;
     std::string err;
     EXPECT_FALSE(decodeSubmit(w.take(), &out, &err));
+}
+
+/** A SUBMIT payload with the flags byte replaced by @p flags. */
+std::vector<std::uint8_t>
+submitPayloadWithFlags(std::uint8_t flags)
+{
+    std::vector<std::uint8_t> payload = goodSubmitPayload();
+    // Layout: str "linear" (4 + 6 bytes), kind u8, w i64, flags.
+    payload[4 + 6 + 1 + 8] = flags;
+    return payload;
+}
+
+TEST(NetProtocol, LegacyCrossCheckByteStillDecodes)
+{
+    // Old encoders wrote the crossCheck byte as 0x00/0x01; in the
+    // flags reading that is bit 0 with mode bits 00 = Simulate.
+    ServeRequest out;
+    std::string err;
+    ASSERT_TRUE(
+        decodeSubmit(submitPayloadWithFlags(0x00), &out, &err))
+        << err;
+    EXPECT_FALSE(out.crossCheck);
+    EXPECT_EQ(out.plan.mode, ExecMode::Simulate);
+    ASSERT_TRUE(
+        decodeSubmit(submitPayloadWithFlags(0x01), &out, &err))
+        << err;
+    EXPECT_TRUE(out.crossCheck);
+    EXPECT_EQ(out.plan.mode, ExecMode::Simulate);
+}
+
+TEST(NetProtocol, SubmitModeBitsDecode)
+{
+    ServeRequest out;
+    std::string err;
+    ASSERT_TRUE(decodeSubmit(
+        submitPayloadWithFlags(
+            static_cast<std::uint8_t>(1u << kSubmitModeShift)),
+        &out, &err))
+        << err;
+    EXPECT_EQ(out.plan.mode, ExecMode::Fast);
+    ASSERT_TRUE(decodeSubmit(
+        submitPayloadWithFlags(
+            static_cast<std::uint8_t>(2u << kSubmitModeShift)),
+        &out, &err))
+        << err;
+    EXPECT_EQ(out.plan.mode, ExecMode::Validate);
+}
+
+TEST(NetProtocol, UnknownExecutionModeRejected)
+{
+    ServeRequest out;
+    std::string err;
+    EXPECT_FALSE(decodeSubmit(
+        submitPayloadWithFlags(
+            static_cast<std::uint8_t>(3u << kSubmitModeShift)),
+        &out, &err));
+    EXPECT_NE(err.find("unknown execution mode"), std::string::npos)
+        << err;
+}
+
+TEST(NetProtocol, RecordTraceOverTheWireRejectedNotDropped)
+{
+    // A client encoding recordTrace would otherwise silently lose
+    // the trace — RESPONSE frames cannot carry it — so the server
+    // must refuse the request outright.
+    ServeRequest req;
+    req.engine = "linear";
+    req.plan = EnginePlan::matVec(randomIntDense(3, 3, 1),
+                                  randomIntVec(3, 2),
+                                  randomIntVec(3, 3), 2);
+    req.plan.recordTrace = true;
+    ServeRequest out;
+    std::string err;
+    EXPECT_FALSE(decodeSubmit(encodeSubmit(req), &out, &err));
+    EXPECT_NE(err.find("no trace"), std::string::npos) << err;
+}
+
+TEST(NetProtocol, ReservedSubmitFlagBitsRejected)
+{
+    for (std::uint8_t bit = 4; bit < 8; ++bit) {
+        ServeRequest out;
+        std::string err;
+        EXPECT_FALSE(decodeSubmit(
+            submitPayloadWithFlags(
+                static_cast<std::uint8_t>(1u << bit)),
+            &out, &err));
+        EXPECT_NE(err.find("reserved"), std::string::npos) << err;
+    }
 }
 
 TEST(NetProtocol, TruncatedStatsAndErrorPayloadsFailCleanly)

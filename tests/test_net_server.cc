@@ -253,6 +253,46 @@ TEST(NetServer, CrossCheckFlagTravelsTheWire)
     EXPECT_TRUE(r.response.crossCheckOk);
 }
 
+TEST(NetServer, ExecutionModeTravelsTheWire)
+{
+    NetServer server(smallServerOptions());
+    ASSERT_TRUE(server.start()) << server.error();
+
+    NetClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+
+    ServeRequest req = matVecRequest(610);
+    NetClient::Result sim = client.submit(req);
+    ASSERT_TRUE(sim.transportOk && sim.response.ok)
+        << sim.response.error;
+
+    // Fast mode: bit-identical result, formula-identical cycles.
+    req.plan.mode = ExecMode::Fast;
+    NetClient::Result fast = client.submit(req);
+    ASSERT_TRUE(fast.transportOk) << fast.transportError;
+    ASSERT_TRUE(fast.response.ok) << fast.response.error;
+    EXPECT_TRUE(fast.response.y == sim.response.y);
+    EXPECT_EQ(fast.response.simCycles, sim.response.simCycles);
+    EXPECT_TRUE(NetClient::matchesOracle(req, fast.response));
+
+    // Validate mode: both paths run and diff server-side.
+    req.plan.mode = ExecMode::Validate;
+    NetClient::Result val = client.submit(req);
+    ASSERT_TRUE(val.transportOk) << val.transportError;
+    ASSERT_TRUE(val.response.ok) << val.response.error;
+    EXPECT_TRUE(val.response.y == sim.response.y);
+
+    // One stats group per execution mode, same engine and shape.
+    ServerStats stats;
+    ASSERT_TRUE(client.stats(&stats)) << client.lastError();
+    ASSERT_EQ(stats.groups.size(), 3u);
+    EXPECT_EQ(stats.groups[0].key.mode, ExecMode::Simulate);
+    EXPECT_EQ(stats.groups[1].key.mode, ExecMode::Fast);
+    EXPECT_EQ(stats.groups[2].key.mode, ExecMode::Validate);
+    for (const GroupStats &g : stats.groups)
+        EXPECT_EQ(g.requests, 1u);
+}
+
 TEST(NetServer, ApplicationErrorsComeBackAsFailedResponses)
 {
     NetServer server(smallServerOptions());
@@ -583,6 +623,37 @@ TEST_F(NetServerMalformed, ZeroDimensionMatrixKeepsConnection)
     ASSERT_TRUE(decodeError(frame.payload, &message, &err));
     EXPECT_NE(message.find("zero-dimension"), std::string::npos)
         << message;
+    expectServerStillHealthy();
+}
+
+TEST_F(NetServerMalformed, RecordTraceRequestIsRejectedNotDropped)
+{
+    // RESPONSE frames carry no trace, so a SUBMIT asking for one is
+    // refused with an explicit error instead of silently serving a
+    // traceless result (the flags byte carries the bit precisely so
+    // the server can catch this).
+    RawConn conn(server->port());
+    ASSERT_TRUE(conn.ok());
+    ServeRequest req = matVecRequest(8);
+    req.plan.recordTrace = true;
+    conn.send(buildSubmitFrame(61, req));
+
+    Frame frame;
+    ASSERT_TRUE(conn.readFrame(&frame));
+    EXPECT_EQ(frame.header.type,
+              static_cast<std::uint16_t>(FrameType::Error));
+    EXPECT_EQ(frame.header.tag, 61u);
+    std::string message, err;
+    ASSERT_TRUE(decodeError(frame.payload, &message, &err));
+    EXPECT_NE(message.find("no trace"), std::string::npos) << message;
+
+    // Payload-level: the same connection keeps serving.
+    req.plan.recordTrace = false;
+    conn.send(buildSubmitFrame(62, req));
+    ASSERT_TRUE(conn.readFrame(&frame));
+    EXPECT_EQ(frame.header.type,
+              static_cast<std::uint16_t>(FrameType::Response));
+    EXPECT_EQ(frame.header.tag, 62u);
     expectServerStillHealthy();
 }
 
