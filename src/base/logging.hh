@@ -1,7 +1,8 @@
 /**
  * @file
  * Status/error reporting facilities, modeled after gem5's logging
- * conventions.
+ * conventions, plus leveled structured logging for the long-running
+ * serving layers.
  *
  * Severity policy:
  *  - panic():  an internal invariant of the library is broken (a bug
@@ -11,16 +12,64 @@
  *              inconsistent configuration). Exits with status 1.
  *  - warn():   something is suspicious but the run can continue.
  *  - inform(): purely informational progress/status output.
+ *
+ * Leveled logging (SAP_LOG_ERROR/WARN/INFO/DEBUG): every line goes to
+ * stderr prefixed with a wall-clock timestamp, the monotonic seconds
+ * since process start, a small per-thread id, and the level — so logs
+ * from the multi-threaded net/cluster/serve stack line up with trace
+ * timestamps (src/obs/) without a separate correlation step. The
+ * threshold comes from the SAP_LOG environment variable
+ * ("error"/"warn"/"info"/"debug", default "info") and can be
+ * overridden programmatically with setLogLevel(). Messages below the
+ * threshold cost one relaxed atomic load and nothing else.
  */
 
 #ifndef SAP_BASE_LOGGING_HH
 #define SAP_BASE_LOGGING_HH
 
+#include <cstdint>
 #include <cstdlib>
 #include <sstream>
 #include <string>
 
 namespace sap {
+
+/** Leveled-log severities, in decreasing order of urgency. */
+enum class LogLevel : int
+{
+    Error = 0, ///< the operation failed; the process continues
+    Warn = 1,  ///< suspicious, worth a look, not a failure
+    Info = 2,  ///< lifecycle events (listening, shutdown, ...)
+    Debug = 3, ///< per-connection / per-request detail
+};
+
+/** Printable level name ("error"/"warn"/"info"/"debug"). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Parse a level name as accepted in SAP_LOG.
+ * @return true and set @p out on success; false on an unknown name.
+ */
+bool parseLogLevel(const std::string &name, LogLevel *out);
+
+/** The active threshold (SAP_LOG at first use, else Info). */
+LogLevel logLevel();
+
+/** Override the threshold (tests, CLIs with a --verbose flag). */
+void setLogLevel(LogLevel level);
+
+/** True when a message at @p level would be emitted. */
+bool logEnabled(LogLevel level);
+
+/**
+ * Small dense id of the calling thread (1, 2, 3... in first-use
+ * order): stable for the thread's lifetime, cheap to read, and far
+ * more legible in logs and trace exports than std::thread::id.
+ */
+std::uint32_t currentThreadId();
+
+/** Monotonic seconds since process start (the log line timebase). */
+double monotonicSeconds();
 
 /** Internal helpers; use the macros below instead. */
 namespace logging_detail {
@@ -31,6 +80,8 @@ namespace logging_detail {
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+/** One structured line to stderr; the level gate already passed. */
+void logImpl(LogLevel level, const std::string &msg);
 
 /** Concatenate a list of stream-printable values into one string. */
 template <typename... Args>
@@ -65,6 +116,21 @@ concat(Args &&...args)
 #define SAP_INFORM(...)                                                 \
     ::sap::logging_detail::informImpl(                                  \
         ::sap::logging_detail::concat(__VA_ARGS__))
+
+/** One structured log line, emitted only when @p level is enabled.
+ *  Arguments are not evaluated below the threshold. */
+#define SAP_LOG(level, ...)                                             \
+    do {                                                                \
+        if (::sap::logEnabled(level)) {                                 \
+            ::sap::logging_detail::logImpl(                             \
+                level, ::sap::logging_detail::concat(__VA_ARGS__));     \
+        }                                                               \
+    } while (0)
+
+#define SAP_LOG_ERROR(...) SAP_LOG(::sap::LogLevel::Error, __VA_ARGS__)
+#define SAP_LOG_WARN(...) SAP_LOG(::sap::LogLevel::Warn, __VA_ARGS__)
+#define SAP_LOG_INFO(...) SAP_LOG(::sap::LogLevel::Info, __VA_ARGS__)
+#define SAP_LOG_DEBUG(...) SAP_LOG(::sap::LogLevel::Debug, __VA_ARGS__)
 
 /**
  * Invariant check that stays on in release builds.

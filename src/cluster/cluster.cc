@@ -13,6 +13,7 @@ shardOptions(const Cluster::Options &opts)
     shard.threads = opts.threadsPerShard;
     shard.planCacheCapacity = opts.planCacheCapacityPerShard;
     shard.crossCheckAll = opts.crossCheckAll;
+    shard.metrics = opts.metrics;
     return shard;
 }
 
@@ -29,6 +30,10 @@ Cluster::Cluster(const Options &opts)
     for (std::size_t i = 0; i < opts_.shards; ++i)
         shards_.push_back(
             std::make_unique<Shard>(shardOptions(opts_)));
+    SAP_LOG_DEBUG("cluster up: ", opts_.shards, " shards x ",
+                  opts_.threadsPerShard, " threads, plan cache ",
+                  opts_.planCacheCapacityPerShard, "/shard, metrics ",
+                  opts_.metrics ? "on" : "off");
 }
 
 Digest
@@ -49,6 +54,7 @@ Cluster::submit(ServeRequest req)
     // The routing key doubles as the shard-side cache digest, so
     // the matrices are hashed once per request.
     Digest key = routingKey(req);
+    traceStamp(req.trace, TraceStage::Route);
     Shard &shard = *shards_[router_.shardFor(key)];
     return shard.submit(std::move(req), key);
 }
@@ -57,6 +63,7 @@ void
 Cluster::submitAsync(ServeRequest req, CompletionFn done)
 {
     Digest key = routingKey(req);
+    traceStamp(req.trace, TraceStage::Route);
     Shard &shard = *shards_[router_.shardFor(key)];
     shard.submitAsync(std::move(req), std::move(done), key);
 }
@@ -67,6 +74,7 @@ Cluster::submitToQueue(ServeRequest req, CompletionQueue *queue,
 {
     SAP_ASSERT(queue != nullptr, "submitToQueue() needs a queue");
     submitAsync(std::move(req), [queue, tag](ServeResponse resp) {
+        traceStamp(resp.trace, TraceStage::CqPush);
         queue->push({tag, std::move(resp)});
     });
 }
@@ -119,6 +127,15 @@ Cluster::stats() const
         out.shards.push_back(std::move(s));
     }
     return out;
+}
+
+MetricsSnapshot
+Cluster::metricsSnapshot() const
+{
+    MetricsSnapshot merged;
+    for (const std::unique_ptr<Shard> &shard : shards_)
+        merged.merge(shard->metricsSnapshot());
+    return merged;
 }
 
 ServerStats

@@ -86,6 +86,8 @@ class Cluster
             ConsistentHashRouter::kDefaultVirtualNodes;
         /** Cross-check every request (overrides per-request flag). */
         bool crossCheckAll = false;
+        /** Per-shard obs/ metrics registries (see Shard::Options). */
+        bool metrics = true;
     };
 
     /** Cluster with default options. */
@@ -150,6 +152,16 @@ class Cluster
      * STATS frame serves; stats() keeps the per-shard detail.
      */
     ServerStats statsSnapshot() const;
+
+    /**
+     * Whole-installation obs/ metrics: every shard's registry
+     * snapshot merged *exactly* — counters and histogram buckets
+     * add, gauges follow their GaugeAgg — so cluster p50/p99 equal
+     * what one process observing every request would report. Empty
+     * when Options::metrics is off. The network layer's METRICS
+     * frame serves this (plus its own wire-level registry).
+     */
+    MetricsSnapshot metricsSnapshot() const;
 
     /** Direct access to shard @p i (for tests and monitoring). */
     const Shard &shard(std::size_t i) const;

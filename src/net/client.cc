@@ -229,6 +229,26 @@ NetClient::stats(ServerStats *out)
 }
 
 bool
+NetClient::metrics(MetricsSnapshot *out)
+{
+    std::uint64_t tag = next_tag_++;
+    if (!sendAll(buildMetricsRequestFrame(tag)))
+        return false;
+    Frame frame;
+    if (!readFrame(&frame))
+        return false;
+    if (frame.header.type !=
+            static_cast<std::uint16_t>(FrameType::Metrics) ||
+        frame.header.tag != tag)
+        return fail("unexpected " + frameTypeName(frame.header.type) +
+                    " frame in reply to METRICS");
+    std::string err;
+    if (!decodeMetrics(frame.payload, out, &err))
+        return fail("undecodable METRICS: " + err);
+    return true;
+}
+
+bool
 NetClient::ping()
 {
     std::uint64_t tag = next_tag_++;

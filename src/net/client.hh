@@ -102,6 +102,14 @@ class NetClient
      */
     bool stats(ServerStats *out);
 
+    /**
+     * Request the server's merged obs/ metrics snapshot
+     * (NetServer::metricsSnapshot() over the wire): wire-level
+     * counters plus every shard's registry, histograms merged
+     * exactly bucket-by-bucket.
+     */
+    bool metrics(MetricsSnapshot *out);
+
     /** PING round-trip. */
     bool ping();
 

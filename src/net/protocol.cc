@@ -35,6 +35,8 @@ frameTypeName(std::uint16_t type)
         return "PING";
     case FrameType::Error:
         return "ERROR";
+    case FrameType::Metrics:
+        return "METRICS";
     }
     return "type " + std::to_string(type);
 }
@@ -334,6 +336,18 @@ buildStatsFrame(std::uint64_t tag, const ServerStats &stats)
 }
 
 std::vector<std::uint8_t>
+buildMetricsRequestFrame(std::uint64_t tag)
+{
+    return buildFrame(FrameType::Metrics, tag, {});
+}
+
+std::vector<std::uint8_t>
+buildMetricsFrame(std::uint64_t tag, const MetricsSnapshot &snap)
+{
+    return buildFrame(FrameType::Metrics, tag, encodeMetrics(snap));
+}
+
+std::vector<std::uint8_t>
 buildPingFrame(std::uint64_t tag)
 {
     return buildFrame(FrameType::Ping, tag, {});
@@ -554,6 +568,7 @@ encodeStats(const ServerStats &stats)
     w.u64(stats.planCache.evictions);
     w.u64(stats.planCache.collisions);
     encodeLatency(w, stats.latency);
+    w.u8(stats.approximatePercentiles ? 1 : 0);
     w.u32(static_cast<std::uint32_t>(stats.groups.size()));
     for (const GroupStats &g : stats.groups) {
         w.str(g.key.engine);
@@ -578,14 +593,17 @@ decodeStats(const std::vector<std::uint8_t> &payload, ServerStats *out,
     WireReader r(payload);
     ServerStats stats;
     std::uint32_t group_count;
+    std::uint8_t approx_byte;
     if (!r.u64(&stats.requests) || !r.u64(&stats.failures) ||
         !r.u64(&stats.crossCheckFailures) ||
         !r.u64(&stats.planCache.hits) ||
         !r.u64(&stats.planCache.misses) ||
         !r.u64(&stats.planCache.evictions) ||
         !r.u64(&stats.planCache.collisions) ||
-        !decodeLatency(r, &stats.latency) || !r.u32(&group_count))
+        !decodeLatency(r, &stats.latency) || !r.u8(&approx_byte) ||
+        !r.u32(&group_count))
         return failDecode(error, "truncated STATS payload");
+    stats.approximatePercentiles = approx_byte != 0;
     // Each group is at least 51 bytes (the /50 bound stays
     // conservative); reject counts the payload cannot possibly back
     // before reserving anything.
@@ -621,6 +639,144 @@ decodeStats(const std::vector<std::uint8_t> &payload, ServerStats *out,
     if (r.remaining() != 0)
         return failDecode(error, "trailing bytes after STATS payload");
     *out = std::move(stats);
+    return true;
+}
+
+//----------------------------------------------------------------------
+// METRICS payload
+//----------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+encodeMetrics(const MetricsSnapshot &snap)
+{
+    WireWriter w;
+    w.u32(static_cast<std::uint32_t>(snap.counters.size()));
+    for (const auto &[name, v] : snap.counters) {
+        w.str(name);
+        w.u64(v);
+    }
+    w.u32(static_cast<std::uint32_t>(snap.gauges.size()));
+    for (const auto &[name, gv] : snap.gauges) {
+        w.str(name);
+        w.u8(static_cast<std::uint8_t>(gv.agg));
+        w.f64(gv.value);
+    }
+    w.u32(static_cast<std::uint32_t>(snap.histograms.size()));
+    for (const auto &[name, h] : snap.histograms) {
+        w.str(name);
+        w.u64(h.count);
+        w.f64(h.sum);
+        w.f64(h.min);
+        w.f64(h.max);
+        w.u32(static_cast<std::uint32_t>(h.bucketIndex.size()));
+        for (std::size_t i = 0; i < h.bucketIndex.size(); ++i) {
+            w.u32(h.bucketIndex[i]);
+            w.u64(h.bucketCount[i]);
+        }
+    }
+    return w.take();
+}
+
+bool
+decodeMetrics(const std::vector<std::uint8_t> &payload,
+              MetricsSnapshot *out, std::string *error)
+{
+    WireReader r(payload);
+    MetricsSnapshot snap;
+    std::uint32_t counter_count;
+    if (!r.u32(&counter_count))
+        return failDecode(error, "truncated METRICS payload");
+    // Each counter record is at least 12 bytes (empty name).
+    if (counter_count > r.remaining() / 12)
+        return failDecode(error, "METRICS counter count " +
+                                     std::to_string(counter_count) +
+                                     " exceeds payload");
+    for (std::uint32_t i = 0; i < counter_count; ++i) {
+        std::string name;
+        std::uint64_t v;
+        if (!r.str(&name) || !r.u64(&v))
+            return failDecode(error, "truncated METRICS counter " +
+                                         std::to_string(i));
+        snap.counters[std::move(name)] = v;
+    }
+    std::uint32_t gauge_count;
+    if (!r.u32(&gauge_count))
+        return failDecode(error, "truncated METRICS payload");
+    if (gauge_count > r.remaining() / 13)
+        return failDecode(error, "METRICS gauge count " +
+                                     std::to_string(gauge_count) +
+                                     " exceeds payload");
+    for (std::uint32_t i = 0; i < gauge_count; ++i) {
+        std::string name;
+        std::uint8_t agg_byte;
+        GaugeValue gv;
+        if (!r.str(&name) || !r.u8(&agg_byte) || !r.f64(&gv.value))
+            return failDecode(error, "truncated METRICS gauge " +
+                                         std::to_string(i));
+        if (agg_byte > static_cast<std::uint8_t>(GaugeAgg::Max))
+            return failDecode(error,
+                              "unknown gauge aggregation " +
+                                  std::to_string(agg_byte) +
+                                  " in METRICS payload");
+        gv.agg = static_cast<GaugeAgg>(agg_byte);
+        snap.gauges[std::move(name)] = gv;
+    }
+    std::uint32_t hist_count;
+    if (!r.u32(&hist_count))
+        return failDecode(error, "truncated METRICS payload");
+    // Prelude alone is 36 bytes per histogram.
+    if (hist_count > r.remaining() / 36)
+        return failDecode(error, "METRICS histogram count " +
+                                     std::to_string(hist_count) +
+                                     " exceeds payload");
+    for (std::uint32_t i = 0; i < hist_count; ++i) {
+        std::string name;
+        HistogramSnapshot h;
+        std::uint32_t buckets;
+        if (!r.str(&name) || !r.u64(&h.count) || !r.f64(&h.sum) ||
+            !r.f64(&h.min) || !r.f64(&h.max) || !r.u32(&buckets))
+            return failDecode(error, "truncated METRICS histogram " +
+                                         std::to_string(i));
+        if (buckets > r.remaining() / 12 || buckets > kHistBuckets)
+            return failDecode(error,
+                              "METRICS bucket count " +
+                                  std::to_string(buckets) +
+                                  " exceeds payload");
+        std::uint64_t total = 0;
+        std::uint32_t prev_index = 0;
+        h.bucketIndex.reserve(buckets);
+        h.bucketCount.reserve(buckets);
+        for (std::uint32_t b = 0; b < buckets; ++b) {
+            std::uint32_t index;
+            std::uint64_t count;
+            if (!r.u32(&index) || !r.u64(&count))
+                return failDecode(error,
+                                  "truncated METRICS histogram " +
+                                      std::to_string(i));
+            // Indices must be strictly ascending and in-table, so a
+            // decoded snapshot merges and renders correctly.
+            if (index >= kHistBuckets ||
+                (b > 0 && index <= prev_index))
+                return failDecode(
+                    error, "bad METRICS bucket index " +
+                               std::to_string(index));
+            prev_index = index;
+            h.bucketIndex.push_back(index);
+            h.bucketCount.push_back(count);
+            total += count;
+        }
+        if (total != h.count)
+            return failDecode(error,
+                              "METRICS histogram bucket sum " +
+                                  std::to_string(total) +
+                                  " != count " +
+                                  std::to_string(h.count));
+        snap.histograms[std::move(name)] = std::move(h);
+    }
+    if (r.remaining() != 0)
+        return failDecode(error,
+                          "trailing bytes after METRICS payload");
+    *out = std::move(snap);
     return true;
 }
 

@@ -23,13 +23,17 @@
  * snapshot), PING (echoed verbatim), ERROR (a human-readable
  * message).
  *
- * Still version 1, with two in-place evolutions: SUBMIT's crossCheck
+ * Still version 1, with in-place evolutions: SUBMIT's crossCheck
  * byte is now a flags byte (bit 0 keeps its old meaning, so old
- * encoders interoperate — see kSubmitFlag*), and each STATS group
- * record carries an execution-mode byte after the problem kind
- * (which old STATS *decoders* do not understand; the snapshot is a
- * monitoring artifact, not a stored format, so the break is
- * accepted and documented here).
+ * encoders interoperate — see kSubmitFlag*); each STATS group record
+ * carries an execution-mode byte after the problem kind, and the
+ * STATS prelude now ends with an approximate-percentiles flag byte
+ * (ServerStats::approximatePercentiles). Old STATS *decoders* do not
+ * understand either; the snapshot is a monitoring artifact, not a
+ * stored format, so the breaks are accepted and documented here. The
+ * METRICS frame (obs/metrics.hh snapshots: counters, gauges with an
+ * aggregation byte, sparse log-bucketed histograms) is new in this
+ * revision and versioned the same way.
  *
  * Robustness contract: decoding is strictly bounds-checked and never
  * trusts a length against fewer bytes than it promises. Errors split
@@ -54,6 +58,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "serve/server_stats.hh"
 #include "serve/shard.hh"
 
@@ -94,6 +99,7 @@ enum class FrameType : std::uint16_t
     Stats = 3,    ///< empty = stats request; else a stats snapshot
     Ping = 4,     ///< liveness check, echoed verbatim
     Error = 5,    ///< malformed input or unexpected frame
+    Metrics = 6,  ///< empty = metrics request; else a merged snapshot
 };
 
 /** Printable frame-type name ("SUBMIT", ... / "type 17"). */
@@ -293,6 +299,14 @@ std::vector<std::uint8_t> buildStatsRequestFrame(std::uint64_t tag);
 std::vector<std::uint8_t> buildStatsFrame(std::uint64_t tag,
                                           const ServerStats &stats);
 
+/** Empty-payload METRICS: "send me a merged metrics snapshot". */
+std::vector<std::uint8_t> buildMetricsRequestFrame(std::uint64_t tag);
+
+/** METRICS carrying a merged obs/ snapshot. */
+std::vector<std::uint8_t> buildMetricsFrame(std::uint64_t tag,
+                                            const MetricsSnapshot
+                                                &snap);
+
 /** Empty-payload PING. */
 std::vector<std::uint8_t> buildPingFrame(std::uint64_t tag);
 
@@ -326,6 +340,20 @@ std::vector<std::uint8_t> encodeStats(const ServerStats &stats);
 /** @copydoc decodeSubmit() */
 bool decodeStats(const std::vector<std::uint8_t> &payload,
                  ServerStats *out, std::string *error);
+
+/**
+ * METRICS payload: u32 counter count, then (name, u64) records; u32
+ * gauge count, then (name, agg u8, f64) records; u32 histogram
+ * count, then (name, u64 count, f64 sum/min/max, u32 bucket count,
+ * (u32 index, u64 count) pairs) records. Buckets travel sparse —
+ * index into the fixed log-bucket table (histBucketUpper), count —
+ * so an idle installation's snapshot is a few hundred bytes.
+ */
+std::vector<std::uint8_t> encodeMetrics(const MetricsSnapshot &snap);
+
+/** @copydoc decodeSubmit() */
+bool decodeMetrics(const std::vector<std::uint8_t> &payload,
+                   MetricsSnapshot *out, std::string *error);
 
 /** ERROR payload. */
 std::vector<std::uint8_t> encodeError(const std::string &message);

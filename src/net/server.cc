@@ -39,7 +39,30 @@ errnoString(const char *what)
 
 } // namespace
 
-NetServer::NetServer(const Options &opts) : opts_(opts) {}
+NetServer::NetServer(const Options &opts)
+    : opts_(opts),
+      net_metrics_(opts.metrics ? std::make_unique<MetricsRegistry>()
+                                : nullptr),
+      collector_(opts.trace, net_metrics_.get())
+{
+    if (net_metrics_) {
+        inst_.bytesIn =
+            &net_metrics_->counter("net_bytes_received_total");
+        inst_.bytesOut =
+            &net_metrics_->counter("net_bytes_sent_total");
+        inst_.framesReceived =
+            &net_metrics_->counter("net_frames_received_total");
+        inst_.responsesSent =
+            &net_metrics_->counter("net_responses_sent_total");
+        inst_.protocolErrors =
+            &net_metrics_->counter("net_protocol_errors_total");
+        inst_.connectionsAccepted =
+            &net_metrics_->counter("net_connections_accepted_total");
+        inst_.connectionsLive =
+            &net_metrics_->gauge("net_connections_live",
+                                 GaugeAgg::Sum);
+    }
+}
 
 NetServer::~NetServer()
 {
@@ -113,6 +136,9 @@ NetServer::start()
     running_.store(true);
     io_thread_ = std::thread([this] { ioLoop(); });
     writer_thread_ = std::thread([this] { writerLoop(); });
+    SAP_LOG_INFO("net server listening on 127.0.0.1:", port_, " (",
+                 opts_.cluster.shards, " shards, tracing ",
+                 collector_.enabled() ? "on" : "off", ")");
     return true;
 }
 
@@ -159,6 +185,7 @@ NetServer::stop()
     ::close(wake_pipe_[0]);
     ::close(wake_pipe_[1]);
     wake_pipe_[0] = wake_pipe_[1] = -1;
+    SAP_LOG_INFO("net server on port ", port_, " stopped");
 }
 
 NetServerStats
@@ -166,6 +193,18 @@ NetServer::netStats() const
 {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     return net_stats_;
+}
+
+MetricsSnapshot
+NetServer::metricsSnapshot() const
+{
+    MetricsSnapshot snap;
+    if (net_metrics_)
+        snap = net_metrics_->snapshot();
+    std::lock_guard<std::mutex> lock(cluster_mutex_);
+    if (cluster_)
+        snap.merge(cluster_->metricsSnapshot());
+    return snap;
 }
 
 void
@@ -213,6 +252,9 @@ NetServer::closeConnLocked(std::uint64_t conn_id)
         return;
     ::close(it->second->fd);
     conns_.erase(it);
+    if (inst_.connectionsLive)
+        inst_.connectionsLive->add(-1);
+    SAP_LOG_DEBUG("conn ", conn_id, " closed");
     // Completions still in flight for this connection are dropped
     // when the writer fails to find their tag mapping.
     forgetTags(conn_id);
@@ -257,6 +299,8 @@ NetServer::flushLocked(Connection &conn)
                            MSG_NOSIGNAL);
         if (n > 0) {
             conn.outoff += static_cast<std::size_t>(n);
+            if (inst_.bytesOut)
+                inst_.bytesOut->add(static_cast<std::uint64_t>(n));
             continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
@@ -294,13 +338,20 @@ NetServer::acceptReady()
         }
         int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        std::uint64_t conn_id;
         {
             std::lock_guard<std::mutex> lock(conns_mutex_);
+            conn_id = next_conn_id_;
             conns_.emplace(next_conn_id_,
                            std::make_unique<Connection>(
                                fd, opts_.maxPayloadBytes));
             ++next_conn_id_;
         }
+        if (inst_.connectionsAccepted) {
+            inst_.connectionsAccepted->add();
+            inst_.connectionsLive->add(1);
+        }
+        SAP_LOG_DEBUG("conn ", conn_id, " accepted");
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++net_stats_.connectionsAccepted;
     }
@@ -318,6 +369,8 @@ NetServer::readReady(std::uint64_t conn_id, Connection &conn)
         }
         ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
         if (n > 0) {
+            if (inst_.bytesIn)
+                inst_.bytesIn->add(static_cast<std::uint64_t>(n));
             conn.decoder.feed(buf, static_cast<std::size_t>(n));
             Frame frame;
             std::string err;
@@ -336,6 +389,10 @@ NetServer::readReady(std::uint64_t conn_id, Connection &conn)
                     std::lock_guard<std::mutex> lock(stats_mutex_);
                     ++net_stats_.protocolErrors;
                 }
+                if (inst_.protocolErrors)
+                    inst_.protocolErrors->add();
+                SAP_LOG_WARN("conn ", conn_id,
+                             ": unrecoverable frame error: ", err);
                 std::lock_guard<std::mutex> lock(conns_mutex_);
                 enqueueOutputLocked(conn, buildErrorFrame(0, err));
                 conn.closing = true;
@@ -365,6 +422,8 @@ NetServer::handleFrame(std::uint64_t conn_id, Connection &conn,
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++net_stats_.framesReceived;
     }
+    if (inst_.framesReceived)
+        inst_.framesReceived->add();
     const std::uint64_t tag = frame.header.tag;
 
     auto send_error = [&](const std::string &message) {
@@ -372,6 +431,9 @@ NetServer::handleFrame(std::uint64_t conn_id, Connection &conn,
             std::lock_guard<std::mutex> lock(stats_mutex_);
             ++net_stats_.protocolErrors;
         }
+        if (inst_.protocolErrors)
+            inst_.protocolErrors->add();
+        SAP_LOG_DEBUG("conn ", conn_id, ": protocol error: ", message);
         std::lock_guard<std::mutex> lock(conns_mutex_);
         enqueueOutputLocked(conn, buildErrorFrame(tag, message));
     };
@@ -384,6 +446,10 @@ NetServer::handleFrame(std::uint64_t conn_id, Connection &conn,
             send_error(err);
             return;
         }
+        // Tracing begins at the network boundary: the Decode stamp
+        // anchors every later span to the IO thread's hand-off time.
+        req.trace = collector_.begin();
+        traceStamp(req.trace, TraceStage::Decode);
         std::uint64_t server_tag;
         {
             std::lock_guard<std::mutex> lock(tags_mutex_);
@@ -409,7 +475,17 @@ NetServer::handleFrame(std::uint64_t conn_id, Connection &conn,
         // thread only hands the request over via the tag-0 marker.
         {
             std::lock_guard<std::mutex> lock(stats_requests_mutex_);
-            stats_requests_.push_back({conn_id, tag});
+            stats_requests_.push_back({conn_id, tag, false});
+        }
+        queue_.push({0, {}});
+        return;
+    }
+    case static_cast<std::uint16_t>(FrameType::Metrics): {
+        // Same hand-off discipline as STATS: the merged registry
+        // snapshot is the writer thread's job.
+        {
+            std::lock_guard<std::mutex> lock(stats_requests_mutex_);
+            stats_requests_.push_back({conn_id, tag, true});
         }
         queue_.push({0, {}});
         return;
@@ -573,11 +649,11 @@ NetServer::writerLoop()
     Completion c;
     while (queue_.next(&c)) {
         if (c.tag == 0) {
-            // STATS marker from the IO thread: snapshot, encode,
-            // and deliver here so the poll loop never stalls on it.
-            // The request is peeked, not popped, until the frame is
-            // buffered — its deque entry is what keeps a half-closed
-            // requester open (hasPendingTags).
+            // STATS/METRICS marker from the IO thread: snapshot,
+            // encode, and deliver here so the poll loop never stalls
+            // on it. The request is peeked, not popped, until the
+            // frame is buffered — its deque entry is what keeps a
+            // half-closed requester open (hasPendingTags).
             PendingTag stats_req;
             {
                 std::lock_guard<std::mutex> lock(
@@ -586,19 +662,28 @@ NetServer::writerLoop()
                     continue;
                 stats_req = stats_requests_.front();
             }
-            ServerStats stats;
-            bool have = false;
-            {
-                std::lock_guard<std::mutex> lock(cluster_mutex_);
-                if (cluster_) { // else: shutting down, drop it
-                    stats = cluster_->statsSnapshot();
-                    have = true;
-                }
-            }
-            if (have)
+            if (stats_req.wantMetrics) {
+                // metricsSnapshot() takes cluster_mutex_ itself and
+                // degrades to the wire-level half during shutdown —
+                // still a well-formed frame, so always deliver.
                 enqueueOutput(stats_req.connId,
-                              buildStatsFrame(stats_req.clientTag,
-                                              stats));
+                              buildMetricsFrame(stats_req.clientTag,
+                                                metricsSnapshot()));
+            } else {
+                ServerStats stats;
+                bool have = false;
+                {
+                    std::lock_guard<std::mutex> lock(cluster_mutex_);
+                    if (cluster_) { // else: shutting down, drop it
+                        stats = cluster_->statsSnapshot();
+                        have = true;
+                    }
+                }
+                if (have)
+                    enqueueOutput(stats_req.connId,
+                                  buildStatsFrame(stats_req.clientTag,
+                                                  stats));
+            }
             std::lock_guard<std::mutex> lock(stats_requests_mutex_);
             stats_requests_.pop_front();
             continue;
@@ -615,6 +700,13 @@ NetServer::writerLoop()
             // that is still owed this response. Erase only after
             // the frame is in the connection's output buffer.
         }
+        // WireResponse::of moves the response, so detach the trace
+        // (and its outcome) first.
+        std::shared_ptr<RequestTrace> trace = c.response.trace;
+        if (trace) {
+            trace->ok = c.response.ok;
+            trace->stamp(TraceStage::WriterPop);
+        }
         bool delivered = enqueueOutput(
             pending.connId,
             buildResponseFrame(pending.clientTag,
@@ -624,9 +716,15 @@ NetServer::writerLoop()
             tags_.erase(c.tag);
         }
         if (delivered) {
+            if (inst_.responsesSent)
+                inst_.responsesSent->add();
             std::lock_guard<std::mutex> lock(stats_mutex_);
             ++net_stats_.responsesSent;
         }
+        // Flush = response bytes handed to the socket layer; the
+        // commit decides sampled-or-slow and records stage spans.
+        traceStamp(trace, TraceStage::Flush);
+        collector_.finish(trace);
     }
 }
 

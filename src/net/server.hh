@@ -49,6 +49,7 @@
 
 #include "cluster/cluster.hh"
 #include "net/protocol.hh"
+#include "obs/trace_ring.hh"
 
 namespace sap {
 
@@ -91,6 +92,20 @@ class NetServer
          * cannot grow server memory without bound.
          */
         std::size_t maxQueuedOutputBytes = 64u << 20;
+        /**
+         * End-to-end request tracing (obs/trace_ring.hh): when
+         * enabled, every SUBMIT gets stage timestamps from frame
+         * decode through writer flush; sampled-or-slow traces land
+         * in the collector, exportable via traceSnapshot().
+         */
+        TraceConfig trace;
+        /**
+         * Wire-level obs/ metrics (bytes in/out, live connections,
+         * frames) and the trace stage histograms. Off = the
+         * pre-observability hot path; pair with cluster.metrics for
+         * a fully uninstrumented baseline.
+         */
+        bool metrics = true;
     };
 
     NetServer() : NetServer(Options()) {}
@@ -124,6 +139,25 @@ class NetServer
     /** Wire-level counters. */
     NetServerStats netStats() const;
 
+    /**
+     * Whole-installation obs/ metrics: the server's wire-level
+     * registry (plus trace stage histograms) merged with every
+     * shard's registry — the same snapshot the METRICS frame serves.
+     * Safe to call until stop(); after the cluster is torn down only
+     * the wire-level half is returned.
+     */
+    MetricsSnapshot metricsSnapshot() const;
+
+    /** Committed request traces (sampled or slow), for export via
+     *  obs/trace_export.hh. */
+    std::vector<RequestTrace> traceSnapshot() const
+    {
+        return collector_.snapshot();
+    }
+
+    /** The trace collector (config, commit counts). */
+    const TraceCollector &traceCollector() const { return collector_; }
+
     /** The fronted cluster (valid until stop()). */
     const Cluster &cluster() const { return *cluster_; }
 
@@ -150,6 +184,8 @@ class NetServer
     {
         std::uint64_t connId;
         std::uint64_t clientTag;
+        /** Snapshot requests only: METRICS rather than STATS. */
+        bool wantMetrics = false;
     };
 
     void ioLoop();
@@ -191,11 +227,12 @@ class NetServer
      * queue while the cluster drains.
      */
     CompletionQueue queue_;
-    /** Serializes the writer thread's cluster use (STATS snapshots)
-     *  against stop()'s cluster teardown. The IO thread needs no
-     *  lock: its cluster calls stop at the quiesce handshake, before
-     *  stop() resets the pointer. */
-    std::mutex cluster_mutex_;
+    /** Serializes the writer thread's cluster use (STATS/METRICS
+     *  snapshots, including const metricsSnapshot()) against stop()'s
+     *  cluster teardown. The IO thread needs no lock: its cluster
+     *  calls stop at the quiesce handshake, before stop() resets the
+     *  pointer. */
+    mutable std::mutex cluster_mutex_;
     std::unique_ptr<Cluster> cluster_;
 
     int listen_fd_ = -1;
@@ -233,13 +270,32 @@ class NetServer
     std::uint64_t next_tag_ = 1;
     std::map<std::uint64_t, PendingTag> tags_;
 
-    /** STATS requests handed from the IO thread to the writer, so
-     *  the snapshot+encode work never stalls the poll loop. */
+    /** STATS/METRICS requests handed from the IO thread to the
+     *  writer, so the snapshot+encode work never stalls the poll
+     *  loop. */
     std::mutex stats_requests_mutex_;
     std::deque<PendingTag> stats_requests_;
 
     mutable std::mutex stats_mutex_;
     NetServerStats net_stats_;
+
+    /** Wire-level obs/ registry; null when Options::metrics is off.
+     *  Also receives the collector's trace stage histograms. */
+    std::unique_ptr<MetricsRegistry> net_metrics_;
+    /** Cached hot-path instruments (null when metrics are off). */
+    struct NetInstruments
+    {
+        Counter *bytesIn = nullptr;
+        Counter *bytesOut = nullptr;
+        Counter *framesReceived = nullptr;
+        Counter *responsesSent = nullptr;
+        Counter *protocolErrors = nullptr;
+        Counter *connectionsAccepted = nullptr;
+        Gauge *connectionsLive = nullptr;
+    } inst_;
+    /** Declared after net_metrics_: its stage-metrics pointer must
+     *  outlive it. */
+    TraceCollector collector_;
 };
 
 } // namespace sap

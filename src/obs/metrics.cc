@@ -1,0 +1,279 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace sap {
+
+namespace {
+
+/** log base kHistGrowth, precomputed. */
+const double kInvLogGrowth = 1.0 / std::log(kHistGrowth);
+
+} // namespace
+
+std::size_t
+histBucketOf(double v)
+{
+    if (!(v >= kHistMinValue)) // also catches NaN
+        return 0;
+    // Bucket i (1-based among geometric buckets) holds
+    // (min*g^(i-1), min*g^i]; solve for i and nudge for float error
+    // so exact boundary values land on the inclusive-upper side.
+    double t = std::log(v / kHistMinValue) * kInvLogGrowth;
+    std::size_t i = static_cast<std::size_t>(t) + 1;
+    // Float rounding can push a boundary value one bucket high or
+    // leave it one low; settle against the actual bounds.
+    while (i > 1 && v <= histBucketUpper(i - 1))
+        --i;
+    while (i <= kHistGeomBuckets && v > histBucketUpper(i))
+        ++i;
+    return std::min(i, kHistGeomBuckets + 1);
+}
+
+double
+histBucketUpper(std::size_t i)
+{
+    if (i == 0)
+        return kHistMinValue;
+    if (i > kHistGeomBuckets)
+        return std::numeric_limits<double>::infinity();
+    return kHistMinValue * std::pow(kHistGrowth, static_cast<double>(i));
+}
+
+double
+histBucketLower(std::size_t i)
+{
+    if (i == 0)
+        return 0;
+    return histBucketUpper(i - 1);
+}
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0)
+        return 0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    // Rank of the q-th sample (1-based, ceil convention).
+    const double rank = q * static_cast<double>(count);
+    std::uint64_t seen = 0;
+    for (std::size_t k = 0; k < bucketIndex.size(); ++k) {
+        const std::uint64_t c = bucketCount[k];
+        if (c == 0)
+            continue;
+        if (static_cast<double>(seen + c) >= rank) {
+            const std::size_t b = bucketIndex[k];
+            const double lo = histBucketLower(b);
+            double hi = histBucketUpper(b);
+            if (std::isinf(hi))
+                hi = max; // overflow bucket: cap at observed max
+            // Linear interpolation of the rank within the bucket.
+            const double frac =
+                (rank - static_cast<double>(seen)) / static_cast<double>(c);
+            double v = lo + (hi - lo) * std::min(std::max(frac, 0.0), 1.0);
+            return std::min(std::max(v, min), max);
+        }
+        seen += c;
+    }
+    return max;
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &other)
+{
+    if (other.count == 0)
+        return;
+    if (count == 0) {
+        min = other.min;
+        max = other.max;
+    } else {
+        min = std::min(min, other.min);
+        max = std::max(max, other.max);
+    }
+    count += other.count;
+    sum += other.sum;
+    // Merge two sorted sparse bucket lists by index.
+    std::vector<std::uint32_t> idx;
+    std::vector<std::uint64_t> cnt;
+    idx.reserve(bucketIndex.size() + other.bucketIndex.size());
+    cnt.reserve(idx.capacity());
+    std::size_t a = 0, b = 0;
+    while (a < bucketIndex.size() || b < other.bucketIndex.size()) {
+        bool takeA = b >= other.bucketIndex.size() ||
+                     (a < bucketIndex.size() &&
+                      bucketIndex[a] <= other.bucketIndex[b]);
+        bool takeB = a >= bucketIndex.size() ||
+                     (b < other.bucketIndex.size() &&
+                      other.bucketIndex[b] <= bucketIndex[a]);
+        std::uint32_t i =
+            takeA ? bucketIndex[a] : other.bucketIndex[b];
+        std::uint64_t c = 0;
+        if (takeA)
+            c += bucketCount[a++];
+        if (takeB && (!takeA || other.bucketIndex[b] == i))
+            c += other.bucketCount[b++];
+        idx.push_back(i);
+        cnt.push_back(c);
+    }
+    bucketIndex = std::move(idx);
+    bucketCount = std::move(cnt);
+}
+
+void
+Histogram::record(double v)
+{
+    const std::size_t b = histBucketOf(v);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    ++buckets_[b];
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.count = count_;
+    snap.sum = sum_;
+    snap.min = min_;
+    snap.max = max_;
+    for (std::size_t i = 0; i < kHistBuckets; ++i) {
+        if (buckets_[i]) {
+            snap.bucketIndex.push_back(static_cast<std::uint32_t>(i));
+            snap.bucketCount.push_back(buckets_[i]);
+        }
+    }
+    return snap;
+}
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &other)
+{
+    for (const auto &[name, v] : other.counters)
+        counters[name] += v;
+    for (const auto &[name, gv] : other.gauges) {
+        auto it = gauges.find(name);
+        if (it == gauges.end()) {
+            gauges[name] = gv;
+        } else if (gv.agg == GaugeAgg::Max) {
+            it->second.value = std::max(it->second.value, gv.value);
+        } else {
+            it->second.value += gv.value;
+        }
+    }
+    for (const auto &[name, h] : other.histograms)
+        histograms[name].merge(h);
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, GaugeAgg agg)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>(agg);
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[name, c] : counters_)
+        snap.counters[name] = c->value();
+    for (const auto &[name, g] : gauges_)
+        snap.gauges[name] = GaugeValue{g->value(), g->agg()};
+    for (const auto &[name, h] : histograms_)
+        snap.histograms[name] = h->snapshot();
+    return snap;
+}
+
+MetricsSnapshot
+mergeMetrics(const std::vector<MetricsSnapshot> &parts)
+{
+    MetricsSnapshot merged;
+    for (const auto &part : parts)
+        merged.merge(part);
+    return merged;
+}
+
+namespace {
+
+/** %g with enough digits to round-trip in practice for exposition. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+renderPrometheus(const MetricsSnapshot &snap)
+{
+    std::string out;
+    out.reserve(4096);
+    for (const auto &[name, v] : snap.counters) {
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(v) + "\n";
+    }
+    for (const auto &[name, gv] : snap.gauges) {
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + fmtDouble(gv.value) + "\n";
+    }
+    for (const auto &[name, h] : snap.histograms) {
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cum = 0;
+        for (std::size_t k = 0; k < h.bucketIndex.size(); ++k) {
+            cum += h.bucketCount[k];
+            out += name + "_bucket{le=\"" +
+                   fmtDouble(histBucketUpper(h.bucketIndex[k])) + "\"} " +
+                   std::to_string(cum) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) +
+               "\n";
+        out += name + "_sum " + fmtDouble(h.sum) + "\n";
+        out += name + "_count " + std::to_string(h.count) + "\n";
+    }
+    return out;
+}
+
+} // namespace sap

@@ -1,0 +1,145 @@
+#include "obs/trace_export.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace sap {
+
+namespace {
+
+/** JSON string escaping for the label field (quotes, backslashes,
+ *  control characters; engine labels are ASCII in practice). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** CSV quoted-field escaping: double any embedded quote. */
+std::string
+csvEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    return out;
+}
+
+std::string
+fmtMicros(std::uint64_t nanos)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", nanos / 1000,
+                  static_cast<unsigned>(nanos % 1000));
+    return buf;
+}
+
+void
+appendEvent(std::string *out, bool *first, const std::string &name,
+            std::uint64_t tid, std::uint64_t tsNanos,
+            std::uint64_t durNanos, const std::string &args)
+{
+    if (!*first)
+        *out += ",\n";
+    *first = false;
+    *out += "    {\"name\": \"" + name + "\", \"ph\": \"X\", \"ts\": " +
+            fmtMicros(tsNanos) + ", \"dur\": " + fmtMicros(durNanos) +
+            ", \"pid\": 1, \"tid\": " + std::to_string(tid);
+    if (!args.empty())
+        *out += ", \"args\": {" + args + "}";
+    *out += "}";
+}
+
+} // namespace
+
+std::string
+toChromeTraceJson(const std::vector<RequestTrace> &traces)
+{
+    std::string out = "{\n  \"traceEvents\": [\n";
+    bool first = true;
+    for (const RequestTrace &t : traces) {
+        const std::uint64_t start = t.startNanos();
+        const std::uint64_t end = t.endNanos();
+        if (!start)
+            continue;
+        const std::string args =
+            "\"label\": \"" + jsonEscape(t.label) + "\", \"ok\": " +
+            (t.ok ? "true" : "false") +
+            ", \"cache_hit\": " + (t.cacheHit ? "true" : "false");
+        appendEvent(&out, &first, "request", t.requestId, start,
+                    end > start ? end - start : 0, args);
+        for (const TraceSpan &span : traceSpans(t)) {
+            const std::uint64_t from = t.nanosAt(span.from);
+            const std::uint64_t to = t.nanosAt(span.to);
+            appendEvent(&out, &first, traceStageName(span.to),
+                        t.requestId, from, to > from ? to - from : 0,
+                        "");
+        }
+    }
+    out += "\n  ],\n  \"displayTimeUnit\": \"ns\"\n}\n";
+    return out;
+}
+
+std::string
+toTraceCsv(const std::vector<RequestTrace> &traces)
+{
+    std::string out = "request_id,label,ok,cache_hit,total_micros";
+    for (std::size_t i = 0; i < kTraceStages; ++i) {
+        out += ",";
+        out += traceStageName(static_cast<TraceStage>(i));
+        out += "_micros";
+    }
+    out += "\n";
+    for (const RequestTrace &t : traces) {
+        out += std::to_string(t.requestId) + ",\"" +
+               csvEscape(t.label) + "\"," +
+               (t.ok ? "1" : "0") + "," + (t.cacheHit ? "1" : "0") +
+               ",";
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.3f", t.totalMicros());
+        out += buf;
+        for (std::size_t i = 0; i < kTraceStages; ++i) {
+            out += ",";
+            if (t.stageNanos[i])
+                out += fmtMicros(t.stageNanos[i]);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace sap

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Exporters for committed request traces: Chrome/Perfetto
+ * `trace_event` JSON (load in chrome://tracing or ui.perfetto.dev)
+ * and a flat CSV for spreadsheet/script analysis.
+ *
+ * The JSON uses complete events (ph "X"): one event per stage span
+ * (decode→route→...→flush) plus one enclosing "request" event, all on
+ * a per-request virtual track (tid = request id) so concurrent
+ * requests render as parallel rows. Timestamps are the trace's raw
+ * monotonic nanoseconds converted to microseconds — Perfetto only
+ * needs them mutually consistent, not epoch-anchored.
+ */
+
+#ifndef SAP_OBS_TRACE_EXPORT_HH
+#define SAP_OBS_TRACE_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/trace_ring.hh"
+
+namespace sap {
+
+/** Chrome trace_event JSON ({"traceEvents":[...]}) for @p traces. */
+std::string toChromeTraceJson(const std::vector<RequestTrace> &traces);
+
+/**
+ * CSV with one row per trace: request id, label, ok, cache hit, total
+ * µs, then one column per stage with its absolute µs timestamp (empty
+ * when the stage was never stamped).
+ */
+std::string toTraceCsv(const std::vector<RequestTrace> &traces);
+
+} // namespace sap
+
+#endif // SAP_OBS_TRACE_EXPORT_HH

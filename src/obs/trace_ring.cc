@@ -1,0 +1,208 @@
+#include "obs/trace_ring.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace sap {
+
+const char *
+traceStageName(TraceStage stage)
+{
+    switch (stage) {
+      case TraceStage::Decode:
+        return "decode";
+      case TraceStage::Route:
+        return "route";
+      case TraceStage::Dequeue:
+        return "dequeue";
+      case TraceStage::Prepare:
+        return "prepare";
+      case TraceStage::Execute:
+        return "execute";
+      case TraceStage::CqPush:
+        return "cq_push";
+      case TraceStage::WriterPop:
+        return "writer_pop";
+      case TraceStage::Flush:
+        return "flush";
+    }
+    return "?";
+}
+
+std::uint64_t
+RequestTrace::startNanos() const
+{
+    for (std::size_t i = 0; i < kTraceStages; ++i) {
+        if (stageNanos[i])
+            return stageNanos[i];
+    }
+    return 0;
+}
+
+std::uint64_t
+RequestTrace::endNanos() const
+{
+    for (std::size_t i = kTraceStages; i-- > 0;) {
+        if (stageNanos[i])
+            return stageNanos[i];
+    }
+    return 0;
+}
+
+double
+RequestTrace::totalMicros() const
+{
+    const std::uint64_t start = startNanos();
+    const std::uint64_t end = endNanos();
+    return end > start ? static_cast<double>(end - start) / 1e3 : 0;
+}
+
+void
+TraceRing::push(RequestTrace trace)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++committed_;
+    if (slots_.size() < capacity_) {
+        slots_.push_back(std::move(trace));
+        return;
+    }
+    if (capacity_ == 0)
+        return;
+    slots_[next_] = std::move(trace);
+    next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<RequestTrace>
+TraceRing::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<RequestTrace> out;
+    out.reserve(slots_.size());
+    // Oldest first: the slot at next_ is the oldest once wrapped.
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+        out.push_back(slots_[(next_ + i) % slots_.size()]);
+    return out;
+}
+
+std::uint64_t
+TraceRing::totalCommitted() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return committed_;
+}
+
+TraceCollector::TraceCollector(TraceConfig config,
+                               MetricsRegistry *stageMetrics)
+    : config_(config), stage_metrics_(stageMetrics)
+{
+}
+
+std::shared_ptr<RequestTrace>
+TraceCollector::begin()
+{
+    if (!config_.enabled)
+        return nullptr;
+    auto trace = std::make_shared<RequestTrace>();
+    trace->requestId = next_id_.fetch_add(1, std::memory_order_relaxed);
+    return trace;
+}
+
+bool
+TraceCollector::finish(const std::shared_ptr<RequestTrace> &trace)
+{
+    if (!trace)
+        return false;
+    const double total = trace->totalMicros();
+    const bool slow =
+        config_.slowMicros > 0 && total >= config_.slowMicros;
+    bool sampled = false;
+    if (config_.sampleEvery == 1) {
+        sampled = true;
+    } else if (config_.sampleEvery > 1) {
+        sampled = sample_counter_.fetch_add(
+                      1, std::memory_order_relaxed) %
+                      config_.sampleEvery ==
+                  0;
+    }
+    if (slow) {
+        SAP_LOG_WARN("slow request id=", trace->requestId, " [",
+                     trace->label, "] total=", total, "us (threshold ",
+                     config_.slowMicros, "us)");
+    }
+    if (!sampled && !slow)
+        return false;
+    if (stage_metrics_) {
+        for (const TraceSpan &span : traceSpans(*trace)) {
+            stage_metrics_
+                ->histogram(std::string("trace_stage_") +
+                            traceStageName(span.to) + "_micros")
+                .record(span.micros);
+        }
+        stage_metrics_->histogram("trace_total_micros").record(total);
+    }
+    ringForThisThread().push(*trace);
+    return true;
+}
+
+std::vector<RequestTrace>
+TraceCollector::snapshot() const
+{
+    std::vector<RequestTrace> out;
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    for (const auto &[tid, ring] : rings_) {
+        std::vector<RequestTrace> part = ring->snapshot();
+        out.insert(out.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+    }
+    return out;
+}
+
+std::uint64_t
+TraceCollector::totalCommitted() const
+{
+    std::uint64_t total = 0;
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    for (const auto &[tid, ring] : rings_)
+        total += ring->totalCommitted();
+    return total;
+}
+
+TraceRing &
+TraceCollector::ringForThisThread()
+{
+    const std::uint32_t tid = currentThreadId();
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    auto &slot = rings_[tid];
+    if (!slot)
+        slot = std::make_unique<TraceRing>(config_.ringCapacity);
+    return *slot;
+}
+
+std::vector<TraceSpan>
+traceSpans(const RequestTrace &trace)
+{
+    std::vector<TraceSpan> spans;
+    bool havePrev = false;
+    TraceStage prev = TraceStage::Decode;
+    std::uint64_t prevNanos = 0;
+    for (std::size_t i = 0; i < kTraceStages; ++i) {
+        if (!trace.stageNanos[i])
+            continue;
+        const auto stage = static_cast<TraceStage>(i);
+        if (havePrev) {
+            const std::uint64_t now = trace.stageNanos[i];
+            spans.push_back(
+                {prev, stage,
+                 now > prevNanos
+                     ? static_cast<double>(now - prevNanos) / 1e3
+                     : 0});
+        }
+        havePrev = true;
+        prev = stage;
+        prevNanos = trace.stageNanos[i];
+    }
+    return spans;
+}
+
+} // namespace sap

@@ -164,6 +164,12 @@ mergeServerStats(const std::vector<ServerStats> &parts)
             m.group.cacheHits += g.cacheHits;
             m.group.simCycles += g.simCycles;
             m.group.latency.samples += g.latency.samples;
+            // A group that observed latencies but exported no
+            // reservoir cannot contribute to merged percentiles —
+            // flag the whole merge as approximate rather than let
+            // partial percentiles pass for exact.
+            if (g.latency.samples > 0 && g.latencySamples.empty())
+                out.approximatePercentiles = true;
             m.latencySum +=
                 g.latency.mean * static_cast<double>(g.latency.samples);
             m.group.latency.max =

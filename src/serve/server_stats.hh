@@ -77,6 +77,15 @@ struct ServerStats
      *  engine name, then kind, then execution mode, then numeric
      *  shape (rows, cols, outCols, w). */
     std::vector<GroupStats> groups;
+    /**
+     * Set by mergeServerStats() when any input group carried latency
+     * observations but no latencySamples reservoir: the merged
+     * percentiles then cover only the sampled inputs (zero when none
+     * had samples) instead of silently passing for exact. Exact
+     * cluster-wide percentiles come from the obs/ histogram metrics,
+     * whose bucket merge needs no reservoirs.
+     */
+    bool approximatePercentiles = false;
 };
 
 /**
@@ -137,11 +146,13 @@ class StatsRecorder
  * counters are summed, per-(engine, shape) groups with the same key
  * are combined, and latency percentiles are recomputed from the
  * concatenated latencySamples reservoirs — so take the inputs with
- * include_samples for exact merged p50/p99 (summary-only inputs
- * degrade to sample-weighted means and max-of-max, with zero
- * percentiles). Groups come back in the recorder's stable order and
- * with their merged samples dropped (the merge is a reporting
- * artifact, not a recorder).
+ * include_samples for exact merged p50/p99. Summary-only inputs
+ * degrade to sample-weighted means and max-of-max; that degradation
+ * is *flagged* on the result (ServerStats::approximatePercentiles)
+ * instead of silently reporting partial percentiles as exact. Groups
+ * come back in the recorder's stable order and with their merged
+ * samples dropped (the merge is a reporting artifact, not a
+ * recorder).
  */
 ServerStats mergeServerStats(const std::vector<ServerStats> &parts);
 

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <unordered_map>
 
+#include "analysis/formulas.hh"
+#include "analysis/metrics.hh"
 #include "base/error.hh"
 #include "base/logging.hh"
 #include "engine/registry.hh"
@@ -85,11 +87,84 @@ sameBinding(const ServeRequest &a, const ServeRequest &b)
             a.plan.bmat == b.plan.bmat);
 }
 
+/**
+ * The paper's closed-form cycle count for @p plan on @p engine_name
+ * (§4–§5 via analysis/formulas.hh), or -1 when no formula covers the
+ * engine (grouped/spiral/no-feedback have extra scheduling slack the
+ * closed forms do not model). Feeds the measured-vs-analytic drift
+ * gauge: continuous serving-time evidence that the simulators still
+ * track the formulas.
+ */
+Cycle
+formulaCycles(const std::string &engine_name, const EnginePlan &plan)
+{
+    const Index w = plan.w;
+    if (w <= 0)
+        return -1;
+    auto bar = [w](Index n) { return (n + w - 1) / w; };
+    if (engine_name == "linear")
+        return formulas::tMatVec(w, bar(plan.a.rows()),
+                                 bar(plan.a.cols()));
+    if (engine_name == "overlapped")
+        return formulas::tMatVecOverlap(w, bar(plan.a.rows()),
+                                        bar(plan.a.cols()));
+    if (engine_name == "hex")
+        return formulas::tMatMul(w, bar(plan.a.cols()),
+                                 bar(plan.a.rows()),
+                                 bar(plan.bmat.cols()));
+    if (engine_name == "mesh")
+        return formulas::tMesh(w, bar(plan.a.cols()),
+                               bar(plan.a.rows()),
+                               bar(plan.bmat.cols()));
+    if (engine_name == "tri")
+        return formulas::tTriSolve(w, bar(plan.a.rows()));
+    return -1;
+}
+
 } // namespace
 
 Shard::Shard(const Options &opts)
     : opts_(opts), cache_(opts.planCacheCapacity), pool_(opts.threads)
 {
+    if (opts_.metrics) {
+        metrics_ = std::make_unique<MetricsRegistry>();
+        inst_.requests = &metrics_->counter("serve_requests_total");
+        inst_.failures = &metrics_->counter("serve_failures_total");
+        inst_.crossCheckFailures =
+            &metrics_->counter("serve_cross_check_failures_total");
+        inst_.modeCounts[0] =
+            &metrics_->counter("serve_mode_simulate_total");
+        inst_.modeCounts[1] =
+            &metrics_->counter("serve_mode_fast_total");
+        inst_.modeCounts[2] =
+            &metrics_->counter("serve_mode_validate_total");
+        inst_.queueDepth =
+            &metrics_->gauge("serve_queue_depth", GaugeAgg::Sum);
+        inst_.cyclesDrift = &metrics_->gauge(
+            "serve_cycles_formula_drift", GaugeAgg::Max);
+        inst_.queueWait =
+            &metrics_->histogram("serve_queue_wait_micros");
+        inst_.latency = &metrics_->histogram("serve_latency_micros");
+    }
+}
+
+void
+Shard::noteEnqueued(std::size_t n)
+{
+    if (inst_.queueDepth)
+        inst_.queueDepth->add(static_cast<double>(n));
+}
+
+void
+Shard::noteDequeued(Clock::time_point enqueuedAt,
+                    const std::shared_ptr<RequestTrace> &trace,
+                    std::size_t n)
+{
+    traceStamp(trace, TraceStage::Dequeue);
+    if (inst_.queueDepth)
+        inst_.queueDepth->add(-static_cast<double>(n));
+    if (inst_.queueWait)
+        inst_.queueWait->record(elapsedMicros(enqueuedAt));
 }
 
 std::future<ServeResponse>
@@ -97,8 +172,13 @@ Shard::submit(ServeRequest req)
 {
     // No digest hint: hash on the worker (inside handle), keeping
     // the submitting client thread free of O(rows·cols) work.
+    const Clock::time_point tq = Clock::now();
+    noteEnqueued();
     auto task = std::make_shared<std::packaged_task<ServeResponse()>>(
-        [this, req = std::move(req)]() { return handle(req); });
+        [this, req = std::move(req), tq]() {
+            noteDequeued(tq, req.trace);
+            return handle(req);
+        });
     std::future<ServeResponse> fut = task->get_future();
     pool_.post([task] { (*task)(); });
     return fut;
@@ -107,8 +187,11 @@ Shard::submit(ServeRequest req)
 std::future<ServeResponse>
 Shard::submit(ServeRequest req, Digest digest)
 {
+    const Clock::time_point tq = Clock::now();
+    noteEnqueued();
     auto task = std::make_shared<std::packaged_task<ServeResponse()>>(
-        [this, req = std::move(req), digest]() {
+        [this, req = std::move(req), digest, tq]() {
+            noteDequeued(tq, req.trace);
             return handle(req, digest);
         });
     std::future<ServeResponse> fut = task->get_future();
@@ -123,18 +206,26 @@ Shard::submitAsync(ServeRequest req, CompletionFn done)
     // One shared holder: std::function requires copyable targets,
     // and the request is worth not copying per post. As with
     // submit(), hashing happens on the worker.
+    const Clock::time_point tq = Clock::now();
+    noteEnqueued();
     auto job = std::make_shared<std::pair<ServeRequest, CompletionFn>>(
         std::move(req), std::move(done));
-    pool_.post([this, job] { job->second(handle(job->first)); });
+    pool_.post([this, job, tq] {
+        noteDequeued(tq, job->first.trace);
+        job->second(handle(job->first));
+    });
 }
 
 void
 Shard::submitAsync(ServeRequest req, CompletionFn done, Digest digest)
 {
     SAP_ASSERT(done, "submitAsync() needs a completion callback");
+    const Clock::time_point tq = Clock::now();
+    noteEnqueued();
     auto job = std::make_shared<std::pair<ServeRequest, CompletionFn>>(
         std::move(req), std::move(done));
-    pool_.post([this, job, digest] {
+    pool_.post([this, job, digest, tq] {
+        noteDequeued(tq, job->first.trace);
         job->second(handle(job->first, digest));
     });
 }
@@ -176,10 +267,15 @@ Shard::submitBatch(std::vector<std::pair<ServeRequest, Digest>> reqs)
         }
         group->push_back(std::move(job));
     }
+    const Clock::time_point tq = Clock::now();
+    noteEnqueued(reqs.size());
     for (const auto &entry : post_order) {
         const Digest digest = entry.first;
         const std::shared_ptr<std::vector<Job>> group = entry.second;
-        pool_.post([this, digest, group] {
+        pool_.post([this, digest, group, tq] {
+            // The whole group leaves the queue when its worker picks
+            // it up; per-job Dequeue stamps happen in serveGroup().
+            noteDequeued(tq, nullptr, group->size());
             serveGroup(digest, *group);
         });
     }
@@ -211,11 +307,18 @@ Shard::handle(const ServeRequest &req, Digest digest)
 {
     const Clock::time_point t0 = Clock::now();
     const SystolicEngine *engine = engineFor(req.engine);
-    if (!engine)
-        return fail("unknown engine '" + req.engine + "'", t0);
+    if (!engine) {
+        ServeResponse resp =
+            fail("unknown engine '" + req.engine + "'", t0);
+        resp.trace = req.trace;
+        return resp;
+    }
     std::string error = validateRequest(*engine, req.plan);
-    if (!error.empty())
-        return fail(std::move(error), t0);
+    if (!error.empty()) {
+        ServeResponse resp = fail(std::move(error), t0);
+        resp.trace = req.trace;
+        return resp;
+    }
 
     // Preparation and execution can fail recoverably (a singular
     // triangular system, a validate-mode divergence): an error
@@ -223,9 +326,18 @@ Shard::handle(const ServeRequest &req, Digest digest)
     try {
         PlanCache::Prepared cached =
             cache_.prepare(*engine, req.plan, digest);
-        return finish(req, *engine, *cached.plan, cached.hit, t0);
+        if (req.trace) {
+            req.trace->stamp(TraceStage::Prepare);
+            req.trace->cacheHit = cached.hit;
+        }
+        ServeResponse resp =
+            finish(req, *engine, *cached.plan, cached.hit, t0);
+        resp.trace = req.trace;
+        return resp;
     } catch (const EngineError &e) {
-        return fail(e.what(), t0);
+        ServeResponse resp = fail(e.what(), t0);
+        resp.trace = req.trace;
+        return resp;
     }
 }
 
@@ -235,6 +347,8 @@ Shard::fail(std::string error, Clock::time_point t0)
     ServeResponse resp;
     resp.error = std::move(error);
     stats_.recordFailure();
+    if (inst_.failures)
+        inst_.failures->add();
     resp.latencyMicros = elapsedMicros(t0);
     return resp;
 }
@@ -249,16 +363,40 @@ Shard::finish(const ServeRequest &req, const SystolicEngine &engine,
     resp.result =
         engine.runPrepared(prepared, EngineInputs::of(req.plan));
     resp.ok = true;
+    traceStamp(req.trace, TraceStage::Execute);
 
     if (req.crossCheck || opts_.crossCheckAll) {
         resp.crossCheckOk = matchesOracle(req.plan, resp.result);
-        if (!resp.crossCheckOk)
+        if (!resp.crossCheckOk) {
             stats_.recordCrossCheckFailure();
+            if (inst_.crossCheckFailures)
+                inst_.crossCheckFailures->add();
+        }
     }
 
     resp.latencyMicros = elapsedMicros(t0);
-    stats_.record(shapeKeyOf(req.engine, req.plan), cacheHit,
-                  resp.result.stats.cycles, resp.latencyMicros);
+    const ShapeKey shape = shapeKeyOf(req.engine, req.plan);
+    stats_.record(shape, cacheHit, resp.result.stats.cycles,
+                  resp.latencyMicros);
+    if (metrics_) {
+        inst_.requests->add();
+        inst_.latency->record(resp.latencyMicros);
+        const auto mode = static_cast<std::size_t>(req.plan.mode);
+        if (mode < 3)
+            inst_.modeCounts[mode]->add();
+        // Measured-vs-analytic drift: how far the served cycle count
+        // strayed from the paper's closed form for this engine/shape
+        // (Max-aggregated — the gauge reports the worst case seen).
+        const Cycle predicted = formulaCycles(req.engine, req.plan);
+        if (predicted > 0)
+            inst_.cyclesDrift->setMax(relDiff(
+                static_cast<double>(resp.result.stats.cycles),
+                static_cast<double>(predicted)));
+    }
+    if (req.trace) {
+        req.trace->label = shape.label();
+        req.trace->cacheHit = cacheHit;
+    }
     return resp;
 }
 
@@ -277,6 +415,7 @@ Shard::serveGroup(Digest digest, std::vector<Job> &jobs)
     for (Job &job : jobs) {
         const ServeRequest &req = job.req;
         const Clock::time_point t0 = Clock::now();
+        traceStamp(req.trace, TraceStage::Dequeue);
 
         if (leader && sameBinding(leader->req, req)) {
             // Followers still need operand validation: sameBinding()
@@ -339,6 +478,24 @@ Shard::stats(bool include_samples) const
 {
     PlanCacheStats cache_stats = cache_.stats();
     return stats_.snapshot(&cache_stats, include_samples);
+}
+
+MetricsSnapshot
+Shard::metricsSnapshot() const
+{
+    if (!metrics_)
+        return {};
+    MetricsSnapshot snap = metrics_->snapshot();
+    // The plan cache keeps its own counters; inject them here rather
+    // than double-count on the request path.
+    const PlanCacheStats cache_stats = cache_.stats();
+    snap.counters["plan_cache_hits_total"] = cache_stats.hits;
+    snap.counters["plan_cache_misses_total"] = cache_stats.misses;
+    snap.counters["plan_cache_evictions_total"] =
+        cache_stats.evictions;
+    snap.counters["plan_cache_collisions_total"] =
+        cache_stats.collisions;
+    return snap;
 }
 
 } // namespace sap

@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "engine/engine.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_ring.hh"
 #include "serve/plan_cache.hh"
 #include "serve/server_stats.hh"
 #include "serve/thread_pool.hh"
@@ -50,6 +52,12 @@ struct ServeRequest
     EnginePlan plan;
     /** Cross-check this request against the host oracle. */
     bool crossCheck = false;
+    /**
+     * End-to-end trace riding with the request (obs/trace_ring.hh);
+     * null = untraced (the common case). The shard stamps Dequeue /
+     * Prepare / Execute and hands the pointer back on the response.
+     */
+    std::shared_ptr<RequestTrace> trace;
 };
 
 /** What a request resolves to. */
@@ -67,6 +75,9 @@ struct ServeResponse
     bool crossCheckOk = true;
     /** Wall-clock service time of this request in microseconds. */
     double latencyMicros = 0;
+    /** The request's trace, handed through for downstream stamps
+     *  (completion-queue push, writer pop, flush). */
+    std::shared_ptr<RequestTrace> trace;
 };
 
 /** Completion callback for the async submission surface. */
@@ -91,6 +102,13 @@ class Shard
         std::size_t planCacheCapacity = PlanCache::kDefaultCapacity;
         /** Cross-check every request (overrides per-request flag). */
         bool crossCheckAll = false;
+        /**
+         * Maintain the obs/ metrics registry (queue depth and wait,
+         * latency and mode histograms, cycle-drift gauge). Off =
+         * the pre-observability hot path, the baseline
+         * bench_obs_overhead compares against.
+         */
+        bool metrics = true;
     };
 
     explicit Shard(const Options &opts);
@@ -154,6 +172,14 @@ class Shard
     /** The shard's plan cache (for tests and monitoring). */
     const PlanCache &planCache() const { return cache_; }
 
+    /**
+     * Point-in-time copy of this shard's obs/ metrics (plan-cache
+     * counters injected from the cache, queue depth from the live
+     * gauge). Empty when Options::metrics is off. Cluster snapshots
+     * merge these exactly — counters and histogram buckets add.
+     */
+    MetricsSnapshot metricsSnapshot() const;
+
   private:
     /** One batched request plus the promise that resolves it. */
     struct Job
@@ -164,6 +190,13 @@ class Shard
 
     ServeResponse handle(const ServeRequest &req);
     ServeResponse handle(const ServeRequest &req, Digest digest);
+    /** Metrics hook at enqueue time (queue depth up). */
+    void noteEnqueued(std::size_t n = 1);
+    /** Metrics + trace hook when a worker picks a request up:
+     *  Dequeue stamp, queue-wait histogram, queue depth down. */
+    void noteDequeued(std::chrono::steady_clock::time_point enqueuedAt,
+                      const std::shared_ptr<RequestTrace> &trace,
+                      std::size_t n = 1);
     /** Error response for a malformed request (records the failure). */
     ServeResponse fail(std::string error,
                        std::chrono::steady_clock::time_point t0);
@@ -177,9 +210,29 @@ class Shard
     /** Lazily instantiated shared engine instances, by name. */
     const SystolicEngine *engineFor(const std::string &name);
 
+    /** Hot-path instruments resolved once at construction, so
+     *  recording never pays the registry's name lookup. All null
+     *  when Options::metrics is off. */
+    struct Instruments
+    {
+        Counter *requests = nullptr;
+        Counter *failures = nullptr;
+        Counter *crossCheckFailures = nullptr;
+        /** Indexed by ExecMode value. */
+        Counter *modeCounts[3] = {};
+        Gauge *queueDepth = nullptr;
+        Gauge *cyclesDrift = nullptr;
+        Histogram *queueWait = nullptr;
+        Histogram *latency = nullptr;
+    };
+
     Options opts_;
     PlanCache cache_;
     StatsRecorder stats_;
+    /** Created iff Options::metrics; null keeps the hot path at one
+     *  pointer test per hook. */
+    std::unique_ptr<MetricsRegistry> metrics_;
+    Instruments inst_;
 
     std::mutex engines_mutex_;
     std::map<std::string, std::unique_ptr<SystolicEngine>> engines_;

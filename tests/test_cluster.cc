@@ -544,6 +544,74 @@ TEST(Cluster, StatsSnapshotMergesShardsExactly)
     EXPECT_TRUE(merged.groups[0].latencySamples.empty());
 }
 
+namespace {
+
+/** One-group ServerStats part for the merge-flagging tests. */
+ServerStats
+statsPart(std::uint64_t requests, std::vector<double> samples)
+{
+    ServerStats part;
+    part.requests = requests;
+    GroupStats g;
+    g.key.engine = "linear";
+    g.key.rows = 6;
+    g.key.cols = 6;
+    g.key.w = 3;
+    g.latency.samples = requests;
+    g.latency.mean = 10.0;
+    g.latencySamples = std::move(samples);
+    part.groups.push_back(std::move(g));
+    return part;
+}
+
+} // namespace
+
+TEST(MergeServerStats, FlagsApproximateWhenAnyInputLacksSamples)
+{
+    // One part exported its reservoir, the other only summary
+    // numbers: the merged percentiles cannot cover every sample, so
+    // the merge must say so instead of passing as exact.
+    ServerStats with_samples = statsPart(3, {5.0, 10.0, 15.0});
+    ServerStats summary_only = statsPart(2, {});
+
+    ServerStats merged =
+        mergeServerStats({with_samples, summary_only});
+    EXPECT_TRUE(merged.approximatePercentiles);
+    EXPECT_EQ(merged.requests, 5u);
+    ASSERT_EQ(merged.groups.size(), 1u);
+    EXPECT_EQ(merged.groups[0].latency.samples, 5u);
+}
+
+TEST(MergeServerStats, ExactWhenEveryInputCarriesSamples)
+{
+    ServerStats a = statsPart(2, {5.0, 10.0});
+    ServerStats b = statsPart(3, {1.0, 2.0, 3.0});
+    ServerStats merged = mergeServerStats({a, b});
+    EXPECT_FALSE(merged.approximatePercentiles);
+
+    // Zero-sample groups carry no latency evidence and must not
+    // trip the flag either.
+    ServerStats idle = statsPart(0, {});
+    idle.groups[0].latency.samples = 0;
+    EXPECT_FALSE(
+        mergeServerStats({a, idle}).approximatePercentiles);
+}
+
+TEST(MergeServerStats, ClusterSnapshotIsExact)
+{
+    // The cluster's own snapshot path always exports reservoirs, so
+    // its merge must never be flagged.
+    Cluster::Options opts;
+    opts.shards = 2;
+    Cluster cluster(opts);
+    for (int i = 0; i < 4; ++i) {
+        ServeRequest req = matVecRequest(
+            "linear", randomIntDense(6, 6, 2600 + i), 2700 + i, 3);
+        ASSERT_TRUE(cluster.submit(std::move(req)).get().ok);
+    }
+    EXPECT_FALSE(cluster.statsSnapshot().approximatePercentiles);
+}
+
 TEST(Cluster, ZeroCapacityCachesServeEveryRequestUncached)
 {
     Cluster::Options opts;

@@ -153,6 +153,7 @@ TEST(NetProtocol, StatsEncodeDecodeIsIdentity)
     stats.crossCheckFailures = 1;
     stats.planCache = {100, 34, 7, 2};
     stats.latency = {1234, 55.5, 40.0, 200.0, 400.25};
+    stats.approximatePercentiles = true;
     for (int g = 0; g < 3; ++g) {
         GroupStats group;
         group.key.engine = g == 0 ? "linear" : (g == 1 ? "hex" : "tri");
@@ -178,6 +179,7 @@ TEST(NetProtocol, StatsEncodeDecodeIsIdentity)
     EXPECT_EQ(back.planCache.hits, stats.planCache.hits);
     EXPECT_EQ(back.planCache.collisions, stats.planCache.collisions);
     EXPECT_EQ(back.latency.p99, stats.latency.p99);
+    EXPECT_TRUE(back.approximatePercentiles);
     ASSERT_EQ(back.groups.size(), stats.groups.size());
     for (std::size_t i = 0; i < back.groups.size(); ++i) {
         EXPECT_EQ(back.groups[i].key.engine,
@@ -199,6 +201,96 @@ TEST(NetProtocol, ErrorEncodeDecodeIsIdentity)
                             &err))
         << err;
     EXPECT_EQ(back, "zero diagonal at 3");
+}
+
+TEST(NetProtocol, MetricsEncodeDecodeIsIdentity)
+{
+    MetricsSnapshot snap;
+    snap.counters["serve_requests_total"] = 1234;
+    snap.counters["net_bytes_received_total"] = 9999999;
+    snap.gauges["serve_queue_depth"] = {3.5, GaugeAgg::Sum};
+    snap.gauges["serve_cycles_formula_drift"] = {0.07, GaugeAgg::Max};
+    Histogram h;
+    for (double v : {0.5, 12.0, 12.5, 900.0, 1e7})
+        h.record(v);
+    snap.histograms["serve_latency_micros"] = h.snapshot();
+    snap.histograms["empty_micros"] = HistogramSnapshot{};
+
+    MetricsSnapshot back;
+    std::string err;
+    ASSERT_TRUE(decodeMetrics(encodeMetrics(snap), &back, &err))
+        << err;
+    EXPECT_EQ(back.counters, snap.counters);
+    ASSERT_EQ(back.gauges.size(), snap.gauges.size());
+    for (const auto &[name, gv] : snap.gauges) {
+        EXPECT_EQ(back.gauges[name].value, gv.value) << name;
+        EXPECT_EQ(back.gauges[name].agg, gv.agg) << name;
+    }
+    ASSERT_EQ(back.histograms.size(), snap.histograms.size());
+    for (const auto &[name, hist] : snap.histograms) {
+        const HistogramSnapshot &b = back.histograms[name];
+        EXPECT_EQ(b.count, hist.count) << name;
+        EXPECT_EQ(b.sum, hist.sum) << name;
+        EXPECT_EQ(b.min, hist.min) << name;
+        EXPECT_EQ(b.max, hist.max) << name;
+        EXPECT_EQ(b.bucketIndex, hist.bucketIndex) << name;
+        EXPECT_EQ(b.bucketCount, hist.bucketCount) << name;
+    }
+}
+
+TEST(NetProtocol, EmptyMetricsSnapshotRoundTrips)
+{
+    MetricsSnapshot back;
+    std::string err;
+    ASSERT_TRUE(
+        decodeMetrics(encodeMetrics(MetricsSnapshot{}), &back, &err))
+        << err;
+    EXPECT_TRUE(back.counters.empty());
+    EXPECT_TRUE(back.gauges.empty());
+    EXPECT_TRUE(back.histograms.empty());
+}
+
+TEST(NetProtocol, TruncatedMetricsPayloadFailsCleanly)
+{
+    MetricsSnapshot snap;
+    snap.counters["a_total"] = 7;
+    snap.gauges["g"] = {1.0, GaugeAgg::Max};
+    Histogram h;
+    h.record(3.0);
+    h.record(77.0);
+    snap.histograms["h_micros"] = h.snapshot();
+
+    std::vector<std::uint8_t> payload = encodeMetrics(snap);
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+        std::vector<std::uint8_t> cut(payload.begin(),
+                                      payload.begin() + len);
+        MetricsSnapshot out;
+        std::string err;
+        EXPECT_FALSE(decodeMetrics(cut, &out, &err))
+            << "len=" << len;
+        EXPECT_FALSE(err.empty()) << "len=" << len;
+    }
+}
+
+TEST(NetProtocol, MetricsWithCorruptHistogramRejected)
+{
+    Histogram h;
+    h.record(5.0);
+    h.record(6.0);
+    MetricsSnapshot snap;
+    snap.histograms["h_micros"] = h.snapshot();
+    std::vector<std::uint8_t> payload = encodeMetrics(snap);
+
+    // Flip the histogram's total count so it disagrees with the
+    // bucket sum: the decoder must reject, not trust either number.
+    // Layout: u32 counter count (0), u32 gauge count (0), u32 hist
+    // count, str name, u64 count <- corrupt the low byte.
+    std::size_t at = 4 + 4 + 4 + 4 + std::string("h_micros").size();
+    payload[at] ^= 0xFF;
+    MetricsSnapshot out;
+    std::string err;
+    EXPECT_FALSE(decodeMetrics(payload, &out, &err));
+    EXPECT_FALSE(err.empty());
 }
 
 //---------------------------------------------------------------------

@@ -221,6 +221,71 @@ TEST(NetServer, PingAndStatsRoundTrip)
     EXPECT_GT(stats.groups[0].latency.p50, 0.0);
 }
 
+TEST(NetServer, MetricsFrameMergesEveryLayerOverTheWire)
+{
+    NetServer server(smallServerOptions());
+    ASSERT_TRUE(server.start()) << server.error();
+
+    NetClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+
+    constexpr int kRequests = 5;
+    for (int i = 0; i < kRequests; ++i) {
+        NetClient::Result r = client.submit(matVecRequest(900 + i));
+        ASSERT_TRUE(r.transportOk && r.response.ok);
+    }
+
+    MetricsSnapshot snap;
+    ASSERT_TRUE(client.metrics(&snap)) << client.lastError();
+
+    // Shard-side counters, merged exactly across both shards.
+    EXPECT_EQ(snap.counters["serve_requests_total"],
+              static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(snap.counters["serve_failures_total"], 0u);
+    EXPECT_EQ(snap.counters["plan_cache_hits_total"] +
+                  snap.counters["plan_cache_misses_total"],
+              static_cast<std::uint64_t>(kRequests));
+
+    // Wire-level counters from the server itself.  The METRICS
+    // snapshot is taken while its own request is in flight, so that
+    // frame counts as received but its response is not yet sent.
+    EXPECT_EQ(snap.counters["net_frames_received_total"],
+              static_cast<std::uint64_t>(kRequests) + 1);
+    EXPECT_EQ(snap.counters["net_responses_sent_total"],
+              static_cast<std::uint64_t>(kRequests));
+    EXPECT_GT(snap.counters["net_bytes_received_total"], 0u);
+    EXPECT_GT(snap.counters["net_bytes_sent_total"], 0u);
+    EXPECT_EQ(snap.gauges["net_connections_live"].value, 1.0);
+
+    // Latency histogram carries every request and sane quantiles.
+    ASSERT_TRUE(snap.histograms.count("serve_latency_micros"));
+    const HistogramSnapshot &lat =
+        snap.histograms["serve_latency_micros"];
+    EXPECT_EQ(lat.count, static_cast<std::uint64_t>(kRequests));
+    EXPECT_GT(lat.quantile(0.5), 0.0);
+    EXPECT_LE(lat.quantile(0.5), lat.max);
+}
+
+TEST(NetServer, MetricsDisabledYieldsEmptySnapshotOverTheWire)
+{
+    NetServer::Options opts = smallServerOptions();
+    opts.metrics = false;
+    opts.cluster.metrics = false;
+    NetServer server(opts);
+    ASSERT_TRUE(server.start()) << server.error();
+
+    NetClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+    NetClient::Result r = client.submit(matVecRequest(31));
+    ASSERT_TRUE(r.transportOk && r.response.ok);
+
+    MetricsSnapshot snap;
+    ASSERT_TRUE(client.metrics(&snap)) << client.lastError();
+    EXPECT_TRUE(snap.counters.empty());
+    EXPECT_TRUE(snap.gauges.empty());
+    EXPECT_TRUE(snap.histograms.empty());
+}
+
 TEST(NetServer, PingEchoesItsPayloadVerbatim)
 {
     NetServer server(smallServerOptions());

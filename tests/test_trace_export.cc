@@ -1,0 +1,506 @@
+/**
+ * @file
+ * Request-tracing tests: ring semantics, sampling and slow-commit
+ * policy, span computation, the Chrome trace_event / CSV exporters
+ * (JSON checked with a strict recursive-descent validator, not a
+ * substring sniff), and end-to-end loopback coverage — every stage
+ * of the net → cluster → shard → writer pipeline must be stamped.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "mat/generate.hh"
+#include "net/client.hh"
+#include "net/server.hh"
+#include "obs/trace_export.hh"
+#include "obs/trace_ring.hh"
+
+namespace sap {
+namespace {
+
+//---------------------------------------------------------------------
+// Strict JSON validator (RFC 8259 grammar, no extensions).
+//---------------------------------------------------------------------
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    /** True iff the whole input is exactly one valid JSON value. */
+    bool valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size()) {
+            const unsigned char c =
+                static_cast<unsigned char>(s_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20)
+                return false; // raw control character
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= s_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                s_[pos_])))
+                            return false;
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false; // unterminated
+    }
+
+    bool number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!digit())
+            return false;
+        if (s_[pos_] == '0') {
+            ++pos_;
+        } else {
+            while (digit())
+                ++pos_;
+        }
+        if (peek() == '.') {
+            ++pos_;
+            if (!digit())
+                return false;
+            while (digit())
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!digit())
+                return false;
+            while (digit())
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++pos_)
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                return false;
+        return true;
+    }
+
+    bool digit() const
+    {
+        return pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9';
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+TEST(JsonCheckerSelfTest, AcceptsValidRejectsInvalid)
+{
+    EXPECT_TRUE(JsonChecker("{}").valid());
+    EXPECT_TRUE(JsonChecker("[1, 2.5, -3e4, \"a\\nb\", true, null]")
+                    .valid());
+    EXPECT_TRUE(JsonChecker("{\"a\": {\"b\": []}}").valid());
+    EXPECT_FALSE(JsonChecker("{").valid());
+    EXPECT_FALSE(JsonChecker("{\"a\": 1,}").valid());
+    EXPECT_FALSE(JsonChecker("[01]").valid());
+    EXPECT_FALSE(JsonChecker("\"\n\"").valid()); // raw control char
+    EXPECT_FALSE(JsonChecker("{} extra").valid());
+    EXPECT_FALSE(JsonChecker("{\"a\" 1}").valid());
+}
+
+//---------------------------------------------------------------------
+// Ring and collector semantics
+//---------------------------------------------------------------------
+
+RequestTrace
+traceWithId(std::uint64_t id)
+{
+    RequestTrace t;
+    t.requestId = id;
+    t.stamp(TraceStage::Decode);
+    t.stamp(TraceStage::Flush);
+    return t;
+}
+
+TEST(TraceRing, OverwritesOldestKeepsOrder)
+{
+    TraceRing ring(4);
+    for (std::uint64_t id = 1; id <= 10; ++id)
+        ring.push(traceWithId(id));
+    EXPECT_EQ(ring.totalCommitted(), 10u);
+    std::vector<RequestTrace> got = ring.snapshot();
+    ASSERT_EQ(got.size(), 4u);
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i].requestId, 7 + i);
+}
+
+TEST(TraceCollector, DisabledReturnsNullAndIgnoresFinish)
+{
+    TraceCollector collector(TraceConfig{});
+    EXPECT_EQ(collector.begin(), nullptr);
+    EXPECT_FALSE(collector.finish(nullptr));
+    EXPECT_EQ(collector.totalCommitted(), 0u);
+}
+
+TEST(TraceCollector, SamplesExactlyOneInN)
+{
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.sampleEvery = 4;
+    TraceCollector collector(cfg);
+    int committed = 0;
+    for (int i = 0; i < 100; ++i) {
+        std::shared_ptr<RequestTrace> t = collector.begin();
+        ASSERT_NE(t, nullptr);
+        t->stamp(TraceStage::Decode);
+        t->stamp(TraceStage::Flush);
+        committed += collector.finish(t) ? 1 : 0;
+    }
+    EXPECT_EQ(committed, 25);
+    EXPECT_EQ(collector.totalCommitted(), 25u);
+}
+
+TEST(TraceCollector, SampleEveryZeroNeverCommits)
+{
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.sampleEvery = 0;
+    TraceCollector collector(cfg);
+    for (int i = 0; i < 20; ++i)
+        collector.finish(collector.begin());
+    EXPECT_EQ(collector.totalCommitted(), 0u);
+}
+
+TEST(TraceCollector, SlowRequestsAlwaysCommit)
+{
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.sampleEvery = 0; // sampling would never commit
+    cfg.slowMicros = 1000;
+    TraceCollector collector(cfg);
+
+    // Quiet the slow-request warn lines for the duration.
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Error);
+
+    std::shared_ptr<RequestTrace> fast = collector.begin();
+    fast->stamp(TraceStage::Decode);
+    fast->stageNanos[static_cast<std::size_t>(TraceStage::Flush)] =
+        fast->nanosAt(TraceStage::Decode) + 5000; // 5us: not slow
+    EXPECT_FALSE(collector.finish(fast));
+
+    std::shared_ptr<RequestTrace> slow = collector.begin();
+    slow->stamp(TraceStage::Decode);
+    slow->stageNanos[static_cast<std::size_t>(TraceStage::Flush)] =
+        slow->nanosAt(TraceStage::Decode) + 2'000'000; // 2ms: slow
+    EXPECT_TRUE(collector.finish(slow));
+
+    setLogLevel(saved);
+    EXPECT_EQ(collector.totalCommitted(), 1u);
+}
+
+TEST(TraceCollector, CommitsRecordStageHistograms)
+{
+    MetricsRegistry reg;
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.sampleEvery = 1;
+    TraceCollector collector(cfg, &reg);
+    for (int i = 0; i < 5; ++i) {
+        std::shared_ptr<RequestTrace> t = collector.begin();
+        t->stamp(TraceStage::Decode);
+        t->stamp(TraceStage::Execute);
+        t->stamp(TraceStage::Flush);
+        EXPECT_TRUE(collector.finish(t));
+    }
+    MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.histograms["trace_total_micros"].count, 5u);
+    EXPECT_EQ(snap.histograms["trace_stage_execute_micros"].count,
+              5u);
+    EXPECT_EQ(snap.histograms["trace_stage_flush_micros"].count, 5u);
+    // decode is the first stamped stage: no span *ends* there.
+    EXPECT_EQ(snap.histograms.count("trace_stage_decode_micros"), 0u);
+}
+
+TEST(TraceSpans, SkipUnstampedStages)
+{
+    RequestTrace t;
+    t.stamp(TraceStage::Decode);
+    t.stamp(TraceStage::Execute);
+    t.stamp(TraceStage::Flush);
+
+    std::vector<TraceSpan> spans = traceSpans(t);
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].from, TraceStage::Decode);
+    EXPECT_EQ(spans[0].to, TraceStage::Execute);
+    EXPECT_EQ(spans[1].from, TraceStage::Execute);
+    EXPECT_EQ(spans[1].to, TraceStage::Flush);
+    EXPECT_GE(spans[0].micros, 0.0);
+    EXPECT_GE(spans[1].micros, 0.0);
+}
+
+//---------------------------------------------------------------------
+// Exporters
+//---------------------------------------------------------------------
+
+std::vector<RequestTrace>
+syntheticTraces()
+{
+    std::vector<RequestTrace> traces;
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+        RequestTrace t;
+        t.requestId = id;
+        // Adversarial label: exercises JSON and CSV escaping.
+        t.label = "linear \"q\" \\ tab\t 8x8";
+        t.cacheHit = id > 1;
+        t.ok = id != 3;
+        for (std::size_t s = 0; s < kTraceStages; ++s)
+            t.stageNanos[s] = 1'000'000 * id + 500 * s;
+        traces.push_back(std::move(t));
+    }
+    return traces;
+}
+
+TEST(TraceExport, ChromeJsonIsStrictlyValid)
+{
+    const std::string json = toChromeTraceJson(syntheticTraces());
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"request\""), std::string::npos);
+    // One request event + 7 spans per trace, 3 traces.
+    std::size_t events = 0;
+    for (std::size_t at = json.find("\"ph\"");
+         at != std::string::npos; at = json.find("\"ph\"", at + 1))
+        ++events;
+    EXPECT_EQ(events, 3u * (1 + (kTraceStages - 1)));
+}
+
+TEST(TraceExport, EmptyTraceListIsValidJson)
+{
+    EXPECT_TRUE(JsonChecker(toChromeTraceJson({})).valid());
+}
+
+TEST(TraceExport, CsvHasHeaderAndOneRowPerTrace)
+{
+    const std::string csv = toTraceCsv(syntheticTraces());
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < csv.size()) {
+        std::size_t end = csv.find('\n', start);
+        lines.push_back(csv.substr(start, end - start));
+        start = end == std::string::npos ? csv.size() : end + 1;
+    }
+    ASSERT_EQ(lines.size(), 1u + 3u);
+    EXPECT_EQ(lines[0],
+              "request_id,label,ok,cache_hit,total_micros,"
+              "decode_micros,route_micros,dequeue_micros,"
+              "prepare_micros,execute_micros,cq_push_micros,"
+              "writer_pop_micros,flush_micros");
+    // The label's embedded quote must be doubled per CSV quoting.
+    EXPECT_NE(lines[1].find("\"linear \"\"q\"\" \\ tab\t 8x8\""),
+              std::string::npos);
+}
+
+//---------------------------------------------------------------------
+// End-to-end loopback coverage
+//---------------------------------------------------------------------
+
+TEST(TraceEndToEnd, LoopbackRequestsStampEveryStage)
+{
+    const Index s = 8, w = 4;
+    const int kRequests = 6;
+
+    NetServer::Options opts;
+    opts.cluster.shards = 2;
+    opts.trace.enabled = true;
+    opts.trace.sampleEvery = 1; // commit every request
+    NetServer server(opts);
+    ASSERT_TRUE(server.start()) << server.error();
+
+    NetClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+    Dense<Scalar> a = randomIntDense(s, s, 1201);
+    for (int i = 0; i < kRequests; ++i) {
+        ServeRequest req;
+        req.engine = "linear";
+        req.plan = EnginePlan::matVec(
+            a, randomIntVec(s, 1210 + 2 * i),
+            randomIntVec(s, 1211 + 2 * i), w);
+        NetClient::Result r = client.submit(req);
+        ASSERT_TRUE(r.transportOk) << r.transportError;
+        ASSERT_TRUE(r.response.ok) << r.response.error;
+    }
+
+    // The writer commits just after flushing the response bytes the
+    // client already saw — wait out that last sliver.
+    std::vector<RequestTrace> traces;
+    for (int spin = 0; spin < 200; ++spin) {
+        traces = server.traceSnapshot();
+        if (traces.size() >= static_cast<std::size_t>(kRequests))
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_EQ(traces.size(), static_cast<std::size_t>(kRequests));
+
+    for (const RequestTrace &t : traces) {
+        SCOPED_TRACE("request " + std::to_string(t.requestId));
+        EXPECT_TRUE(t.ok);
+        EXPECT_FALSE(t.label.empty());
+        std::uint64_t prev = 0;
+        for (std::size_t stage = 0; stage < kTraceStages; ++stage) {
+            const std::uint64_t at = t.stageNanos[stage];
+            EXPECT_GT(at, 0u)
+                << "stage " << traceStageName(
+                       static_cast<TraceStage>(stage))
+                << " never stamped";
+            EXPECT_GE(at, prev) << "stages out of order";
+            prev = at;
+        }
+        EXPECT_GT(t.totalMicros(), 0.0);
+        EXPECT_EQ(traceSpans(t).size(), kTraceStages - 1);
+    }
+
+    // The committed traces round-trip through the exporter validly.
+    EXPECT_TRUE(JsonChecker(toChromeTraceJson(traces)).valid());
+
+    // Stage histograms landed in the server's metrics snapshot.
+    MetricsSnapshot snap = server.metricsSnapshot();
+    EXPECT_EQ(snap.histograms["trace_total_micros"].count,
+              static_cast<std::uint64_t>(kRequests));
+    EXPECT_EQ(snap.histograms["trace_stage_execute_micros"].count,
+              static_cast<std::uint64_t>(kRequests));
+
+    server.stop();
+}
+
+} // namespace
+} // namespace sap
