@@ -15,7 +15,14 @@
  *  - exports the committed traces as Chrome trace_event JSON
  *    (load obs_demo_trace.json in ui.perfetto.dev or
  *    chrome://tracing) and as CSV, and prints one sampled request's
- *    stage-by-stage span breakdown.
+ *    stage-by-stage span breakdown;
+ *
+ *  - scrapes the admin HTTP plane over loopback: a /metrics excerpt
+ *    (with the equivalent curl command line), the flight recorder's
+ *    /timeseriesz after a few sampler ticks, and a /healthz
+ *    saturation drill on a deliberately starved one-worker server —
+ *    watch it flip 200 -> 503 under a pipelined burst and recover
+ *    to 200 once drained.
  *
  * Exits nonzero on any failure: transport errors, zero committed
  * traces, missing pipeline stages in the sampled traces, or a
@@ -24,12 +31,17 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "mat/generate.hh"
 #include "net/client.hh"
@@ -82,6 +94,129 @@ counterOf(const MetricsSnapshot &snap, const std::string &name)
     return it == snap.counters.end() ? 0 : it->second;
 }
 
+/** Minimal loopback HTTP GET: returns the status code (0 on
+ *  transport failure) and fills @p body. What curl does, inline. */
+int
+httpGet(std::uint16_t port, const std::string &target,
+        std::string *body)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return 0;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return 0;
+    }
+    const std::string req =
+        "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+    std::size_t off = 0;
+    while (off < req.size()) {
+        ssize_t n = ::send(fd, req.data() + off, req.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            break;
+        off += static_cast<std::size_t>(n);
+    }
+    std::string resp;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        resp.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    if (resp.rfind("HTTP/1.1 ", 0) != 0 || resp.size() < 12)
+        return 0;
+    const int status = std::atoi(resp.c_str() + 9);
+    const std::size_t headEnd = resp.find("\r\n\r\n");
+    if (body)
+        *body = headEnd == std::string::npos
+                    ? std::string()
+                    : resp.substr(headEnd + 4);
+    return status;
+}
+
+/** The /healthz saturation drill: a one-worker server, a pipelined
+ *  burst, and the 200 -> 503 -> 200 transition observed live. */
+bool
+healthzDrill(bool tiny)
+{
+    NetServer::Options opts;
+    opts.cluster.shards = 1;
+    opts.cluster.threadsPerShard = 1;
+    opts.adminEnabled = true;
+    opts.health.degradedQueueDepth = 2;
+    opts.health.unhealthyQueueDepth = 8;
+    NetServer server(opts);
+    if (!server.start()) {
+        std::printf("healthz drill server failed: %s\n",
+                    server.error().c_str());
+        return false;
+    }
+    std::printf("\nhealthz drill (1 shard x 1 worker, unhealthy at "
+                "queue depth %.0f):\n",
+                opts.health.unhealthyQueueDepth);
+    std::printf("  before burst:  GET /healthz -> %d\n",
+                httpGet(server.adminPort(), "/healthz", nullptr));
+
+    const int burstLen = tiny ? 96 : 192;
+    const Index bs = 64;
+    std::vector<ServeRequest> burst;
+    for (int i = 0; i < burstLen; ++i) {
+        std::uint64_t seed = 9000 + 3 * static_cast<std::uint64_t>(i);
+        ServeRequest req;
+        req.engine = "linear";
+        req.plan = EnginePlan::matVec(randomIntDense(bs, bs, seed),
+                                      randomIntVec(bs, seed + 1),
+                                      randomIntVec(bs, seed + 2), 1);
+        burst.push_back(std::move(req));
+    }
+    std::atomic<bool> done{false};
+    std::thread submitter([&] {
+        NetClient client;
+        if (client.connect("127.0.0.1", server.port()))
+            client.submitBatch(burst);
+        done.store(true);
+    });
+    bool saw503 = false;
+    std::string reason;
+    for (int spin = 0; spin < 4000 && !saw503; ++spin) {
+        std::string body;
+        if (httpGet(server.adminPort(), "/healthz", &body) == 503) {
+            saw503 = true;
+            reason = body;
+        }
+        if (done.load())
+            break;
+    }
+    submitter.join();
+    if (saw503) {
+        while (!reason.empty() && reason.back() == '\n')
+            reason.pop_back();
+        std::printf("  under burst:   GET /healthz -> 503 (%s)\n",
+                    reason.c_str());
+    } else {
+        std::printf("  under burst:   never saw 503\n");
+    }
+    bool recovered = false;
+    for (int spin = 0; spin < 4000 && !recovered; ++spin) {
+        recovered =
+            httpGet(server.adminPort(), "/healthz", nullptr) == 200;
+        if (!recovered)
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::printf("  after drain:   GET /healthz -> %d\n",
+                recovered ? 200 : -1);
+    server.stop();
+    return saw503 && recovered;
+}
+
 } // namespace
 
 int
@@ -99,6 +234,8 @@ main()
     opts.trace.enabled = true;
     opts.trace.sampleEvery = 4;    // 1-in-4: demo wants visible traces
     opts.trace.slowMicros = 50000; // always commit + warn-log >=50ms
+    opts.adminEnabled = true;
+    opts.samplerIntervalSeconds = 0.1; // fast ticks for the demo
     NetServer server(opts);
     if (!server.start()) {
         std::printf("server failed to start: %s\n",
@@ -109,6 +246,9 @@ main()
                 "(slow >= %.0fms always)\n",
                 unsigned(server.port()), server.cluster().shardCount(),
                 opts.trace.sampleEvery, opts.trace.slowMicros / 1e3);
+    std::printf("admin plane: http://127.0.0.1:%u/ (metrics, healthz, "
+                "tracez, timeseriesz)\n",
+                unsigned(server.adminPort()));
 
     std::atomic<int> failures{0};
     std::vector<std::thread> clients;
@@ -191,6 +331,40 @@ main()
                         traceStageName(span.to), span.micros);
     }
 
+    // The admin plane: what an operator (or Prometheus) sees. The
+    // same bytes, from a shell:  curl http://127.0.0.1:PORT/metrics
+    std::string promText;
+    const int promStatus =
+        httpGet(server.adminPort(), "/metrics", &promText);
+    std::printf("\nGET /metrics -> %d (curl http://127.0.0.1:%u"
+                "/metrics); excerpt:\n",
+                promStatus, unsigned(server.adminPort()));
+    std::size_t shown = 0, pos = 0;
+    while (shown < 6 && pos < promText.size()) {
+        std::size_t eol = promText.find('\n', pos);
+        const std::string line = promText.substr(pos, eol - pos);
+        pos = eol == std::string::npos ? promText.size() : eol + 1;
+        if (line.rfind("serve_", 0) == 0 && ++shown)
+            std::printf("  %s\n", line.c_str());
+    }
+
+    // The flight recorder after a few 100 ms sampler ticks.
+    const FlightRecorder *recorder = server.flightRecorder();
+    for (int spin = 0; spin < 200; ++spin) {
+        if (recorder && recorder->samplesTaken() >= 3)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    std::string tsBody;
+    const int tsStatus =
+        httpGet(server.adminPort(), "/timeseriesz", &tsBody);
+    std::printf("GET /timeseriesz -> %d (%zu samples recorded, "
+                "%zu bytes of JSON)\n",
+                tsStatus, recorder ? recorder->samplesTaken() : 0,
+                tsBody.size());
+
+    const bool healthz_ok = healthzDrill(tiny);
+
     const char *dir = std::getenv("SAP_OBS_DEMO_DIR");
     const std::string base = dir ? std::string(dir) + "/" : "";
     bool wrote_json =
@@ -214,7 +388,8 @@ main()
             traces_complete = traces_complete && t.nanosAt(stage) > 0;
     bool ok = failures.load() == 0 &&
               counterOf(snap, "serve_requests_total") == expected &&
-              traces_complete && wrote_json && wrote_csv;
+              traces_complete && wrote_json && wrote_csv &&
+              promStatus == 200 && tsStatus == 200 && healthz_ok;
     std::printf("%s\n", ok ? "all good" : "FAILURES detected");
     return ok ? 0 : 1;
 }

@@ -4,10 +4,52 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
+#include <mutex>
 
 namespace sap {
 
 namespace {
+
+/** The optional log-file sink (SAP_LOG_FILE / setLogFile). */
+std::mutex g_log_file_mutex;
+std::FILE *g_log_file = nullptr;          // guarded by g_log_file_mutex
+std::atomic<bool> g_log_file_env_checked{false};
+
+/** Open @p path for append; returns false (stderr-only) on failure. */
+bool
+openLogFileLocked(const std::string &path)
+{
+    if (g_log_file) {
+        std::fclose(g_log_file);
+        g_log_file = nullptr;
+    }
+    if (path.empty())
+        return true;
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    if (!f) {
+        std::fprintf(stderr,
+                     "warn: cannot open SAP_LOG_FILE \"%s\"; "
+                     "logging to stderr only\n",
+                     path.c_str());
+        return false;
+    }
+    g_log_file = f;
+    return true;
+}
+
+/** First-use resolution of SAP_LOG_FILE (mirrors SAP_LOG). */
+void
+maybeInitLogFileFromEnv()
+{
+    if (g_log_file_env_checked.load(std::memory_order_acquire))
+        return;
+    std::lock_guard<std::mutex> lock(g_log_file_mutex);
+    if (g_log_file_env_checked.load(std::memory_order_relaxed))
+        return;
+    if (const char *env = std::getenv("SAP_LOG_FILE"))
+        openLogFileLocked(env);
+    g_log_file_env_checked.store(true, std::memory_order_release);
+}
 
 using SteadyClock = std::chrono::steady_clock;
 
@@ -94,6 +136,15 @@ setLogLevel(LogLevel level)
 }
 
 bool
+setLogFile(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(g_log_file_mutex);
+    // A programmatic choice wins over (and suppresses) the env var.
+    g_log_file_env_checked.store(true, std::memory_order_release);
+    return openLogFileLocked(path);
+}
+
+bool
 logEnabled(LogLevel level)
 {
     return static_cast<int>(level) <= static_cast<int>(logLevel());
@@ -177,6 +228,18 @@ logImpl(LogLevel level, const std::string &msg)
     std::fprintf(stderr, "%s.%06lldZ %12.6f t%02u %-5s %s\n", when,
                  static_cast<long long>(micros), monotonicSeconds(),
                  currentThreadId(), logLevelName(level), msg.c_str());
+    // Tee to the SAP_LOG_FILE sink when configured — again one
+    // stdio call per line, under the sink lock, then flushed so a
+    // crash loses at most the line being written.
+    maybeInitLogFileFromEnv();
+    std::lock_guard<std::mutex> lock(g_log_file_mutex);
+    if (g_log_file) {
+        std::fprintf(g_log_file, "%s.%06lldZ %12.6f t%02u %-5s %s\n",
+                     when, static_cast<long long>(micros),
+                     monotonicSeconds(), currentThreadId(),
+                     logLevelName(level), msg.c_str());
+        std::fflush(g_log_file);
+    }
 }
 
 } // namespace logging_detail

@@ -58,6 +58,19 @@ LogLevel logLevel();
 /** Override the threshold (tests, CLIs with a --verbose flag). */
 void setLogLevel(LogLevel level);
 
+/**
+ * Tee leveled log lines to @p path (opened in append mode) in
+ * addition to stderr, so long-running servers keep logs without
+ * shell redirection. Lines are written with one stdio call each
+ * under a lock, so concurrent threads never interleave within a
+ * line. An empty @p path closes the current file and stops teeing.
+ * First use also honors the SAP_LOG_FILE environment variable.
+ *
+ * @return true on success; false when the file could not be opened
+ * (logging continues on stderr alone).
+ */
+bool setLogFile(const std::string &path);
+
 /** True when a message at @p level would be emitted. */
 bool logEnabled(LogLevel level);
 

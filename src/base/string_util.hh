@@ -26,6 +26,10 @@ std::string padRight(const std::string &s, std::size_t width);
 std::string join(const std::vector<std::string> &parts,
                  const std::string &sep);
 
+/** Escape @p s for use inside a JSON string literal (RFC 8259:
+ *  quotes, backslashes, and control characters). */
+std::string jsonEscape(const std::string &s);
+
 } // namespace sap
 
 #endif // SAP_BASE_STRING_UTIL_HH

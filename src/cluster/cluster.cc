@@ -138,6 +138,15 @@ Cluster::metricsSnapshot() const
     return merged;
 }
 
+double
+Cluster::queueDepth() const
+{
+    double depth = 0;
+    for (const std::unique_ptr<Shard> &shard : shards_)
+        depth += shard->queueDepth();
+    return depth;
+}
+
 ServerStats
 Cluster::statsSnapshot() const
 {

@@ -163,6 +163,13 @@ class Cluster
      */
     MetricsSnapshot metricsSnapshot() const;
 
+    /**
+     * Requests enqueued but not yet picked up, summed across shards
+     * (0 when Options::metrics is off) — the health model's
+     * saturation input, cheaper than a metrics snapshot.
+     */
+    double queueDepth() const;
+
     /** Direct access to shard @p i (for tests and monitoring). */
     const Shard &shard(std::size_t i) const;
 

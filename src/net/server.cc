@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include "base/logging.hh"
+#include "obs/trace_export.hh"
 
 namespace sap {
 
@@ -129,6 +130,37 @@ NetServer::start()
         return false;
     }
 
+    // Admin plane comes up before the data-plane threads: if its
+    // port cannot bind, start() fails with nothing left to unwind
+    // but sockets. Its handlers tolerate the not-yet-serving state
+    // (healthz answers "not serving" until serving_ flips below).
+    if (opts_.adminEnabled) {
+        health_ = std::make_unique<HealthModel>(opts_.health);
+        FlightRecorderConfig rc;
+        rc.intervalSeconds = opts_.samplerIntervalSeconds;
+        rc.retainSamples = opts_.samplerRetainSamples;
+        recorder_ = std::make_unique<FlightRecorder>(
+            [this] { return metricsSnapshot(); }, rc);
+
+        HttpAdminServer::Options admin_opts;
+        admin_opts.port = opts_.adminPort;
+        admin_ = std::make_unique<HttpAdminServer>(admin_opts);
+        registerAdminRoutes(*admin_);
+        if (!admin_->start()) {
+            error_ = "admin: " + admin_->error();
+            admin_.reset();
+            recorder_.reset();
+            health_.reset();
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            ::close(wake_pipe_[0]);
+            ::close(wake_pipe_[1]);
+            wake_pipe_[0] = wake_pipe_[1] = -1;
+            return false;
+        }
+        recorder_->start();
+    }
+
     cluster_ = std::make_unique<Cluster>(opts_.cluster);
     reads_quiesced_ = false;
     flush_and_exit_.store(false);
@@ -150,6 +182,14 @@ NetServer::stop()
     if (!running_.compare_exchange_strong(expected, false))
         return;
     stopped_ = true;
+
+    // 0. Admin plane first: its threads call back into the cluster
+    //    and queue surfaces torn down below. The objects stay alive
+    //    (adminPort() remains answerable), only their threads stop.
+    if (admin_)
+        admin_->stop();
+    if (recorder_)
+        recorder_->stop();
 
     // 1. Stop accepting and reading; wait for the IO thread to
     //    acknowledge, so no submitToQueue() races the cluster drain.
@@ -205,6 +245,125 @@ NetServer::metricsSnapshot() const
     if (cluster_)
         snap.merge(cluster_->metricsSnapshot());
     return snap;
+}
+
+HealthReport
+NetServer::evaluateHealth() const
+{
+    HealthInputs in;
+    in.serving = serving_.load();
+    in.queueDepth = static_cast<double>(queue_.size());
+    {
+        std::lock_guard<std::mutex> lock(cluster_mutex_);
+        if (cluster_)
+            in.queueDepth += cluster_->queueDepth();
+    }
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        in.protocolErrors = net_stats_.protocolErrors;
+    }
+    if (recorder_)
+        in.p99Micros =
+            recorder_->latestValue("serve_latency_micros:p99");
+    in.nowSeconds = monotonicSeconds();
+    return health_->evaluate(in);
+}
+
+HealthReport
+NetServer::healthReport() const
+{
+    if (!health_) {
+        // No admin plane: degenerate always-healthy report keyed off
+        // the lifecycle flag alone.
+        HealthReport report;
+        report.state = HealthState::Ok;
+        report.live = true;
+        report.ready = serving_.load();
+        return report;
+    }
+    return evaluateHealth();
+}
+
+void
+NetServer::registerAdminRoutes(HttpAdminServer &admin)
+{
+    admin.addHandler("/", [](const HttpRequest &) {
+        HttpResponse resp;
+        resp.contentType = "text/html; charset=utf-8";
+        resp.body =
+            "<!doctype html><title>sap admin</title>"
+            "<h1>sap admin</h1><ul>"
+            "<li><a href=\"/metrics\">/metrics</a> — Prometheus "
+            "text exposition</li>"
+            "<li><a href=\"/healthz\">/healthz</a> — liveness "
+            "(200/503)</li>"
+            "<li><a href=\"/readyz\">/readyz</a> — readiness "
+            "(200/503)</li>"
+            "<li><a href=\"/tracez\">/tracez</a> — recent request "
+            "traces (<a href=\"/tracez?format=chrome\">Perfetto "
+            "format</a>)</li>"
+            "<li><a href=\"/varz\">/varz</a> — full metrics "
+            "snapshot as JSON</li>"
+            "<li><a href=\"/timeseriesz\">/timeseriesz</a> — "
+            "flight-recorder time series</li>"
+            "</ul>";
+        return resp;
+    });
+    admin.addHandler("/metrics", [this](const HttpRequest &) {
+        HttpResponse resp;
+        resp.contentType = "text/plain; version=0.0.4; charset=utf-8";
+        resp.body = renderPrometheus(metricsSnapshot());
+        return resp;
+    });
+    admin.addHandler("/varz", [this](const HttpRequest &) {
+        HttpResponse resp;
+        resp.contentType = "application/json";
+        resp.body = renderMetricsJson(metricsSnapshot());
+        return resp;
+    });
+    admin.addHandler("/healthz", [this](const HttpRequest &) {
+        const HealthReport report = evaluateHealth();
+        HttpResponse resp;
+        resp.status = report.live ? 200 : 503;
+        resp.body = std::string(healthStateName(report.state));
+        if (!report.reason.empty())
+            resp.body += ": " + report.reason;
+        resp.body += "\n";
+        return resp;
+    });
+    admin.addHandler("/readyz", [this](const HttpRequest &) {
+        const HealthReport report = evaluateHealth();
+        HttpResponse resp;
+        resp.status = report.ready ? 200 : 503;
+        resp.body = std::string(report.ready ? "ready" : "not ready");
+        if (!report.reason.empty())
+            resp.body += ": " + report.reason;
+        resp.body += "\n";
+        return resp;
+    });
+    admin.addHandler("/tracez", [this](const HttpRequest &req) {
+        HttpResponse resp;
+        resp.contentType = "application/json";
+        auto it = req.query.find("format");
+        if (it != req.query.end() && it->second == "chrome") {
+            resp.body = toChromeTraceJson(traceSnapshot());
+            // A download, not a page: chrome://tracing / Perfetto
+            // load the saved file.
+            resp.extraHeaders.emplace_back(
+                "Content-Disposition",
+                "attachment; filename=\"sap_trace.json\"");
+        } else {
+            resp.body = toTracezJson(traceSnapshot(),
+                                     collector_.totalCommitted());
+        }
+        return resp;
+    });
+    admin.addHandler("/timeseriesz", [this](const HttpRequest &) {
+        HttpResponse resp;
+        resp.contentType = "application/json";
+        resp.body = toTimeseriesJson(recorder_->snapshot());
+        return resp;
+    });
 }
 
 void

@@ -49,6 +49,9 @@
 
 #include "cluster/cluster.hh"
 #include "net/protocol.hh"
+#include "obs/health.hh"
+#include "obs/http_admin.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace_ring.hh"
 
 namespace sap {
@@ -106,6 +109,24 @@ class NetServer
          * a fully uninstrumented baseline.
          */
         bool metrics = true;
+        /**
+         * Admin HTTP plane (obs/http_admin.hh): when enabled, a
+         * second loopback port serves /metrics, /healthz, /readyz,
+         * /tracez, /varz, and /timeseriesz for curl, Prometheus
+         * scrapers, and load-balancer health checks. The binary
+         * METRICS/STATS frames remain the data-plane path.
+         */
+        bool adminEnabled = false;
+        /** Admin TCP port; 0 binds an ephemeral port (adminPort()). */
+        std::uint16_t adminPort = 0;
+        /** Health state machine thresholds (obs/health.hh). */
+        HealthThresholds health;
+        /** Flight recorder sample interval; the recorder (and its
+         *  sampler thread) runs only when the admin plane is on. */
+        double samplerIntervalSeconds = 1.0;
+        /** Flight recorder ring capacity per series (300 × 1 s ≈ 5
+         *  minutes of history at the default interval). */
+        std::size_t samplerRetainSamples = 300;
     };
 
     NetServer() : NetServer(Options()) {}
@@ -160,6 +181,27 @@ class NetServer
 
     /** The fronted cluster (valid until stop()). */
     const Cluster &cluster() const { return *cluster_; }
+
+    /** The admin plane's bound TCP port (0 unless adminEnabled and
+     *  start() succeeded). */
+    std::uint16_t adminPort() const
+    {
+        return admin_ ? admin_->port() : 0;
+    }
+
+    /**
+     * One health evaluation right now — exactly what /healthz and
+     * /readyz serve (obs/health.hh). Available whenever the admin
+     * plane is enabled; a disabled admin plane reports a default
+     * (Ok/live/ready-while-serving) state.
+     */
+    HealthReport healthReport() const;
+
+    /** The flight recorder (null unless adminEnabled). */
+    const FlightRecorder *flightRecorder() const
+    {
+        return recorder_.get();
+    }
 
   private:
     struct Connection
@@ -296,6 +338,22 @@ class NetServer
     /** Declared after net_metrics_: its stage-metrics pointer must
      *  outlive it. */
     TraceCollector collector_;
+
+    /** Register the admin routes on @p admin (start() helper). */
+    void registerAdminRoutes(HttpAdminServer &admin);
+    /** Gather HealthInputs and run them through health_. */
+    HealthReport evaluateHealth() const;
+
+    /**
+     * Admin plane (all null when Options::adminEnabled is off).
+     * Declared last: their threads call back into everything above
+     * (metricsSnapshot, queue_, collector_), so they must be
+     * destroyed first — and stop() shuts them down before the
+     * cluster teardown for the same reason.
+     */
+    std::unique_ptr<HealthModel> health_;
+    std::unique_ptr<FlightRecorder> recorder_;
+    std::unique_ptr<HttpAdminServer> admin_;
 };
 
 } // namespace sap

@@ -1,0 +1,121 @@
+#include "obs/health.hh"
+
+#include <sstream>
+
+namespace sap {
+
+namespace {
+
+/** "queue depth 312 >= 256" etc., built only when state != Ok. */
+std::string
+describe(const char *what, double value, double bound)
+{
+    std::ostringstream os;
+    os << what << " " << value << " >= " << bound;
+    return os.str();
+}
+
+} // namespace
+
+const char *
+healthStateName(HealthState state)
+{
+    switch (state) {
+      case HealthState::Ok:
+        return "ok";
+      case HealthState::Degraded:
+        return "degraded";
+      case HealthState::Unhealthy:
+        return "unhealthy";
+    }
+    return "?";
+}
+
+HealthModel::HealthModel(const HealthThresholds &thresholds)
+    : thresholds_(thresholds)
+{
+}
+
+HealthState
+HealthModel::state() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+}
+
+HealthReport
+HealthModel::evaluate(const HealthInputs &in)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+
+    // Protocol-error rate from the cumulative counter. Counter resets
+    // (server restart reusing a model) read as a negative delta: start
+    // the rate over instead of reporting a huge unsigned wrap.
+    double rate = prev_rate_;
+    if (!have_prev_ || in.protocolErrors < prev_errors_) {
+        rate = 0;
+        prev_errors_ = in.protocolErrors;
+        prev_seconds_ = in.nowSeconds;
+        have_prev_ = true;
+    } else if (in.nowSeconds - prev_seconds_ >= kMinRateWindowSeconds) {
+        rate = double(in.protocolErrors - prev_errors_) /
+               (in.nowSeconds - prev_seconds_);
+        prev_errors_ = in.protocolErrors;
+        prev_seconds_ = in.nowSeconds;
+    }
+    prev_rate_ = rate;
+
+    const HealthThresholds &t = thresholds_;
+
+    // Classify against the hard and soft thresholds independently;
+    // hysteresis below decides which classification is allowed to
+    // move the state.
+    HealthState assessed = HealthState::Ok;
+    std::string reason;
+    if (!in.serving) {
+        assessed = HealthState::Unhealthy;
+        reason = "not serving";
+    } else if (in.queueDepth >= t.unhealthyQueueDepth) {
+        assessed = HealthState::Unhealthy;
+        reason = describe("queue depth", in.queueDepth,
+                          t.unhealthyQueueDepth);
+    } else if (rate >= t.unhealthyProtocolErrorsPerSec) {
+        assessed = HealthState::Unhealthy;
+        reason = describe("protocol errors/s", rate,
+                          t.unhealthyProtocolErrorsPerSec);
+    } else if (in.queueDepth >= t.degradedQueueDepth) {
+        assessed = HealthState::Degraded;
+        reason =
+            describe("queue depth", in.queueDepth, t.degradedQueueDepth);
+    } else if (rate >= t.degradedProtocolErrorsPerSec) {
+        assessed = HealthState::Degraded;
+        reason = describe("protocol errors/s", rate,
+                          t.degradedProtocolErrorsPerSec);
+    } else if (t.p99BudgetMicros > 0 && in.p99Micros > t.p99BudgetMicros) {
+        assessed = HealthState::Degraded;
+        reason = describe("p99 micros", in.p99Micros, t.p99BudgetMicros);
+    }
+
+    // Hysteresis: leaving Unhealthy requires the *soft* classification
+    // to clear, i.e. assessed == Ok. While any degraded threshold is
+    // still tripped, an Unhealthy backend stays Unhealthy so it does
+    // not flap in and out of rotation at the hard boundary. ("not
+    // serving" clearing is lifecycle, not load — hysteresis would
+    // just keep a cleanly restarted model red.)
+    if (state_ == HealthState::Unhealthy &&
+        assessed == HealthState::Degraded && in.serving) {
+        reason += " (recovering; holding unhealthy)";
+        assessed = HealthState::Unhealthy;
+    }
+    state_ = assessed;
+
+    HealthReport report;
+    report.state = state_;
+    report.live = state_ != HealthState::Unhealthy;
+    report.ready = report.live && in.serving;
+    report.reason = state_ == HealthState::Ok ? std::string() : reason;
+    report.protocolErrorsPerSec = rate;
+    return report;
+}
+
+} // namespace sap

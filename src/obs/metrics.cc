@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "base/logging.hh"
+#include "base/string_util.hh"
 
 namespace sap {
 
@@ -231,6 +232,59 @@ mergeMetrics(const std::vector<MetricsSnapshot> &parts)
     return merged;
 }
 
+HistogramSnapshot
+histogramDelta(const HistogramSnapshot &now, const HistogramSnapshot &prev)
+{
+    std::vector<std::uint64_t> dense(kHistBuckets, 0);
+    for (std::size_t i = 0; i < now.bucketIndex.size(); ++i)
+        dense[now.bucketIndex[i]] += now.bucketCount[i];
+    for (std::size_t i = 0; i < prev.bucketIndex.size(); ++i) {
+        std::uint64_t &d = dense[prev.bucketIndex[i]];
+        d = d >= prev.bucketCount[i] ? d - prev.bucketCount[i] : 0;
+    }
+    HistogramSnapshot diff;
+    diff.sum = now.sum - prev.sum;
+    for (std::size_t i = 0; i < kHistBuckets; ++i) {
+        if (dense[i] == 0)
+            continue;
+        diff.bucketIndex.push_back(static_cast<std::uint32_t>(i));
+        diff.bucketCount.push_back(dense[i]);
+        diff.count += dense[i];
+        if (diff.bucketIndex.size() == 1)
+            diff.min = histBucketLower(i);
+        // Overflow bucket has no finite upper bound; report the last
+        // finite boundary instead.
+        diff.max = i + 1 < kHistBuckets
+                       ? histBucketUpper(i)
+                       : histBucketUpper(kHistBuckets - 2);
+    }
+    // A restarted source can shrink sum while buckets clamp to now's
+    // counts; keep sum consistent with "treat now as the whole story".
+    if (diff.sum < 0)
+        diff.sum = now.sum;
+    return diff;
+}
+
+MetricsSnapshot
+metricsDelta(const MetricsSnapshot &now, const MetricsSnapshot &prev)
+{
+    MetricsSnapshot delta;
+    for (const auto &[name, v] : now.counters) {
+        auto it = prev.counters.find(name);
+        const std::uint64_t p =
+            it == prev.counters.end() ? 0 : it->second;
+        delta.counters[name] = v >= p ? v - p : v;
+    }
+    delta.gauges = now.gauges;
+    for (const auto &[name, h] : now.histograms) {
+        auto it = prev.histograms.find(name);
+        delta.histograms[name] =
+            it == prev.histograms.end() ? h
+                                        : histogramDelta(h, it->second);
+    }
+    return delta;
+}
+
 namespace {
 
 /** %g with enough digits to round-trip in practice for exposition. */
@@ -244,35 +298,149 @@ fmtDouble(double v)
     return buf;
 }
 
+/** A double as a strict-JSON number token. JSON has no Inf/NaN;
+ *  non-finite values (the overflow bucket's +inf boundary) render as
+ *  null, which every JSON consumer can at least parse. */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+/** Exposition-format label *value* escaping: backslash, quote,
+ *  newline. (Names are never escaped; callers must pass valid
+ *  metric/label identifiers.) */
+std::string
+promLabelEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** Pre-rendered `key="value"` pairs, comma-joined (no braces). */
+std::string
+renderLabelPairs(const std::map<std::string, std::string> &labels)
+{
+    std::string out;
+    for (const auto &[k, v] : labels) {
+        if (!out.empty())
+            out += ",";
+        out += k + "=\"" + promLabelEscape(v) + "\"";
+    }
+    return out;
+}
+
 } // namespace
 
 std::string
-renderPrometheus(const MetricsSnapshot &snap)
+renderPrometheus(const MetricsSnapshot &snap,
+                 const std::map<std::string, std::string> &labels)
 {
+    // "{a="1"}" when labels exist, "" when not — appended to every
+    // non-bucket sample name.
+    const std::string pairs = renderLabelPairs(labels);
+    const std::string plain = pairs.empty() ? "" : "{" + pairs + "}";
+    // Bucket lines already carry `le`; prefix the shared labels.
+    const std::string bucketPrefix =
+        pairs.empty() ? "_bucket{le=\"" : "_bucket{" + pairs + ",le=\"";
+
     std::string out;
     out.reserve(4096);
     for (const auto &[name, v] : snap.counters) {
         out += "# TYPE " + name + " counter\n";
-        out += name + " " + std::to_string(v) + "\n";
+        out += name + plain + " " + std::to_string(v) + "\n";
     }
     for (const auto &[name, gv] : snap.gauges) {
         out += "# TYPE " + name + " gauge\n";
-        out += name + " " + fmtDouble(gv.value) + "\n";
+        out += name + plain + " " + fmtDouble(gv.value) + "\n";
     }
     for (const auto &[name, h] : snap.histograms) {
         out += "# TYPE " + name + " histogram\n";
         std::uint64_t cum = 0;
         for (std::size_t k = 0; k < h.bucketIndex.size(); ++k) {
             cum += h.bucketCount[k];
-            out += name + "_bucket{le=\"" +
+            out += name + bucketPrefix +
                    fmtDouble(histBucketUpper(h.bucketIndex[k])) + "\"} " +
                    std::to_string(cum) + "\n";
         }
-        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) +
+        out += name + bucketPrefix + "+Inf\"} " +
+               std::to_string(h.count) + "\n";
+        out += name + "_sum" + plain + " " + fmtDouble(h.sum) + "\n";
+        out += name + "_count" + plain + " " + std::to_string(h.count) +
                "\n";
-        out += name + "_sum " + fmtDouble(h.sum) + "\n";
-        out += name + "_count " + std::to_string(h.count) + "\n";
     }
+    return out;
+}
+
+std::string
+renderPrometheus(const MetricsSnapshot &snap)
+{
+    return renderPrometheus(snap, {});
+}
+
+std::string
+renderMetricsJson(const MetricsSnapshot &snap)
+{
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, v] : snap.counters) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(name) + "\":" + std::to_string(v);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, gv] : snap.gauges) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(name) + "\":{\"value\":" +
+               jsonNumber(gv.value) + ",\"agg\":\"" +
+               (gv.agg == GaugeAgg::Max ? "max" : "sum") + "\"}";
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : snap.histograms) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(name) + "\":{";
+        out += "\"count\":" + std::to_string(h.count);
+        out += ",\"sum\":" + jsonNumber(h.sum);
+        out += ",\"min\":" + jsonNumber(h.count ? h.min : 0);
+        out += ",\"max\":" + jsonNumber(h.count ? h.max : 0);
+        out += ",\"mean\":" + jsonNumber(h.mean());
+        out += ",\"p50\":" + jsonNumber(h.quantile(0.5));
+        out += ",\"p90\":" + jsonNumber(h.quantile(0.9));
+        out += ",\"p99\":" + jsonNumber(h.quantile(0.99));
+        out += ",\"buckets\":[";
+        for (std::size_t k = 0; k < h.bucketIndex.size(); ++k) {
+            if (k)
+                out += ",";
+            out += "{\"le\":" +
+                   jsonNumber(histBucketUpper(h.bucketIndex[k])) +
+                   ",\"count\":" + std::to_string(h.bucketCount[k]) +
+                   "}";
+        }
+        out += "]}";
+    }
+    out += "}}";
     return out;
 }
 

@@ -244,10 +244,49 @@ class MetricsRegistry
 MetricsSnapshot mergeMetrics(const std::vector<MetricsSnapshot> &parts);
 
 /**
+ * The interval histogram @p now − @p prev, bucket-by-bucket — the
+ * inverse of merge(), and exact for the same reason. Min/max are not
+ * subtractable, so the delta takes its bounds from the populated
+ * buckets (the overflow bucket reports the last finite boundary);
+ * quantiles stay exact to bucket resolution. A count that shrank
+ * (restarted source) clamps to the @p now value bucket-wise rather
+ * than underflowing.
+ */
+HistogramSnapshot histogramDelta(const HistogramSnapshot &now,
+                                 const HistogramSnapshot &prev);
+
+/**
+ * The interval snapshot @p now − @p prev: counters subtract (clamped
+ * at 0 on restarts; a counter absent from @p prev reports its full
+ * @p now value), gauges pass through their current value (deltas of
+ * instantaneous values are meaningless), histograms go through
+ * histogramDelta(). Metrics absent from @p now are omitted.
+ */
+MetricsSnapshot metricsDelta(const MetricsSnapshot &now,
+                             const MetricsSnapshot &prev);
+
+/**
  * Render a snapshot as Prometheus text exposition (# TYPE comments,
  * cumulative _bucket{le="..."} lines, _sum and _count).
  */
 std::string renderPrometheus(const MetricsSnapshot &snap);
+
+/**
+ * Same, with @p labels attached to every sample line (merged with the
+ * histogram `le` label). Label values are escaped per the exposition
+ * format: `\` → `\\`, `"` → `\"`, newline → `\n`.
+ */
+std::string renderPrometheus(
+    const MetricsSnapshot &snap,
+    const std::map<std::string, std::string> &labels);
+
+/**
+ * Render a snapshot as a JSON object (strict RFC 8259): top-level
+ * "counters", "gauges" (value + agg), and "histograms" (count, sum,
+ * min, max, mean, p50/p90/p99, sparse buckets). Deterministic: map
+ * order in, same text out.
+ */
+std::string renderMetricsJson(const MetricsSnapshot &snap);
 
 } // namespace sap
 

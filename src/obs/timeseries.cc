@@ -1,0 +1,223 @@
+#include "obs/timeseries.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "base/string_util.hh"
+
+namespace sap {
+
+namespace {
+
+/** Shortest interval sample() will divide by (clock went backwards,
+ *  or a test folded two samples at the same timestamp). */
+constexpr double kMinIntervalSeconds = 1e-3;
+
+std::string
+tsJsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+FlightRecorder::Ring::push(double v, std::size_t capacity)
+{
+    if (slots.size() < capacity) {
+        slots.push_back(v);
+        head = slots.size() % capacity;
+        count = slots.size();
+        return;
+    }
+    slots[head] = v;
+    head = (head + 1) % slots.size();
+    count = slots.size();
+}
+
+std::vector<double>
+FlightRecorder::Ring::ordered() const
+{
+    std::vector<double> out;
+    out.reserve(count);
+    if (count < slots.size()) {
+        // Still filling: slots[0..count) are already oldest-first.
+        out.assign(slots.begin(), slots.begin() + count);
+        return out;
+    }
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        out.push_back(slots[(head + i) % slots.size()]);
+    return out;
+}
+
+FlightRecorder::FlightRecorder(Source source,
+                               const FlightRecorderConfig &config)
+    : source_(std::move(source)), config_(config)
+{
+    config_.intervalSeconds = std::max(config_.intervalSeconds, 0.01);
+    config_.retainSamples = std::max<std::size_t>(config_.retainSamples, 2);
+}
+
+FlightRecorder::~FlightRecorder()
+{
+    stop();
+}
+
+void
+FlightRecorder::start()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (thread_running_)
+        return;
+    stop_requested_ = false;
+    thread_running_ = true;
+    thread_ = std::thread(&FlightRecorder::samplerLoop, this);
+}
+
+void
+FlightRecorder::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!thread_running_)
+            return;
+        stop_requested_ = true;
+        cv_.notify_all();
+    }
+    thread_.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    thread_running_ = false;
+}
+
+void
+FlightRecorder::samplerLoop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait_for(
+                lock,
+                std::chrono::duration<double>(config_.intervalSeconds),
+                [&] { return stop_requested_; });
+            if (stop_requested_)
+                return;
+        }
+        // Take the (potentially slow: cluster-wide merge) snapshot
+        // outside the lock so readers never wait on the source.
+        sample(source_(), monotonicSeconds());
+    }
+}
+
+void
+FlightRecorder::pushLocked(const std::string &name, double v)
+{
+    series_[name].push(v, config_.retainSamples);
+}
+
+void
+FlightRecorder::sample(const MetricsSnapshot &snap, double nowSeconds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    double interval = config_.intervalSeconds;
+    if (have_prev_)
+        interval = std::max(nowSeconds - prev_seconds_,
+                            kMinIntervalSeconds);
+
+    // First sample: establish the baseline only. Rates need two
+    // points; publishing cumulative totals as "rates" would spike
+    // every chart at t=0.
+    if (have_prev_) {
+        const MetricsSnapshot delta = metricsDelta(snap, prev_);
+        times_.push(nowSeconds, config_.retainSamples);
+        for (const auto &[name, v] : delta.counters)
+            pushLocked(name + ":rate",
+                       static_cast<double>(v) / interval);
+        for (const auto &[name, gv] : delta.gauges)
+            pushLocked(name, gv.value);
+        for (const auto &[name, h] : delta.histograms) {
+            pushLocked(name + ":rate",
+                       static_cast<double>(h.count) / interval);
+            pushLocked(name + ":p50", h.quantile(0.5));
+            pushLocked(name + ":p99", h.quantile(0.99));
+        }
+    }
+    prev_ = snap;
+    prev_seconds_ = nowSeconds;
+    have_prev_ = true;
+    ++samples_taken_;
+}
+
+FlightRecorderSnapshot
+FlightRecorder::snapshot() const
+{
+    FlightRecorderSnapshot out;
+    std::lock_guard<std::mutex> lock(mu_);
+    out.intervalSeconds = config_.intervalSeconds;
+    out.timesSeconds = times_.ordered();
+    out.series.reserve(series_.size());
+    for (const auto &[name, ring] : series_) {
+        TimeSeries ts;
+        ts.name = name;
+        ts.values = ring.ordered();
+        out.series.push_back(std::move(ts));
+    }
+    return out;
+}
+
+double
+FlightRecorder::latestValue(const std::string &name, double fallback) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = series_.find(name);
+    if (it == series_.end() || it->second.count == 0)
+        return fallback;
+    const Ring &ring = it->second;
+    const std::size_t last =
+        ring.count < ring.slots.size()
+            ? ring.count - 1
+            : (ring.head + ring.slots.size() - 1) % ring.slots.size();
+    return ring.slots[last];
+}
+
+std::uint64_t
+FlightRecorder::samplesTaken() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_taken_;
+}
+
+std::string
+toTimeseriesJson(const FlightRecorderSnapshot &snap)
+{
+    std::string out = "{\"interval_seconds\":" +
+                      tsJsonNumber(snap.intervalSeconds) + ",\"times\":[";
+    for (std::size_t i = 0; i < snap.timesSeconds.size(); ++i) {
+        if (i)
+            out += ",";
+        out += tsJsonNumber(snap.timesSeconds[i]);
+    }
+    out += "],\"series\":{";
+    for (std::size_t s = 0; s < snap.series.size(); ++s) {
+        if (s)
+            out += ",";
+        out += "\"" + jsonEscape(snap.series[s].name) + "\":[";
+        const std::vector<double> &vals = snap.series[s].values;
+        for (std::size_t i = 0; i < vals.size(); ++i) {
+            if (i)
+                out += ",";
+            out += tsJsonNumber(vals[i]);
+        }
+        out += "]";
+    }
+    out += "}}";
+    return out;
+}
+
+} // namespace sap

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Flight recorder: a bounded in-process time series of metric
+ * snapshots, so "what happened in the last five minutes" survives
+ * without any external scrape infrastructure.
+ *
+ * A background sampler thread (or a test calling sample() directly)
+ * snapshots a MetricsRegistry source on a fixed interval and folds
+ * each snapshot into per-series rings of doubles:
+ *
+ *   counter    "name:rate"   events/s over the interval
+ *   gauge      "name"        instantaneous value at the sample
+ *   histogram  "name:rate"   samples/s over the interval
+ *              "name:p50"    interval p50 (histogramDelta quantile)
+ *              "name:p99"    interval p99
+ *
+ * Everything is *per interval*, not cumulative — the quantity an
+ * operator actually wants from a dashboard — computed with the same
+ * exact bucket-subtraction (metricsDelta) the sap_stats --watch CLI
+ * uses. Memory is fixed: retainSamples doubles per series (default
+ * 300 × 1 s ≈ 5 minutes), regardless of uptime. Rings only ever grow
+ * in series *count* when new metrics appear, bounded by the registry
+ * size.
+ *
+ * Thread-safety: start()/stop()/sample()/snapshot()/latestValue()
+ * serialize on an internal mutex; the sampler thread takes the source
+ * snapshot outside the lock so a slow source never blocks readers.
+ */
+
+#ifndef SAP_OBS_TIMESERIES_HH
+#define SAP_OBS_TIMESERIES_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace sap {
+
+/** Sampler cadence and retention (see file comment). */
+struct FlightRecorderConfig
+{
+    /** Seconds between samples (clamped to >= 0.01). */
+    double intervalSeconds = 1.0;
+    /** Ring capacity per series (clamped to >= 2). 300 × 1 s ≈ 5
+     *  minutes of history. */
+    std::size_t retainSamples = 300;
+};
+
+/** One series' recent values, oldest first (snapshot() output). */
+struct TimeSeries
+{
+    std::string name;
+    std::vector<double> values;
+};
+
+/** Point-in-time copy of the recorder state. */
+struct FlightRecorderSnapshot
+{
+    double intervalSeconds = 0;
+    /** Monotonic seconds of each retained sample, oldest first; all
+     *  series are parallel to this axis (shorter series are
+     *  right-aligned: a series with k values covers the *last* k
+     *  timestamps). */
+    std::vector<double> timesSeconds;
+    std::vector<TimeSeries> series;
+};
+
+/**
+ * The recorder. Construct with a snapshot source (e.g. a lambda over
+ * NetServer::metricsSnapshot), then either start() the background
+ * sampler or drive sample() by hand (tests, single-threaded tools).
+ */
+class FlightRecorder
+{
+  public:
+    using Source = std::function<MetricsSnapshot()>;
+
+    FlightRecorder(Source source, const FlightRecorderConfig &config);
+
+    /** Stops the sampler thread (if running). */
+    ~FlightRecorder();
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** Spawn the sampler thread; idempotent. */
+    void start();
+
+    /** Join the sampler thread; idempotent, called by destructor. */
+    void stop();
+
+    /**
+     * Fold one externally taken snapshot at time @p nowSeconds into
+     * the rings (what the sampler thread does each tick; public so
+     * tests and CLIs can drive the recorder deterministically).
+     * Out-of-order samples (nowSeconds <= the previous sample) are
+     * folded with a minimum-width interval rather than dividing by
+     * zero or negative time.
+     */
+    void sample(const MetricsSnapshot &snap, double nowSeconds);
+
+    /** All retained series (bounded copy; safe from any thread). */
+    FlightRecorderSnapshot snapshot() const;
+
+    /**
+     * The newest value of one derived series ("serve_latency_micros:p99",
+     * "net_bytes_received_total:rate", ...), or @p fallback when the
+     * series does not exist yet or holds no samples.
+     */
+    double latestValue(const std::string &name, double fallback = 0) const;
+
+    /** Samples folded so far (monotone; for tests to await a tick). */
+    std::uint64_t samplesTaken() const;
+
+    const FlightRecorderConfig &config() const { return config_; }
+
+  private:
+    /** Fixed-capacity ring of doubles (capacity = retainSamples). */
+    struct Ring
+    {
+        std::vector<double> slots;
+        std::size_t head = 0;  ///< next write position
+        std::size_t count = 0; ///< valid values (<= slots.size())
+
+        void push(double v, std::size_t capacity);
+        std::vector<double> ordered() const; ///< oldest first
+    };
+
+    void samplerLoop();
+    void pushLocked(const std::string &name, double v);
+
+    Source source_;
+    FlightRecorderConfig config_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_; ///< wakes the sampler for stop()
+    bool thread_running_ = false;
+    bool stop_requested_ = false;
+    std::thread thread_;
+
+    bool have_prev_ = false;
+    MetricsSnapshot prev_;
+    double prev_seconds_ = 0;
+    std::uint64_t samples_taken_ = 0;
+    Ring times_;
+    std::map<std::string, Ring> series_;
+};
+
+/**
+ * The /timeseriesz payload: strict-JSON object with
+ * "interval_seconds", "times" (monotonic seconds, oldest first), and
+ * "series" (name → right-aligned value array; see
+ * FlightRecorderSnapshot::timesSeconds).
+ */
+std::string toTimeseriesJson(const FlightRecorderSnapshot &snap);
+
+} // namespace sap
+
+#endif // SAP_OBS_TIMESERIES_HH

@@ -3,47 +3,11 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "base/string_util.hh"
+
 namespace sap {
 
 namespace {
-
-/** JSON string escaping for the label field (quotes, backslashes,
- *  control characters; engine labels are ASCII in practice). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned>(c));
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
 
 /** CSV quoted-field escaping: double any embedded quote. */
 std::string
@@ -111,6 +75,43 @@ toChromeTraceJson(const std::vector<RequestTrace> &traces)
         }
     }
     out += "\n  ],\n  \"displayTimeUnit\": \"ns\"\n}\n";
+    return out;
+}
+
+std::string
+toTracezJson(const std::vector<RequestTrace> &traces,
+             std::uint64_t totalCommitted)
+{
+    std::string out = "{\"total_committed\":" +
+                      std::to_string(totalCommitted) +
+                      ",\"count\":" + std::to_string(traces.size()) +
+                      ",\"traces\":[";
+    bool firstTrace = true;
+    for (const RequestTrace &t : traces) {
+        if (!firstTrace)
+            out += ",";
+        firstTrace = false;
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.3f", t.totalMicros());
+        out += "{\"request_id\":" + std::to_string(t.requestId) +
+               ",\"label\":\"" + jsonEscape(t.label) + "\",\"ok\":" +
+               (t.ok ? "true" : "false") + ",\"cache_hit\":" +
+               (t.cacheHit ? "true" : "false") + ",\"total_micros\":" +
+               buf + ",\"stages\":{";
+        bool firstStage = true;
+        for (std::size_t i = 0; i < kTraceStages; ++i) {
+            if (!t.stageNanos[i])
+                continue;
+            if (!firstStage)
+                out += ",";
+            firstStage = false;
+            out += std::string("\"") +
+                   traceStageName(static_cast<TraceStage>(i)) +
+                   "\":" + fmtMicros(t.stageNanos[i]);
+        }
+        out += "}}";
+    }
+    out += "]}";
     return out;
 }
 

@@ -32,6 +32,17 @@ std::string toChromeTraceJson(const std::vector<RequestTrace> &traces);
  */
 std::string toTraceCsv(const std::vector<RequestTrace> &traces);
 
+/**
+ * The /tracez payload: strict-JSON object with "total_committed"
+ * (traces committed since start, including ones the rings have since
+ * overwritten), "count", and "traces" — one object per trace with
+ * request id, label, ok, cache_hit, total_micros, and a "stages"
+ * object mapping stage name → absolute microsecond timestamp
+ * (unstamped stages omitted).
+ */
+std::string toTracezJson(const std::vector<RequestTrace> &traces,
+                         std::uint64_t totalCommitted);
+
 } // namespace sap
 
 #endif // SAP_OBS_TRACE_EXPORT_HH

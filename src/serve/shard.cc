@@ -498,4 +498,10 @@ Shard::metricsSnapshot() const
     return snap;
 }
 
+double
+Shard::queueDepth() const
+{
+    return inst_.queueDepth ? inst_.queueDepth->value() : 0;
+}
+
 } // namespace sap

@@ -180,6 +180,13 @@ class Shard
      */
     MetricsSnapshot metricsSnapshot() const;
 
+    /**
+     * Requests enqueued but not yet picked up by a worker, from the
+     * live queue-depth gauge (0 when Options::metrics is off) — the
+     * health model's saturation input, cheaper than a full snapshot.
+     */
+    double queueDepth() const;
+
   private:
     /** One batched request plus the promise that resolves it. */
     struct Job

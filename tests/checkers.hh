@@ -1,0 +1,475 @@
+/**
+ * @file
+ * Strict output-format validators shared across test suites: a JSON
+ * checker (RFC 8259 grammar, no extensions) and a Prometheus text
+ * exposition-format checker. Both validate by parsing, not by
+ * substring sniffing, so a malformed export fails loudly.
+ */
+
+#ifndef SAP_TESTS_CHECKERS_HH
+#define SAP_TESTS_CHECKERS_HH
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace sap {
+
+//---------------------------------------------------------------------
+// Strict JSON validator (RFC 8259 grammar, no extensions).
+//---------------------------------------------------------------------
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(std::string text) : s_(std::move(text)) {}
+
+    /** True iff the whole input is exactly one valid JSON value. */
+    bool valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size()) {
+            const unsigned char c =
+                static_cast<unsigned char>(s_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20)
+                return false; // raw control character
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+                const char e = s_[pos_];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (pos_ >= s_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                s_[pos_])))
+                            return false;
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false; // unterminated
+    }
+
+    bool number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!digit())
+            return false;
+        if (s_[pos_] == '0') {
+            ++pos_;
+        } else {
+            while (digit())
+                ++pos_;
+        }
+        if (peek() == '.') {
+            ++pos_;
+            if (!digit())
+                return false;
+            while (digit())
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!digit())
+                return false;
+            while (digit())
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++pos_)
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                return false;
+        return true;
+    }
+
+    bool digit() const
+    {
+        return pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9';
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    std::string s_; // owned: callers pass temporaries
+    std::size_t pos_ = 0;
+};
+
+//---------------------------------------------------------------------
+// Prometheus text exposition-format validator.
+//---------------------------------------------------------------------
+
+/**
+ * Validates the subset of the exposition format renderPrometheus
+ * emits — and everything a scraper requires of it:
+ *
+ *  - every line is `# TYPE name type`, `# HELP ...`, or a sample
+ *    `name{labels} value`;
+ *  - metric and label names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+ *  - label values use only the legal escapes (\\, \", \n) and no raw
+ *    quote/newline;
+ *  - sample values are numbers or +Inf/-Inf/NaN;
+ *  - every sample's base name was TYPE-declared first (histogram
+ *    samples may carry the _bucket/_sum/_count suffixes);
+ *  - the exposition ends with a newline.
+ *
+ * error() names the first offending line for the test failure text.
+ */
+class PromChecker
+{
+  public:
+    explicit PromChecker(std::string text) : s_(std::move(text)) {}
+
+    bool valid()
+    {
+        if (s_.empty() || s_.back() != '\n') {
+            error_ = "exposition must end with a newline";
+            return false;
+        }
+        std::size_t start = 0;
+        while (start < s_.size()) {
+            std::size_t end = s_.find('\n', start);
+            const std::string line = s_.substr(start, end - start);
+            start = end + 1;
+            if (line.empty())
+                continue; // blank lines are legal separators
+            if (!checkLine(line)) {
+                if (error_.empty())
+                    error_ = "bad line: " + line;
+                return false;
+            }
+        }
+        return true;
+    }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    static bool nameStart(char c)
+    {
+        return std::isalpha(static_cast<unsigned char>(c)) ||
+               c == '_' || c == ':';
+    }
+    static bool nameChar(char c)
+    {
+        return nameStart(c) ||
+               std::isdigit(static_cast<unsigned char>(c));
+    }
+
+    /** Parse a metric/label name at @p pos; empty on failure. */
+    static std::string parseName(const std::string &line,
+                                 std::size_t *pos)
+    {
+        std::size_t p = *pos;
+        if (p >= line.size() || !nameStart(line[p]))
+            return "";
+        std::size_t startPos = p;
+        while (p < line.size() && nameChar(line[p]))
+            ++p;
+        *pos = p;
+        return line.substr(startPos, p - startPos);
+    }
+
+    bool checkLine(const std::string &line)
+    {
+        if (line[0] == '#')
+            return checkComment(line);
+        return checkSample(line);
+    }
+
+    bool checkComment(const std::string &line)
+    {
+        if (line.rfind("# HELP ", 0) == 0)
+            return true; // free text follows; nothing to validate
+        if (line.rfind("# TYPE ", 0) != 0) {
+            error_ = "unknown comment form: " + line;
+            return false;
+        }
+        std::size_t pos = 7;
+        const std::string name = parseName(line, &pos);
+        if (name.empty() || pos >= line.size() || line[pos] != ' ') {
+            error_ = "bad TYPE line: " + line;
+            return false;
+        }
+        const std::string type = line.substr(pos + 1);
+        if (type != "counter" && type != "gauge" &&
+            type != "histogram" && type != "summary" &&
+            type != "untyped") {
+            error_ = "bad metric type: " + line;
+            return false;
+        }
+        if (types_.count(name)) {
+            error_ = "duplicate TYPE for " + name;
+            return false;
+        }
+        types_[name] = type;
+        return true;
+    }
+
+    /** The declared base name a sample name must resolve to. */
+    bool declared(const std::string &sample)
+    {
+        auto it = types_.find(sample);
+        if (it != types_.end())
+            return it->second != "histogram";
+        for (const char *suffix : {"_bucket", "_sum", "_count"}) {
+            const std::string sfx = suffix;
+            if (sample.size() > sfx.size() &&
+                sample.compare(sample.size() - sfx.size(), sfx.size(),
+                               sfx) == 0) {
+                auto base = types_.find(
+                    sample.substr(0, sample.size() - sfx.size()));
+                if (base != types_.end() &&
+                    base->second == "histogram")
+                    return true;
+            }
+        }
+        return false;
+    }
+
+    bool checkSample(const std::string &line)
+    {
+        std::size_t pos = 0;
+        const std::string name = parseName(line, &pos);
+        if (name.empty()) {
+            error_ = "bad metric name: " + line;
+            return false;
+        }
+        if (!declared(name)) {
+            error_ = "sample without TYPE: " + name;
+            return false;
+        }
+        if (pos < line.size() && line[pos] == '{' &&
+            !checkLabels(line, &pos))
+            return false;
+        if (pos >= line.size() || line[pos] != ' ') {
+            error_ = "missing value separator: " + line;
+            return false;
+        }
+        ++pos;
+        // Optional trailing timestamp is not emitted here; require
+        // value-only lines.
+        return checkValue(line.substr(pos), line);
+    }
+
+    bool checkLabels(const std::string &line, std::size_t *pos)
+    {
+        std::size_t p = *pos + 1; // '{'
+        for (;;) {
+            std::size_t q = p;
+            const std::string label = parseName(line, &q);
+            if (label.empty() || q >= line.size() || line[q] != '=' ||
+                q + 1 >= line.size() || line[q + 1] != '"') {
+                error_ = "bad label syntax: " + line;
+                return false;
+            }
+            p = q + 2;
+            for (;;) {
+                if (p >= line.size()) {
+                    error_ = "unterminated label value: " + line;
+                    return false;
+                }
+                const char c = line[p];
+                if (c == '"')
+                    break;
+                if (c == '\\') {
+                    if (p + 1 >= line.size() ||
+                        (line[p + 1] != '\\' && line[p + 1] != '"' &&
+                         line[p + 1] != 'n')) {
+                        error_ = "bad escape in label: " + line;
+                        return false;
+                    }
+                    ++p; // skip the escaped char too
+                }
+                ++p;
+            }
+            ++p; // closing '"'
+            if (p < line.size() && line[p] == ',') {
+                ++p;
+                continue;
+            }
+            if (p < line.size() && line[p] == '}') {
+                ++p;
+                *pos = p;
+                return true;
+            }
+            error_ = "bad label list: " + line;
+            return false;
+        }
+    }
+
+    bool checkValue(const std::string &value, const std::string &line)
+    {
+        if (value == "+Inf" || value == "-Inf" || value == "NaN")
+            return true;
+        if (value.empty()) {
+            error_ = "empty value: " + line;
+            return false;
+        }
+        std::size_t p = 0;
+        if (value[p] == '-' || value[p] == '+')
+            ++p;
+        bool digits = false;
+        while (p < value.size() &&
+               std::isdigit(static_cast<unsigned char>(value[p]))) {
+            ++p;
+            digits = true;
+        }
+        if (p < value.size() && value[p] == '.') {
+            ++p;
+            while (p < value.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(value[p]))) {
+                ++p;
+                digits = true;
+            }
+        }
+        if (digits && p < value.size() &&
+            (value[p] == 'e' || value[p] == 'E')) {
+            ++p;
+            if (p < value.size() &&
+                (value[p] == '+' || value[p] == '-'))
+                ++p;
+            bool expDigits = false;
+            while (p < value.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(value[p]))) {
+                ++p;
+                expDigits = true;
+            }
+            if (!expDigits)
+                digits = false;
+        }
+        if (!digits || p != value.size()) {
+            error_ = "bad sample value: " + line;
+            return false;
+        }
+        return true;
+    }
+
+    std::string s_; // owned: callers pass temporaries
+    std::string error_;
+    std::map<std::string, std::string> types_;
+};
+
+} // namespace sap
+
+#endif // SAP_TESTS_CHECKERS_HH

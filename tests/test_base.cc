@@ -5,6 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "base/logging.hh"
 #include "base/math_util.hh"
 #include "base/random.hh"
 #include "base/string_util.hh"
@@ -104,6 +111,53 @@ TEST(Rng, SeedsDiffer)
         if (a.uniformInt(0, 1 << 30) == b.uniformInt(0, 1 << 30))
             ++same;
     EXPECT_LT(same, 5);
+}
+
+TEST(StringUtil, JsonEscape)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("line\nfeed\ttab\rret"),
+              "line\\nfeed\\ttab\\rret");
+    EXPECT_EQ(jsonEscape(std::string("nul\x01", 4)), "nul\\u0001");
+}
+
+TEST(Logging, SetLogFileTeesAndCloses)
+{
+    std::string path = ::testing::TempDir() + "sap_log_tee_test.log";
+    std::remove(path.c_str());
+
+    ASSERT_TRUE(setLogFile(path));
+    SAP_LOG_INFO("tee check ", 12345, " end");
+    ASSERT_TRUE(setLogFile("")); // close and disable
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(contents.find("tee check 12345 end"), std::string::npos)
+        << contents;
+    // One line, fully formed (timestamped prefix, newline-terminated).
+    EXPECT_EQ(std::count(contents.begin(), contents.end(), '\n'), 1);
+    EXPECT_NE(contents.find("info"), std::string::npos);
+
+    // Lines logged while disabled must not reach the file.
+    SAP_LOG_INFO("after close");
+    std::ifstream again(path);
+    std::string after((std::istreambuf_iterator<char>(again)),
+                      std::istreambuf_iterator<char>());
+    EXPECT_EQ(after.find("after close"), std::string::npos);
+
+    std::remove(path.c_str());
+}
+
+TEST(Logging, SetLogFileFailureFallsBackToStderrOnly)
+{
+    // Opening a path under a non-existent directory fails; logging
+    // must keep working (stderr-only) and report the failure.
+    EXPECT_FALSE(setLogFile("/nonexistent-dir-zz/x/y.log"));
+    SAP_LOG_INFO("still alive");
+    EXPECT_TRUE(setLogFile("")); // reset for other tests
 }
 
 } // namespace

@@ -381,5 +381,145 @@ TEST(ServingMetrics, DisabledMetricsYieldEmptySnapshot)
     EXPECT_TRUE(snap.histograms.empty());
 }
 
+//---------------------------------------------------------------------
+// Interval deltas (the flight recorder / --watch math) and the edge
+// cases per-interval subtraction surfaces.
+//---------------------------------------------------------------------
+
+TEST(HistDelta, QuantileOfEmptyHistogramIsZero)
+{
+    HistogramSnapshot empty;
+    EXPECT_EQ(empty.count, 0u);
+    EXPECT_EQ(empty.quantile(0.0), 0.0);
+    EXPECT_EQ(empty.quantile(0.5), 0.0);
+    EXPECT_EQ(empty.quantile(1.0), 0.0);
+
+    // Delta of identical snapshots is empty — and still quantiles to
+    // 0 rather than dividing by a zero count.
+    Histogram h;
+    for (int i = 0; i < 50; ++i)
+        h.record(100.0 + i);
+    HistogramSnapshot snap = h.snapshot();
+    HistogramSnapshot delta = histogramDelta(snap, snap);
+    EXPECT_EQ(delta.count, 0u);
+    EXPECT_EQ(delta.quantile(0.99), 0.0);
+}
+
+TEST(HistDelta, DeltaEqualsTheIntervalSamples)
+{
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.record(10.0);
+    HistogramSnapshot before = h.snapshot();
+    for (int i = 0; i < 100; ++i)
+        h.record(1000.0);
+    HistogramSnapshot after = h.snapshot();
+
+    HistogramSnapshot delta = histogramDelta(after, before);
+    EXPECT_EQ(delta.count, 100u);
+    EXPECT_NEAR(delta.sum, 100.0 * 1000.0, 1e-9);
+    // The interval held only ~1000us samples; its quantiles must not
+    // see the earlier 10us population.
+    EXPECT_GT(delta.quantile(0.01), 500.0);
+    EXPECT_LT(delta.quantile(0.99), 1200.0);
+}
+
+TEST(HistDelta, ShrunkenCountsClampInsteadOfUnderflowing)
+{
+    Histogram big;
+    for (int i = 0; i < 10; ++i)
+        big.record(50.0);
+    Histogram small;
+    for (int i = 0; i < 3; ++i)
+        small.record(50.0);
+
+    // "now" has fewer samples than "prev": a restarted source. The
+    // delta clamps at now's counts bucket-wise.
+    HistogramSnapshot delta =
+        histogramDelta(small.snapshot(), big.snapshot());
+    EXPECT_EQ(delta.count, 0u);
+    EXPECT_GE(delta.sum, 0.0);
+}
+
+TEST(MetricsDelta, AppearingAndDisappearingMetrics)
+{
+    MetricsSnapshot prev;
+    prev.counters["stays"] = 10;
+    prev.counters["vanishes"] = 7;
+    Histogram ph;
+    ph.record(5.0);
+    prev.histograms["old_hist"] = ph.snapshot();
+
+    MetricsSnapshot now;
+    now.counters["stays"] = 25;
+    now.counters["appears"] = 4;
+    Histogram nh;
+    nh.record(6.0);
+    now.histograms["new_hist"] = nh.snapshot();
+    now.gauges["depth"] = GaugeValue{3.5, GaugeAgg::Sum};
+
+    MetricsSnapshot delta = metricsDelta(now, prev);
+    EXPECT_EQ(delta.counters["stays"], 15u);
+    // Appeared mid-interval: its whole value is this interval's.
+    EXPECT_EQ(delta.counters["appears"], 4u);
+    // Disappeared: omitted, not emitted as zero or underflowed.
+    EXPECT_EQ(delta.counters.count("vanishes"), 0u);
+    EXPECT_EQ(delta.histograms.count("old_hist"), 0u);
+    EXPECT_EQ(delta.histograms["new_hist"].count, 1u);
+    // Gauges pass through their current value.
+    EXPECT_EQ(delta.gauges["depth"].value, 3.5);
+}
+
+TEST(MetricsDelta, CounterResetClampsToNowValue)
+{
+    MetricsSnapshot prev, now;
+    prev.counters["c"] = 1000;
+    now.counters["c"] = 42; // restarted process
+    EXPECT_EQ(metricsDelta(now, prev).counters["c"], 42u);
+}
+
+//---------------------------------------------------------------------
+// Prometheus label rendering (exposition-format escaping rules).
+//---------------------------------------------------------------------
+
+TEST(Metrics, RenderPrometheusEscapesLabelValues)
+{
+    MetricsSnapshot snap;
+    snap.counters["requests_total"] = 3;
+    Histogram h;
+    h.record(2.0);
+    snap.histograms["latency_micros"] = h.snapshot();
+
+    std::map<std::string, std::string> labels;
+    labels["instance"] = "array \"7\"";
+    labels["path"] = "C:\\data\nnext";
+
+    const std::string text = renderPrometheus(snap, labels);
+    // `"` → `\"`, `\` → `\\`, newline → `\n`, per the exposition
+    // format's label-value escaping rules.
+    EXPECT_NE(text.find("instance=\"array \\\"7\\\"\""),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("path=\"C:\\\\data\\nnext\""),
+              std::string::npos)
+        << text;
+    // No raw newline may survive inside any sample line.
+    for (std::size_t at = text.find("path=");
+         at != std::string::npos; at = text.find("path=", at + 1)) {
+        const std::size_t eol = text.find('\n', at);
+        ASSERT_NE(eol, std::string::npos);
+        EXPECT_NE(text.substr(at, eol - at).find("\\n"),
+                  std::string::npos);
+    }
+    // Histogram bucket lines merge the shared labels with `le`.
+    EXPECT_NE(text.find("latency_micros_bucket{instance="),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find(",le=\""), std::string::npos) << text;
+    // And the labelless overload still renders the plain form.
+    const std::string plain = renderPrometheus(snap);
+    EXPECT_NE(plain.find("requests_total 3"), std::string::npos);
+}
+
 } // namespace
 } // namespace sap

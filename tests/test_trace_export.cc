@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "checkers.hh"
 #include "mat/generate.hh"
 #include "net/client.hh"
 #include "net/server.hh"
@@ -26,202 +27,9 @@
 namespace sap {
 namespace {
 
-//---------------------------------------------------------------------
-// Strict JSON validator (RFC 8259 grammar, no extensions).
-//---------------------------------------------------------------------
-
-class JsonChecker
-{
-  public:
-    explicit JsonChecker(const std::string &text) : s_(text) {}
-
-    /** True iff the whole input is exactly one valid JSON value. */
-    bool valid()
-    {
-        skipWs();
-        if (!value())
-            return false;
-        skipWs();
-        return pos_ == s_.size();
-    }
-
-  private:
-    bool value()
-    {
-        if (pos_ >= s_.size())
-            return false;
-        switch (s_[pos_]) {
-          case '{':
-            return object();
-          case '[':
-            return array();
-          case '"':
-            return string();
-          case 't':
-            return literal("true");
-          case 'f':
-            return literal("false");
-          case 'n':
-            return literal("null");
-          default:
-            return number();
-        }
-    }
-
-    bool object()
-    {
-        ++pos_; // '{'
-        skipWs();
-        if (peek() == '}') {
-            ++pos_;
-            return true;
-        }
-        for (;;) {
-            skipWs();
-            if (!string())
-                return false;
-            skipWs();
-            if (peek() != ':')
-                return false;
-            ++pos_;
-            skipWs();
-            if (!value())
-                return false;
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            if (peek() == '}') {
-                ++pos_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool array()
-    {
-        ++pos_; // '['
-        skipWs();
-        if (peek() == ']') {
-            ++pos_;
-            return true;
-        }
-        for (;;) {
-            skipWs();
-            if (!value())
-                return false;
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            if (peek() == ']') {
-                ++pos_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool string()
-    {
-        if (peek() != '"')
-            return false;
-        ++pos_;
-        while (pos_ < s_.size()) {
-            const unsigned char c =
-                static_cast<unsigned char>(s_[pos_]);
-            if (c == '"') {
-                ++pos_;
-                return true;
-            }
-            if (c < 0x20)
-                return false; // raw control character
-            if (c == '\\') {
-                ++pos_;
-                if (pos_ >= s_.size())
-                    return false;
-                const char e = s_[pos_];
-                if (e == 'u') {
-                    for (int i = 0; i < 4; ++i) {
-                        ++pos_;
-                        if (pos_ >= s_.size() ||
-                            !std::isxdigit(static_cast<unsigned char>(
-                                s_[pos_])))
-                            return false;
-                    }
-                } else if (e != '"' && e != '\\' && e != '/' &&
-                           e != 'b' && e != 'f' && e != 'n' &&
-                           e != 'r' && e != 't') {
-                    return false;
-                }
-            }
-            ++pos_;
-        }
-        return false; // unterminated
-    }
-
-    bool number()
-    {
-        const std::size_t start = pos_;
-        if (peek() == '-')
-            ++pos_;
-        if (!digit())
-            return false;
-        if (s_[pos_] == '0') {
-            ++pos_;
-        } else {
-            while (digit())
-                ++pos_;
-        }
-        if (peek() == '.') {
-            ++pos_;
-            if (!digit())
-                return false;
-            while (digit())
-                ++pos_;
-        }
-        if (peek() == 'e' || peek() == 'E') {
-            ++pos_;
-            if (peek() == '+' || peek() == '-')
-                ++pos_;
-            if (!digit())
-                return false;
-            while (digit())
-                ++pos_;
-        }
-        return pos_ > start;
-    }
-
-    bool literal(const char *word)
-    {
-        for (const char *p = word; *p; ++p, ++pos_)
-            if (pos_ >= s_.size() || s_[pos_] != *p)
-                return false;
-        return true;
-    }
-
-    bool digit() const
-    {
-        return pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9';
-    }
-
-    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-
-    void skipWs()
-    {
-        while (pos_ < s_.size() &&
-               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
-                s_[pos_] == '\n' || s_[pos_] == '\r'))
-            ++pos_;
-    }
-
-    const std::string &s_;
-    std::size_t pos_ = 0;
-};
-
+// The strict JSON validator itself lives in checkers.hh (shared with
+// the admin-plane suite); its self-test stays with the trace
+// exporters that motivated it.
 TEST(JsonCheckerSelfTest, AcceptsValidRejectsInvalid)
 {
     EXPECT_TRUE(JsonChecker("{}").valid());
@@ -407,6 +215,22 @@ TEST(TraceExport, ChromeJsonIsStrictlyValid)
 TEST(TraceExport, EmptyTraceListIsValidJson)
 {
     EXPECT_TRUE(JsonChecker(toChromeTraceJson({})).valid());
+}
+
+TEST(TraceExport, TracezJsonIsStrictlyValid)
+{
+    const std::vector<RequestTrace> traces = syntheticTraces();
+    const std::string json = toTracezJson(traces, 42);
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"total_committed\":42"), std::string::npos);
+    EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+    // The adversarial label survives escaping.
+    EXPECT_NE(json.find("\\\"q\\\""), std::string::npos);
+    // Every stamped stage appears with its name.
+    EXPECT_NE(json.find("\"decode\":"), std::string::npos);
+    EXPECT_NE(json.find("\"flush\":"), std::string::npos);
+
+    EXPECT_TRUE(JsonChecker(toTracezJson({}, 0)).valid());
 }
 
 TEST(TraceExport, CsvHasHeaderAndOneRowPerTrace)

@@ -3,24 +3,29 @@
  * Operator CLI for a running NetServer: fetch the installation-wide
  * obs/ metrics snapshot over the METRICS wire frame and print it.
  *
- * Two modes:
+ * Three modes:
  *
  *  - One-shot (default): print the merged snapshot as Prometheus
  *    text exposition — pipe into a file and point any Prometheus
  *    tooling at it, or just read it.
  *
+ *  - One-shot JSON (--json): the same snapshot as a single JSON
+ *    object (renderMetricsJson), for scripts and CI assertions.
+ *
  *  - Watch (--watch N): every N seconds fetch a fresh snapshot and
  *    print the *delta* against the previous one — counter rates,
  *    current gauge values, and interval latency quantiles computed
  *    from the histogram bucket difference (exact, because merged
- *    histograms subtract bucket-by-bucket just as they add).
+ *    histograms subtract bucket-by-bucket just as they add; see
+ *    metricsDelta in obs/metrics.hh, shared with sap_top).
  *
  * The snapshot is NetServer::metricsSnapshot() over the wire: the
  * server's wire-level registry merged with every shard's registry,
- * histograms merged exactly by bucket addition.
+ * histograms merged exactly by bucket addition. The admin HTTP
+ * plane serves the same data at /metrics and /varz for curl.
  *
  * Usage:
- *   sap_stats --port P [--host H] [--watch SECS] [--count N]
+ *   sap_stats --port P [--host H] [--json | --watch SECS [--count N]]
  */
 
 #include <chrono>
@@ -29,12 +34,11 @@
 #include <cstring>
 #include <string>
 #include <thread>
-#include <vector>
 
-#include "net/client.hh"
-#include "obs/metrics.hh"
+#include "tools/tool_common.hh"
 
 using namespace sap;
+using namespace sap::tools;
 
 namespace {
 
@@ -43,9 +47,11 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s --port P [--host H] [--watch SECS] [--count N]\n"
+        "usage: %s --port P [--host H] [--json | --watch SECS]\n"
         "  --port P      server TCP port (required)\n"
         "  --host H      server IPv4 address (default 127.0.0.1)\n"
+        "  --json        one JSON snapshot instead of Prometheus "
+        "text\n"
         "  --watch SECS  poll every SECS seconds and print deltas\n"
         "                (default: one Prometheus text dump)\n"
         "  --count N     stop after N watch intervals (default: "
@@ -53,73 +59,26 @@ usage(const char *argv0)
         argv0);
 }
 
-/**
- * The interval histogram: @p now minus @p prev, bucket-by-bucket.
- * Min/max are not subtractable, so the diff takes its bounds from
- * the populated buckets — quantiles stay exact to bucket resolution.
- */
-HistogramSnapshot
-histDiff(const HistogramSnapshot &now, const HistogramSnapshot &prev)
-{
-    std::vector<std::uint64_t> dense(kHistBuckets, 0);
-    for (std::size_t i = 0; i < now.bucketIndex.size(); ++i)
-        dense[now.bucketIndex[i]] += now.bucketCount[i];
-    for (std::size_t i = 0; i < prev.bucketIndex.size(); ++i) {
-        std::uint64_t &d = dense[prev.bucketIndex[i]];
-        d = d >= prev.bucketCount[i] ? d - prev.bucketCount[i] : 0;
-    }
-    HistogramSnapshot diff;
-    diff.sum = now.sum - prev.sum;
-    for (std::size_t i = 0; i < kHistBuckets; ++i) {
-        if (dense[i] == 0)
-            continue;
-        diff.bucketIndex.push_back(static_cast<std::uint32_t>(i));
-        diff.bucketCount.push_back(dense[i]);
-        diff.count += dense[i];
-        if (diff.bucketIndex.size() == 1)
-            diff.min = histBucketLower(i);
-        // Overflow bucket has no finite upper bound; report the last
-        // finite boundary instead.
-        diff.max = i + 1 < kHistBuckets
-                       ? histBucketUpper(i)
-                       : histBucketUpper(kHistBuckets - 2);
-    }
-    return diff;
-}
-
-std::uint64_t
-counterOf(const MetricsSnapshot &snap, const std::string &name)
-{
-    auto it = snap.counters.find(name);
-    return it == snap.counters.end() ? 0 : it->second;
-}
-
 void
-printDelta(const MetricsSnapshot &now, const MetricsSnapshot &prev,
-           double secs)
+printDelta(const MetricsSnapshot &delta, double secs)
 {
     std::printf("---- interval: %.1fs ----\n", secs);
     std::printf("%-36s %12s %10s\n", "counter", "delta", "per_s");
-    for (const auto &entry : now.counters) {
-        std::uint64_t d = entry.second - counterOf(prev, entry.first);
-        if (d == 0)
+    for (const auto &entry : delta.counters) {
+        if (entry.second == 0)
             continue;
         std::printf("%-36s %12llu %10.1f\n", entry.first.c_str(),
-                    static_cast<unsigned long long>(d),
-                    secs > 0 ? static_cast<double>(d) / secs : 0.0);
+                    static_cast<unsigned long long>(entry.second),
+                    secs > 0 ? double(entry.second) / secs : 0.0);
     }
     std::printf("%-36s %12s\n", "gauge", "value");
-    for (const auto &entry : now.gauges)
+    for (const auto &entry : delta.gauges)
         std::printf("%-36s %12.3f\n", entry.first.c_str(),
                     entry.second.value);
     std::printf("%-36s %8s %10s %10s %10s\n", "histogram", "n",
                 "mean", "p50", "p99");
-    for (const auto &entry : now.histograms) {
-        auto it = prev.histograms.find(entry.first);
-        HistogramSnapshot d =
-            it == prev.histograms.end()
-                ? entry.second
-                : histDiff(entry.second, it->second);
+    for (const auto &entry : delta.histograms) {
+        const HistogramSnapshot &d = entry.second;
         if (d.count == 0)
             continue;
         std::printf("%-36s %8llu %10.2f %10.2f %10.2f\n",
@@ -139,6 +98,7 @@ main(int argc, char **argv)
     long port = -1;
     double watch = 0;
     long count = -1;
+    bool json = false;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -157,6 +117,8 @@ main(int argc, char **argv)
             watch = std::strtod(value(), nullptr);
         else if (std::strcmp(arg, "--count") == 0)
             count = std::strtol(value(), nullptr, 10);
+        else if (std::strcmp(arg, "--json") == 0)
+            json = true;
         else if (std::strcmp(arg, "-h") == 0 ||
                  std::strcmp(arg, "--help") == 0) {
             usage(argv[0]);
@@ -171,45 +133,42 @@ main(int argc, char **argv)
         usage(argv[0]);
         return 2;
     }
+    if (json && watch > 0) {
+        std::fprintf(stderr, "--json and --watch are exclusive\n");
+        return 2;
+    }
 
     NetClient client;
-    if (!client.connect(host, static_cast<std::uint16_t>(port))) {
-        std::fprintf(stderr, "connect %s:%ld: %s\n", host.c_str(),
-                     port, client.lastError().c_str());
+    if (!connectOrComplain(client, host, port))
         return 1;
-    }
 
     if (watch <= 0) {
         MetricsSnapshot snap;
-        if (!client.metrics(&snap)) {
-            std::fprintf(stderr, "METRICS fetch failed: %s\n",
-                         client.lastError().c_str());
+        if (!fetchOrComplain(client, &snap))
             return 1;
+        if (json) {
+            std::fputs(renderMetricsJson(snap).c_str(), stdout);
+            std::fputc('\n', stdout);
+        } else {
+            std::fputs(renderPrometheus(snap).c_str(), stdout);
         }
-        std::fputs(renderPrometheus(snap).c_str(), stdout);
         return 0;
     }
 
     // Baseline snapshot, then one delta per interval.
     MetricsSnapshot prev;
-    if (!client.metrics(&prev)) {
-        std::fprintf(stderr, "METRICS fetch failed: %s\n",
-                     client.lastError().c_str());
+    if (!fetchOrComplain(client, &prev))
         return 1;
-    }
     auto t_prev = std::chrono::steady_clock::now();
     for (long i = 0; count < 0 || i < count; ++i) {
         std::this_thread::sleep_for(
             std::chrono::duration<double>(watch));
         MetricsSnapshot snap;
-        if (!client.metrics(&snap)) {
-            std::fprintf(stderr, "METRICS fetch failed: %s\n",
-                         client.lastError().c_str());
+        if (!fetchOrComplain(client, &snap))
             return 1;
-        }
         auto t_now = std::chrono::steady_clock::now();
         printDelta(
-            snap, prev,
+            metricsDelta(snap, prev),
             std::chrono::duration<double>(t_now - t_prev).count());
         prev = std::move(snap);
         t_prev = t_now;

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Live terminal dashboard for a running NetServer: one row per
+ * interval, vmstat-style, from consecutive METRICS snapshots over
+ * the binary wire protocol.
+ *
+ * Columns are *per interval*, never cumulative: requests and
+ * failures per second, interval p50/p99 latency (exact bucket
+ * subtraction via metricsDelta — the same math the server's flight
+ * recorder applies), current queue depth, plan-cache hit rate over
+ * the interval, and wire bytes in/out per second. This is the
+ * number an operator actually wants when a backend misbehaves; the
+ * cumulative story lives in `sap_stats` / the admin plane's
+ * /metrics.
+ *
+ * Usage:
+ *   sap_top --port P [--host H] [--interval SECS] [--count N]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "tools/tool_common.hh"
+
+using namespace sap;
+using namespace sap::tools;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --port P [--host H] [--interval SECS] [--count N]\n"
+        "  --port P         server TCP port (required)\n"
+        "  --host H         server IPv4 address (default 127.0.0.1)\n"
+        "  --interval SECS  refresh interval (default 1.0)\n"
+        "  --count N        stop after N rows (default: forever)\n",
+        argv0);
+}
+
+void
+printHeader()
+{
+    std::printf("%10s %10s %10s %10s %8s %7s %12s %12s\n", "req/s",
+                "fail/s", "p50_us", "p99_us", "queue", "cache%",
+                "in_B/s", "out_B/s");
+}
+
+void
+printRow(const DashboardRow &row)
+{
+    std::printf("%10.1f %10.1f %10.1f %10.1f %8.0f %7.1f %12.0f "
+                "%12.0f\n",
+                row.reqPerSec, row.failPerSec, row.p50Micros,
+                row.p99Micros, row.queueDepth,
+                row.cacheHitRatio * 100.0, row.bytesInPerSec,
+                row.bytesOutPerSec);
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    long port = -1;
+    double interval = 1.0;
+    long count = -1;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--port") == 0)
+            port = std::strtol(value(), nullptr, 10);
+        else if (std::strcmp(arg, "--host") == 0)
+            host = value();
+        else if (std::strcmp(arg, "--interval") == 0)
+            interval = std::strtod(value(), nullptr);
+        else if (std::strcmp(arg, "--count") == 0)
+            count = std::strtol(value(), nullptr, 10);
+        else if (std::strcmp(arg, "-h") == 0 ||
+                 std::strcmp(arg, "--help") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg);
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (interval <= 0)
+        interval = 1.0;
+
+    NetClient client;
+    if (!connectOrComplain(client, host, port)) {
+        if (port <= 0 || port > 65535)
+            usage(argv[0]);
+        return port <= 0 || port > 65535 ? 2 : 1;
+    }
+
+    MetricsSnapshot prev;
+    if (!fetchOrComplain(client, &prev))
+        return 1;
+    auto t_prev = std::chrono::steady_clock::now();
+
+    printHeader();
+    for (long i = 0; count < 0 || i < count; ++i) {
+        // Re-print the header every screenful, like vmstat.
+        if (i > 0 && i % 20 == 0)
+            printHeader();
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(interval));
+        MetricsSnapshot snap;
+        if (!fetchOrComplain(client, &snap))
+            return 1;
+        const auto t_now = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(t_now - t_prev).count();
+        printRow(dashboardRow(metricsDelta(snap, prev), secs));
+        prev = std::move(snap);
+        t_prev = t_now;
+    }
+    return 0;
+}

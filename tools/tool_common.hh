@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared plumbing for the operator CLIs (sap_stats, sap_top): the
+ * connect-and-fetch helpers and the per-interval dashboard row both
+ * tools derive from consecutive METRICS snapshots. Header-only so
+ * the tools stay single-file; the row computation is pure (snapshot
+ * delta in, numbers out) and unit-tested from tests/test_http_admin.
+ */
+
+#ifndef SAP_TOOLS_TOOL_COMMON_HH
+#define SAP_TOOLS_TOOL_COMMON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "net/client.hh"
+#include "obs/metrics.hh"
+
+namespace sap {
+namespace tools {
+
+inline std::uint64_t
+counterOf(const MetricsSnapshot &snap, const std::string &name)
+{
+    auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+}
+
+inline double
+gaugeOf(const MetricsSnapshot &snap, const std::string &name)
+{
+    auto it = snap.gauges.find(name);
+    return it == snap.gauges.end() ? 0 : it->second.value;
+}
+
+/**
+ * One dashboard interval, derived from metricsDelta(now, prev) over
+ * @p seconds: the per-second/interval numbers an operator watches,
+ * not cumulative totals.
+ */
+struct DashboardRow
+{
+    double reqPerSec = 0;
+    double failPerSec = 0;
+    double p50Micros = 0;
+    double p99Micros = 0;
+    double queueDepth = 0;
+    /** Plan-cache hit fraction this interval, in [0, 1]; 0 when the
+     *  interval had no lookups. */
+    double cacheHitRatio = 0;
+    double bytesInPerSec = 0;
+    double bytesOutPerSec = 0;
+};
+
+/** Compute a row from an interval delta (see metricsDelta). */
+inline DashboardRow
+dashboardRow(const MetricsSnapshot &delta, double seconds)
+{
+    DashboardRow row;
+    const double secs = seconds > 0 ? seconds : 1;
+    row.reqPerSec =
+        double(counterOf(delta, "serve_requests_total")) / secs;
+    row.failPerSec =
+        double(counterOf(delta, "serve_failures_total")) / secs;
+    auto it = delta.histograms.find("serve_latency_micros");
+    if (it != delta.histograms.end() && it->second.count > 0) {
+        row.p50Micros = it->second.quantile(0.5);
+        row.p99Micros = it->second.quantile(0.99);
+    }
+    row.queueDepth = gaugeOf(delta, "serve_queue_depth");
+    const double hits =
+        double(counterOf(delta, "plan_cache_hits_total"));
+    const double misses =
+        double(counterOf(delta, "plan_cache_misses_total"));
+    if (hits + misses > 0)
+        row.cacheHitRatio = hits / (hits + misses);
+    row.bytesInPerSec =
+        double(counterOf(delta, "net_bytes_received_total")) / secs;
+    row.bytesOutPerSec =
+        double(counterOf(delta, "net_bytes_sent_total")) / secs;
+    return row;
+}
+
+/** Connect, or print the failure and return false. */
+inline bool
+connectOrComplain(NetClient &client, const std::string &host, long port)
+{
+    if (port <= 0 || port > 65535) {
+        std::fprintf(stderr, "invalid --port %ld\n", port);
+        return false;
+    }
+    if (!client.connect(host, static_cast<std::uint16_t>(port))) {
+        std::fprintf(stderr, "connect %s:%ld: %s\n", host.c_str(),
+                     port, client.lastError().c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Fetch a METRICS snapshot, or print the failure and return false. */
+inline bool
+fetchOrComplain(NetClient &client, MetricsSnapshot *out)
+{
+    if (!client.metrics(out)) {
+        std::fprintf(stderr, "METRICS fetch failed: %s\n",
+                     client.lastError().c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace tools
+} // namespace sap
+
+#endif // SAP_TOOLS_TOOL_COMMON_HH
