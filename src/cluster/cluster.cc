@@ -72,11 +72,24 @@ void
 Cluster::submitToQueue(ServeRequest req, CompletionQueue *queue,
                        std::uint64_t tag)
 {
+    Digest key = routingKey(req);
+    submitToQueue(std::move(req), queue, tag, key);
+}
+
+void
+Cluster::submitToQueue(ServeRequest req, CompletionQueue *queue,
+                       std::uint64_t tag, Digest digest)
+{
     SAP_ASSERT(queue != nullptr, "submitToQueue() needs a queue");
-    submitAsync(std::move(req), [queue, tag](ServeResponse resp) {
-        traceStamp(resp.trace, TraceStage::CqPush);
-        queue->push({tag, std::move(resp)});
-    });
+    traceStamp(req.trace, TraceStage::Route);
+    Shard &shard = *shards_[router_.shardFor(digest)];
+    shard.submitAsync(
+        std::move(req),
+        [queue, tag](ServeResponse resp) {
+            traceStamp(resp.trace, TraceStage::CqPush);
+            queue->push({tag, std::move(resp)});
+        },
+        digest);
 }
 
 std::vector<std::future<ServeResponse>>

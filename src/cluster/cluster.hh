@@ -132,6 +132,18 @@ class Cluster
                        std::uint64_t tag);
 
     /**
+     * As submitToQueue(), with @p digest = routingKey(req) already
+     * computed — the gateway tier's FORWARD hop passes its routing
+     * digest through so the matrices are hashed once per
+     * installation, not once per hop. @p digest is a hint: the shard
+     * plan cache confirms every digest hit with an exact matrix
+     * comparison, so a wrong digest costs cache locality, never
+     * correctness.
+     */
+    void submitToQueue(ServeRequest req, CompletionQueue *queue,
+                       std::uint64_t tag, Digest digest);
+
+    /**
      * Partition @p reqs across shards and batch-submit each
      * partition (Shard::submitBatch), so same-matrix requests are
      * served through one prepared-plan streaming pass. Returns one

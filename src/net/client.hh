@@ -10,6 +10,17 @@
  * independently — and are matched to requests by tag); stats() and
  * ping() round-trip the STATS and PING frames.
  *
+ * Internally the socket is non-blocking and every wait goes through
+ * poll(). That matters for submitBatch(): a blocking send() can
+ * deadlock against the server's backpressure — when this client's
+ * pending responses exceed the server's maxQueuedOutputBytes, the
+ * server stops reading from it, the socket send buffer fills, and a
+ * client that won't read until everything is sent waits forever.
+ * submitBatch() therefore interleaves: once send() would block it
+ * polls on readable|writable and drains responses while the rest of
+ * the pipeline trickles out (see test_net_server.cc's tiny-SO_SNDBUF
+ * regression test).
+ *
  * Transport failures (connection refused, mid-stream close, a
  * malformed byte stream from the server) are reported per call via
  * Result::transportOk / lastError(); application-level failures
@@ -75,6 +86,14 @@ class NetClient
      */
     bool connect(const std::string &host, std::uint16_t port);
 
+    /**
+     * Request an explicit SO_SNDBUF for the next connect() (0 keeps
+     * the kernel default). Tests use a tiny value to force the
+     * send-buffer-full path in submitBatch(); it has no effect on an
+     * already-open connection.
+     */
+    void setSendBufferBytes(int bytes) { sndbuf_bytes_ = bytes; }
+
     /** Close the connection (idempotent). */
     void disconnect();
 
@@ -123,12 +142,14 @@ class NetClient
                               const WireResponse &resp);
 
   private:
+    /** Send all of @p bytes, polling on writability as needed. */
     bool sendAll(const std::vector<std::uint8_t> &bytes);
-    /** Block until one complete frame arrives. */
+    /** Block (via poll) until one complete frame arrives. */
     bool readFrame(Frame *out);
     bool fail(const std::string &message);
 
     int fd_ = -1;
+    int sndbuf_bytes_ = 0;
     std::uint32_t max_payload_ = kDefaultMaxPayloadBytes;
     FrameDecoder decoder_;
     std::uint64_t next_tag_ = 1;

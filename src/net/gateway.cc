@@ -1,0 +1,1044 @@
+#include "net/gateway.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "base/logging.hh"
+#include "serve/plan_cache.hh"
+#include "serve/server_stats.hh"
+
+namespace sap {
+
+namespace {
+
+/** Wait period; bounds ping/reconnect tick granularity too. */
+constexpr int kWaitTimeoutMs = 50;
+
+/** Event-loop key layout: 0 = wake pipe, 1 = listen socket,
+ *  kBackendKeyBase + i = backend i, client ids from next_conn_id_. */
+constexpr std::uint64_t kWakeKey = 0;
+constexpr std::uint64_t kListenKey = 1;
+constexpr std::uint64_t kBackendKeyBase = 2;
+
+bool
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string
+errnoString(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+//----------------------------------------------------------------------
+// Lifecycle.
+//----------------------------------------------------------------------
+
+Gateway::Gateway(const Options &opts)
+    : opts_(opts),
+      metrics_(opts.metrics ? std::make_unique<MetricsRegistry>()
+                            : nullptr)
+{
+    SAP_ASSERT(!opts_.backends.empty(),
+               "gateway needs at least one backend");
+    if (metrics_) {
+        inst_.requests = &metrics_->counter("gateway_requests_total");
+        inst_.relayed =
+            &metrics_->counter("gateway_responses_relayed_total");
+        inst_.failovers =
+            &metrics_->counter("gateway_failovers_total");
+        inst_.resubmits =
+            &metrics_->counter("gateway_resubmits_total");
+        inst_.errors = &metrics_->counter("gateway_errors_total");
+        inst_.backendsRoutable = &metrics_->gauge(
+            "gateway_backends_routable", GaugeAgg::Sum);
+        inst_.clientsLive =
+            &metrics_->gauge("gateway_clients_live", GaugeAgg::Sum);
+        inst_.routeMicros =
+            &metrics_->histogram("gateway_route_micros");
+    }
+    backends_.reserve(opts_.backends.size());
+    for (std::size_t i = 0; i < opts_.backends.size(); ++i) {
+        backends_.push_back(std::make_unique<Backend>(
+            opts_.backends[i], opts_.maxPayloadBytes));
+        if (metrics_)
+            backends_.back()->inflightGauge = &metrics_->gauge(
+                "gateway_backend_inflight_" + std::to_string(i),
+                GaugeAgg::Sum);
+    }
+}
+
+Gateway::~Gateway()
+{
+    stop();
+}
+
+bool
+Gateway::start()
+{
+    std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+    if (running_.load()) {
+        error_ = "start() called twice";
+        return false;
+    }
+    if (stopped_) {
+        error_ = "Gateway cannot be restarted after stop(); "
+                 "construct a new instance";
+        return false;
+    }
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        error_ = errnoString("socket");
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opts_.port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        // Front-door backlog: a reconnect storm (every client of a
+        // restarted fleet at once) must queue, not shed SYNs onto
+        // 1-second client retry timers. Clamped to somaxconn by the
+        // kernel.
+        ::listen(listen_fd_, 1024) != 0 ||
+        !setNonBlocking(listen_fd_)) {
+        error_ = errnoString("bind/listen");
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        error_ = errnoString("getsockname");
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    port_ = ntohs(addr.sin_port);
+
+    if (::pipe(wake_pipe_) != 0 || !setNonBlocking(wake_pipe_[0]) ||
+        !setNonBlocking(wake_pipe_[1])) {
+        error_ = errnoString("pipe");
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        if (wake_pipe_[0] >= 0)
+            ::close(wake_pipe_[0]);
+        if (wake_pipe_[1] >= 0)
+            ::close(wake_pipe_[1]);
+        wake_pipe_[0] = wake_pipe_[1] = -1;
+        return false;
+    }
+
+    // Client ids must stay clear of the backend key range.
+    next_conn_id_ = std::max<std::uint64_t>(
+        16, kBackendKeyBase + backends_.size());
+
+    exiting_.store(false);
+    running_.store(true);
+    io_thread_ = std::thread([this] { ioLoop(); });
+
+    bool any_admin = false;
+    for (const auto &b : backends_)
+        any_admin |= b->addr.adminPort != 0;
+    if (any_admin && opts_.healthzIntervalMs > 0)
+        prober_thread_ = std::thread([this] { proberLoop(); });
+
+    SAP_LOG_INFO("gateway listening on 127.0.0.1:", port_, " over ",
+                 backends_.size(), " backends (",
+                 EventLoop::backendName(), ")");
+    return true;
+}
+
+void
+Gateway::stop()
+{
+    std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
+    if (!running_.load())
+        return;
+    exiting_.store(true);
+    wakeIoThread();
+    if (io_thread_.joinable())
+        io_thread_.join();
+    if (prober_thread_.joinable())
+        prober_thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    for (int i = 0; i < 2; ++i)
+        if (wake_pipe_[i] >= 0) {
+            ::close(wake_pipe_[i]);
+            wake_pipe_[i] = -1;
+        }
+    running_.store(false);
+    stopped_ = true;
+}
+
+void
+Gateway::wakeIoThread()
+{
+    if (wake_pipe_[1] >= 0) {
+        std::uint8_t b = 1;
+        [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+    }
+}
+
+GatewayStats
+Gateway::stats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+}
+
+MetricsSnapshot
+Gateway::metricsSnapshot() const
+{
+    return metrics_ ? metrics_->snapshot() : MetricsSnapshot{};
+}
+
+//----------------------------------------------------------------------
+// Backend liveness and the ring.
+//----------------------------------------------------------------------
+
+void
+Gateway::rebuildRing()
+{
+    ring_map_.clear();
+    for (std::size_t i = 0; i < backends_.size(); ++i)
+        if (backends_[i]->routable)
+            ring_map_.push_back(i);
+    ring_ = ring_map_.empty()
+                ? nullptr
+                : std::make_unique<ConsistentHashRouter>(
+                      ring_map_.size(), opts_.virtualNodesPerBackend);
+    routable_count_.store(ring_map_.size());
+    if (inst_.backendsRoutable)
+        inst_.backendsRoutable->set(
+            static_cast<double>(ring_map_.size()));
+}
+
+void
+Gateway::tryConnect(std::size_t idx)
+{
+    Backend &b = *backends_[idx];
+    const std::uint64_t key = kBackendKeyBase + idx;
+    if (!b.conn.connectStart(b.addr.host, b.addr.port)) {
+        b.reconnectWaitMs = opts_.reconnectIntervalMs;
+        return;
+    }
+    loop_.set(b.conn.fd(), b.conn.desiredInterest(), key);
+    if (b.conn.connected())
+        sendLivenessPing(idx); // loopback can connect synchronously
+}
+
+void
+Gateway::sendLivenessPing(std::size_t idx)
+{
+    Backend &b = *backends_[idx];
+    b.pingTag = next_tag_++;
+    b.pingOutstanding = true;
+    b.conn.send(buildPingFrame(b.pingTag));
+    updateBackendInterest(idx);
+}
+
+void
+Gateway::updateBackendInterest(std::size_t idx)
+{
+    Backend &b = *backends_[idx];
+    if (b.conn.fd() >= 0)
+        loop_.set(b.conn.fd(), b.conn.desiredInterest(),
+                  kBackendKeyBase + idx);
+}
+
+void
+Gateway::backendUp(std::size_t idx)
+{
+    Backend &b = *backends_[idx];
+    if (b.routable)
+        return;
+    b.routable = true;
+    rebuildRing();
+    SAP_LOG_INFO("gateway: backend ", idx, " (", b.addr.host, ":",
+                 b.addr.port, ") routable, ring size ",
+                 ring_map_.size());
+}
+
+void
+Gateway::backendDown(std::size_t idx, const std::string &reason)
+{
+    Backend &b = *backends_[idx];
+    const bool was_routable = b.routable;
+    if (b.conn.fd() >= 0) {
+        loop_.remove(b.conn.fd());
+        b.conn.close();
+    } else if (b.conn.state() == AsyncClient::State::Closed) {
+        b.conn.close(); // reset Closed → Idle for the reconnect path
+    }
+    b.routable = false;
+    b.pingOutstanding = false;
+    b.missedPings = 0;
+    b.reconnectWaitMs = opts_.reconnectIntervalMs;
+    b.inflight = 0;
+    if (b.inflightGauge)
+        b.inflightGauge->set(0);
+
+    if (was_routable) {
+        SAP_LOG_WARN("gateway: backend ", idx, " down (", reason,
+                     "); failing over");
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.failovers;
+        }
+        if (inst_.failovers)
+            inst_.failovers->add();
+        rebuildRing();
+    }
+
+    // Release gather legs owed by this backend: the merge simply
+    // proceeds without its part.
+    for (auto it = gather_tags_.begin(); it != gather_tags_.end();) {
+        if (it->second.backendIdx != idx) {
+            ++it;
+            continue;
+        }
+        std::uint64_t gather_id = it->second.gatherId;
+        it = gather_tags_.erase(it);
+        auto git = gathers_.find(gather_id);
+        if (git != gathers_.end() && git->second.awaiting > 0) {
+            --git->second.awaiting;
+            finishGatherIfDone(gather_id);
+        }
+    }
+
+    // Migrate the in-flight SUBMITs that were awaiting this backend:
+    // serving is pure compute, so resubmission re-executes safely,
+    // and the client sees at most one reply because the in-flight
+    // entry is erased when the first response relays. A request out
+    // of resubmit budget (or with nowhere to go) gets a clean ERROR
+    // — clients never hang on a dead backend.
+    std::vector<std::uint64_t> to_move;
+    for (const auto &entry : inflight_)
+        if (entry.second.backendIdx == idx)
+            to_move.push_back(entry.first);
+    for (std::uint64_t gwtag : to_move) {
+        Inflight &fl = inflight_[gwtag];
+        if (fl.resubmits < opts_.maxResubmits && ring_ != nullptr) {
+            ++fl.resubmits;
+            fl.backendIdx = ring_map_[ring_->shardFor(fl.digest)];
+            Backend &nb = *backends_[fl.backendIdx];
+            nb.conn.send(buildForwardFrame(gwtag, fl.digest,
+                                           fl.submitPayload));
+            ++nb.inflight;
+            if (nb.inflightGauge)
+                nb.inflightGauge->set(
+                    static_cast<double>(nb.inflight));
+            updateBackendInterest(fl.backendIdx);
+            {
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                ++stats_.resubmits;
+            }
+            if (inst_.resubmits)
+                inst_.resubmits->add();
+        } else {
+            Inflight fl_copy = std::move(fl);
+            inflight_.erase(gwtag);
+            sendClientError(fl_copy.clientConnId, fl_copy.clientTag,
+                            "backend failed (" + reason +
+                                ") and the resubmit budget is spent");
+        }
+    }
+}
+
+void
+Gateway::sendPings()
+{
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+        Backend &b = *backends_[i];
+        if (b.routable && !b.adminHealthy.load()) {
+            backendDown(i, "healthz probe failed");
+            continue;
+        }
+        if (!b.conn.connected())
+            continue;
+        if (b.pingOutstanding) {
+            if (++b.missedPings >= opts_.pingMissLimit)
+                backendDown(i, "ping timeout");
+        } else {
+            sendLivenessPing(i);
+        }
+    }
+}
+
+void
+Gateway::tryReconnects(int elapsed_ms)
+{
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+        Backend &b = *backends_[i];
+        if (b.conn.fd() >= 0)
+            continue; // connected or connecting
+        b.reconnectWaitMs -= elapsed_ms;
+        if (b.reconnectWaitMs > 0)
+            continue;
+        b.reconnectWaitMs = opts_.reconnectIntervalMs;
+        if (b.conn.state() == AsyncClient::State::Closed)
+            b.conn.close(); // reset to Idle
+        tryConnect(i);
+    }
+}
+
+//----------------------------------------------------------------------
+// Client side.
+//----------------------------------------------------------------------
+
+void
+Gateway::acceptReady()
+{
+    for (;;) {
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno != EAGAIN && errno != EWOULDBLOCK)
+                listen_backoff_ = 20; // ~1 s of wait periods
+            return;
+        }
+        if (!setNonBlocking(fd)) {
+            ::close(fd);
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        std::uint64_t conn_id = next_conn_id_++;
+        auto [it, inserted] = conns_.emplace(
+            conn_id,
+            std::make_unique<ClientConn>(fd, opts_.maxPayloadBytes));
+        updateClientInterest(conn_id, *it->second);
+        if (inst_.clientsLive)
+            inst_.clientsLive->add(1);
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.connectionsAccepted;
+        }
+        SAP_LOG_DEBUG("gateway: conn ", conn_id, " accepted");
+    }
+}
+
+void
+Gateway::updateClientInterest(std::uint64_t conn_id, ClientConn &conn)
+{
+    const std::size_t queued = conn.outbuf.size() - conn.outoff;
+    std::uint32_t mask = 0;
+    if (!conn.closing && queued <= opts_.maxQueuedOutputBytes)
+        mask |= EventLoop::kRead;
+    if (queued > 0)
+        mask |= EventLoop::kWrite;
+    if (mask != conn.interest) {
+        loop_.set(conn.fd, mask, conn_id);
+        conn.interest = mask;
+    }
+}
+
+void
+Gateway::closeClientConn(std::uint64_t conn_id)
+{
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end())
+        return;
+    loop_.remove(it->second->fd);
+    ::close(it->second->fd);
+    conns_.erase(it);
+    closing_conns_.erase(conn_id);
+    if (inst_.clientsLive)
+        inst_.clientsLive->add(-1);
+    SAP_LOG_DEBUG("gateway: conn ", conn_id, " closed");
+}
+
+bool
+Gateway::clientOwedWork(std::uint64_t conn_id) const
+{
+    for (const auto &entry : inflight_)
+        if (entry.second.clientConnId == conn_id)
+            return true;
+    for (const auto &entry : gathers_)
+        if (entry.second.clientConnId == conn_id)
+            return true;
+    return false;
+}
+
+void
+Gateway::sendToClient(std::uint64_t conn_id,
+                      std::vector<std::uint8_t> bytes)
+{
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end())
+        return; // client went away; the reply is dropped
+    ClientConn &conn = *it->second;
+    if (conn.outbuf.empty()) {
+        conn.outbuf = std::move(bytes);
+        conn.outoff = 0;
+    } else {
+        conn.outbuf.insert(conn.outbuf.end(), bytes.begin(),
+                           bytes.end());
+    }
+    updateClientInterest(conn_id, conn);
+}
+
+void
+Gateway::sendClientError(std::uint64_t conn_id, std::uint64_t tag,
+                         const std::string &message)
+{
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.errorsReturned;
+    }
+    if (inst_.errors)
+        inst_.errors->add();
+    sendToClient(conn_id, buildErrorFrame(tag, message));
+}
+
+bool
+Gateway::readReady(std::uint64_t conn_id, ClientConn &conn)
+{
+    std::uint8_t buf[65536];
+    for (;;) {
+        if (conn.closing)
+            return true;
+        ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            conn.decoder.feed(buf, static_cast<std::size_t>(n));
+            for (;;) {
+                Frame frame;
+                std::string err;
+                FrameDecoder::Result res =
+                    conn.decoder.next(&frame, &err);
+                if (res == FrameDecoder::Result::NeedMore)
+                    break;
+                if (res == FrameDecoder::Result::Ok) {
+                    handleClientFrame(conn_id, conn,
+                                      std::move(frame));
+                    continue;
+                }
+                // Frame-level violation: ERROR, then close after
+                // the flush (same policy as NetServer).
+                SAP_LOG_WARN("gateway: conn ", conn_id,
+                             ": unrecoverable frame error: ", err);
+                sendClientError(conn_id, 0, err);
+                conn.closing = true;
+                return true;
+            }
+            continue;
+        }
+        if (n == 0) {
+            conn.closing = true;
+            return true;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+}
+
+bool
+Gateway::flushClient(ClientConn &conn)
+{
+    while (conn.outoff < conn.outbuf.size()) {
+        ssize_t n =
+            ::send(conn.fd, conn.outbuf.data() + conn.outoff,
+                   conn.outbuf.size() - conn.outoff, MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.outoff += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true;
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    conn.outbuf.clear();
+    conn.outoff = 0;
+    return true;
+}
+
+//----------------------------------------------------------------------
+// Routing.
+//----------------------------------------------------------------------
+
+void
+Gateway::routeSubmit(std::uint64_t conn_id, std::uint64_t client_tag,
+                     Digest digest,
+                     std::vector<std::uint8_t> submit_payload)
+{
+    if (inst_.requests)
+        inst_.requests->add();
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.requestsRouted;
+    }
+    if (ring_ == nullptr) {
+        sendClientError(conn_id, client_tag, "no routable backend");
+        return;
+    }
+    const std::size_t idx = ring_map_[ring_->shardFor(digest)];
+    const std::uint64_t gwtag = next_tag_++;
+    Backend &b = *backends_[idx];
+    b.conn.send(buildForwardFrame(gwtag, digest, submit_payload));
+    ++b.inflight;
+    if (b.inflightGauge)
+        b.inflightGauge->set(static_cast<double>(b.inflight));
+    updateBackendInterest(idx);
+    Inflight fl;
+    fl.clientConnId = conn_id;
+    fl.clientTag = client_tag;
+    fl.backendIdx = idx;
+    fl.digest = digest;
+    fl.submitPayload = std::move(submit_payload);
+    fl.start = std::chrono::steady_clock::now();
+    inflight_.emplace(gwtag, std::move(fl));
+}
+
+void
+Gateway::startGather(std::uint64_t conn_id, std::uint64_t client_tag,
+                     bool want_metrics)
+{
+    const std::uint64_t gather_id = next_gather_id_++;
+    Gather g;
+    g.clientConnId = conn_id;
+    g.clientTag = client_tag;
+    g.wantMetrics = want_metrics;
+    if (want_metrics)
+        g.metricsMerged = metricsSnapshot();
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+        Backend &b = *backends_[i];
+        if (!b.routable)
+            continue;
+        const std::uint64_t gwtag = next_tag_++;
+        gather_tags_[gwtag] = {gather_id, i};
+        b.conn.send(want_metrics ? buildMetricsRequestFrame(gwtag)
+                                 : buildStatsRequestFrame(gwtag));
+        updateBackendInterest(i);
+        ++g.awaiting;
+    }
+    gathers_.emplace(gather_id, std::move(g));
+    finishGatherIfDone(gather_id); // zero routable backends
+}
+
+void
+Gateway::finishGatherIfDone(std::uint64_t gather_id)
+{
+    auto it = gathers_.find(gather_id);
+    if (it == gathers_.end() || it->second.awaiting > 0)
+        return;
+    Gather g = std::move(it->second);
+    gathers_.erase(it);
+    sendToClient(g.clientConnId,
+                 g.wantMetrics
+                     ? buildMetricsFrame(g.clientTag, g.metricsMerged)
+                     : buildStatsFrame(g.clientTag,
+                                       mergeServerStats(
+                                           g.statsParts)));
+}
+
+void
+Gateway::handleClientFrame(std::uint64_t conn_id, ClientConn &conn,
+                           Frame &&frame)
+{
+    (void)conn;
+    const std::uint64_t tag = frame.header.tag;
+    switch (frame.header.type) {
+    case static_cast<std::uint16_t>(FrameType::Submit): {
+        // Decode with full wire strictness (bad payloads must not
+        // reach a backend), but only the digest is consumed here;
+        // the payload bytes relay as-is inside a FORWARD.
+        ServeRequest req;
+        std::string err;
+        if (!decodeSubmit(frame.payload, &req, &err)) {
+            sendClientError(conn_id, tag, err);
+            return;
+        }
+        Digest digest = planDigest(req.engine, req.plan);
+        routeSubmit(conn_id, tag, digest, std::move(frame.payload));
+        return;
+    }
+    case static_cast<std::uint16_t>(FrameType::Forward): {
+        // A gateway one tier up already computed the digest: strip
+        // it, validate the embedded SUBMIT, and route — rings of
+        // rings compose.
+        Digest digest = 0;
+        ServeRequest req;
+        std::string err;
+        if (!decodeForward(frame.payload, &digest, &req, &err)) {
+            sendClientError(conn_id, tag, err);
+            return;
+        }
+        std::vector<std::uint8_t> submit_payload(
+            frame.payload.begin() + 8, frame.payload.end());
+        routeSubmit(conn_id, tag, digest, std::move(submit_payload));
+        return;
+    }
+    case static_cast<std::uint16_t>(FrameType::Ping): {
+        // Answered at the gateway: PING measures the front door.
+        sendToClient(conn_id,
+                     buildFrame(FrameType::Ping, tag, frame.payload));
+        return;
+    }
+    case static_cast<std::uint16_t>(FrameType::Stats):
+        startGather(conn_id, tag, /*want_metrics=*/false);
+        return;
+    case static_cast<std::uint16_t>(FrameType::Metrics):
+        startGather(conn_id, tag, /*want_metrics=*/true);
+        return;
+    default:
+        sendClientError(conn_id, tag,
+                        "unexpected " +
+                            frameTypeName(frame.header.type) +
+                            " frame at the gateway");
+        return;
+    }
+}
+
+//----------------------------------------------------------------------
+// Backend frames.
+//----------------------------------------------------------------------
+
+void
+Gateway::handleBackendFrame(std::size_t idx, Frame &&frame)
+{
+    Backend &b = *backends_[idx];
+    const std::uint64_t tag = frame.header.tag;
+
+    switch (frame.header.type) {
+    case static_cast<std::uint16_t>(FrameType::Response):
+    case static_cast<std::uint16_t>(FrameType::Error): {
+        auto it = inflight_.find(tag);
+        if (it == inflight_.end())
+            return; // late duplicate after a failover: dropped
+        Inflight fl = std::move(it->second);
+        inflight_.erase(it);
+        if (b.inflight > 0)
+            --b.inflight;
+        if (b.inflightGauge)
+            b.inflightGauge->set(static_cast<double>(b.inflight));
+        // Relay the payload bytes verbatim under the client's tag.
+        sendToClient(
+            fl.clientConnId,
+            buildFrame(static_cast<FrameType>(frame.header.type),
+                       fl.clientTag, frame.payload));
+        if (inst_.routeMicros)
+            inst_.routeMicros->record(
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - fl.start)
+                    .count());
+        if (inst_.relayed)
+            inst_.relayed->add();
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.responsesRelayed;
+        return;
+    }
+    case static_cast<std::uint16_t>(FrameType::Ping): {
+        if (b.pingOutstanding && tag == b.pingTag) {
+            b.pingOutstanding = false;
+            b.missedPings = 0;
+            if (!b.routable && b.adminHealthy.load())
+                backendUp(idx);
+        }
+        return;
+    }
+    case static_cast<std::uint16_t>(FrameType::Stats):
+    case static_cast<std::uint16_t>(FrameType::Metrics): {
+        auto it = gather_tags_.find(tag);
+        if (it == gather_tags_.end())
+            return;
+        std::uint64_t gather_id = it->second.gatherId;
+        gather_tags_.erase(it);
+        auto git = gathers_.find(gather_id);
+        if (git == gathers_.end())
+            return;
+        Gather &g = git->second;
+        std::string err;
+        if (g.wantMetrics) {
+            MetricsSnapshot part;
+            if (decodeMetrics(frame.payload, &part, &err))
+                g.metricsMerged.merge(part);
+        } else {
+            ServerStats part;
+            if (decodeStats(frame.payload, &part, &err))
+                g.statsParts.push_back(std::move(part));
+        }
+        if (g.awaiting > 0)
+            --g.awaiting;
+        finishGatherIfDone(gather_id);
+        return;
+    }
+    default:
+        // A backend speaking garbage frame types is suspect but not
+        // fatal; liveness pings decide its fate.
+        SAP_LOG_WARN("gateway: backend ", idx, " sent unexpected ",
+                     frameTypeName(frame.header.type), " frame");
+        return;
+    }
+}
+
+//----------------------------------------------------------------------
+// The IO loop.
+//----------------------------------------------------------------------
+
+void
+Gateway::ioLoop()
+{
+    SAP_ASSERT(loop_.valid(), "event loop creation failed (",
+               EventLoop::backendName(), ")");
+    loop_.set(wake_pipe_[0], EventLoop::kRead, kWakeKey);
+    loop_.set(listen_fd_, EventLoop::kRead, kListenKey);
+
+    for (std::size_t i = 0; i < backends_.size(); ++i) {
+        Backend &b = *backends_[i];
+        const std::size_t idx = i;
+        b.conn.onConnected = [this, idx] { sendLivenessPing(idx); };
+        b.conn.onFrame = [this, idx](Frame &&frame) {
+            handleBackendFrame(idx, std::move(frame));
+        };
+        tryConnect(i);
+    }
+
+    auto last_tick = std::chrono::steady_clock::now();
+    auto last_ping = last_tick;
+
+    while (!exiting_.load()) {
+        if (listen_backoff_ == 0) {
+            loop_.set(listen_fd_, EventLoop::kRead, kListenKey);
+        } else {
+            loop_.remove(listen_fd_);
+            --listen_backoff_;
+        }
+
+        // Close what is closing, flushed, and owed nothing (a client
+        // that pipelined SUBMITs and half-closed must survive until
+        // its responses relay).
+        for (auto it = closing_conns_.begin();
+             it != closing_conns_.end();) {
+            auto cit = conns_.find(*it);
+            if (cit == conns_.end()) {
+                it = closing_conns_.erase(it);
+                continue;
+            }
+            ClientConn &c = *cit->second;
+            if (c.outoff >= c.outbuf.size() && !clientOwedWork(*it)) {
+                std::uint64_t id = *it;
+                ++it;
+                closeClientConn(id); // erases from closing_conns_
+            } else {
+                ++it;
+            }
+        }
+
+        loop_.wait(kWaitTimeoutMs);
+
+        const auto now = std::chrono::steady_clock::now();
+        const int elapsed_ms = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - last_tick)
+                .count());
+        last_tick = now;
+        if (now - last_ping >=
+            std::chrono::milliseconds(opts_.pingIntervalMs)) {
+            last_ping = now;
+            sendPings();
+        }
+        tryReconnects(elapsed_ms);
+
+        for (const EventLoop::Ready &ev : loop_.ready()) {
+            if (ev.key == kWakeKey) {
+                std::uint8_t drain[256];
+                while (::read(wake_pipe_[0], drain, sizeof(drain)) >
+                       0) {
+                }
+                continue;
+            }
+            if (ev.key == kListenKey) {
+                acceptReady();
+                continue;
+            }
+            if (ev.key >= kBackendKeyBase &&
+                ev.key < kBackendKeyBase + backends_.size()) {
+                const std::size_t idx = static_cast<std::size_t>(
+                    ev.key - kBackendKeyBase);
+                Backend &b = *backends_[idx];
+                const int fd = b.conn.fd();
+                if (fd < 0)
+                    continue; // went down earlier in this batch
+                b.conn.handleReady(ev);
+                if (b.conn.state() == AsyncClient::State::Closed) {
+                    loop_.remove(fd);
+                    backendDown(idx, b.conn.lastError());
+                } else {
+                    updateBackendInterest(idx);
+                }
+                continue;
+            }
+            const std::uint64_t conn_id = ev.key;
+            auto it = conns_.find(conn_id);
+            if (it == conns_.end())
+                continue; // closed earlier in this batch
+            ClientConn &conn = *it->second;
+            if (ev.error) {
+                closeClientConn(conn_id);
+                continue;
+            }
+            bool alive = true;
+            if (ev.writable)
+                alive = flushClient(conn);
+            if (alive && (ev.readable || ev.hangup))
+                alive = readReady(conn_id, conn);
+            if (!alive) {
+                closeClientConn(conn_id);
+                continue;
+            }
+            updateClientInterest(conn_id, conn);
+            if (conn.closing)
+                closing_conns_.insert(conn_id);
+        }
+    }
+
+    // Teardown: drop every socket. In-flight requests die with their
+    // connections (stop() is not a graceful drain; see gateway.hh).
+    while (!conns_.empty())
+        closeClientConn(conns_.begin()->first);
+    for (auto &b : backends_) {
+        if (b->conn.fd() >= 0)
+            loop_.remove(b->conn.fd());
+        b->conn.close();
+        b->routable = false;
+    }
+    ring_.reset();
+    ring_map_.clear();
+    routable_count_.store(0);
+}
+
+//----------------------------------------------------------------------
+// The /healthz prober.
+//----------------------------------------------------------------------
+
+bool
+probeHealthz(const std::string &host, std::uint16_t admin_port,
+             int timeout_ms)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(admin_port);
+    const std::string node = host == "localhost" ? "127.0.0.1" : host;
+    if (::inet_pton(AF_INET, node.c_str(), &addr.sin_addr) != 1)
+        return false;
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0)
+        return false;
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0 &&
+        errno != EINPROGRESS) {
+        ::close(fd);
+        return false;
+    }
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, timeout_ms) != 1) {
+        ::close(fd);
+        return false;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+        soerr != 0) {
+        ::close(fd);
+        return false;
+    }
+
+    const std::string request = "GET /healthz HTTP/1.1\r\nHost: " +
+                                node + "\r\nConnection: close\r\n\r\n";
+    std::size_t off = 0;
+    while (off < request.size()) {
+        ssize_t n = ::send(fd, request.data() + off,
+                           request.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                      errno == EWOULDBLOCK)) {
+            pfd.events = POLLOUT;
+            if (::poll(&pfd, 1, timeout_ms) != 1) {
+                ::close(fd);
+                return false;
+            }
+            continue;
+        }
+        ::close(fd);
+        return false;
+    }
+
+    // The verdict is in the status line; read until it is complete.
+    std::string head;
+    char buf[512];
+    for (;;) {
+        pfd.events = POLLIN;
+        if (::poll(&pfd, 1, timeout_ms) != 1)
+            break;
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            head.append(buf, static_cast<std::size_t>(n));
+            if (head.find("\r\n") != std::string::npos)
+                break;
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        break;
+    }
+    ::close(fd);
+    // "HTTP/1.1 200 OK" — Ok and Degraded both answer 200; only
+    // Unhealthy (503) pulls the backend (obs/health.hh).
+    return head.size() >= 12 && head.compare(9, 3, "200") == 0;
+}
+
+void
+Gateway::proberLoop()
+{
+    const int interval = opts_.healthzIntervalMs;
+    while (!exiting_.load()) {
+        for (auto &b : backends_) {
+            if (exiting_.load())
+                return;
+            if (b->addr.adminPort == 0)
+                continue;
+            b->adminHealthy.store(probeHealthz(
+                b->addr.host, b->addr.adminPort, interval));
+        }
+        // Sleep in small slices so stop() never waits a full period.
+        for (int slept = 0; slept < interval && !exiting_.load();
+             slept += 10)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+    }
+}
+
+} // namespace sap

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Routing gateway: one front door fanned out over several NetServer
+ * backends — the consistent-hash ring applied one level up.
+ *
+ * Inside one installation, cluster/router.hh pins each plan digest
+ * to the shard that caches its prepared plan. A fleet of
+ * installations wants the same property across *processes*: every
+ * matrix should land on the backend whose shards already hold its
+ * plan, whatever client opened which connection. Gateway provides
+ * that hop. It speaks the ordinary wire protocol to clients (an
+ * existing NetClient needs no changes), decodes each SUBMIT just
+ * enough to compute its plan digest, and relays the already-encoded
+ * payload to the owning backend inside a FORWARD frame — so the
+ * digest is computed once at the edge and reused by the backend's
+ * shard router and plan cache (net/protocol.hh).
+ *
+ *        clients ──▶ gateway IO thread ──FORWARD──▶ backend 0
+ *                        │ ring over               backend 1
+ *                        ▼ routable set            backend …
+ *                 RESPONSE relayed back by tag
+ *
+ * Health and failover: each backend connection carries periodic
+ * PINGs; a backend that misses Options::pingMissLimit replies in a
+ * row, drops its TCP connection, or (when a backend admin port is
+ * configured) fails its /healthz probe is removed from the routable
+ * set, the ring is rebuilt over the survivors, and every SUBMIT that
+ * was in flight to it is resubmitted to its new owner — safe because
+ * serving is pure compute (resubmission re-executes; it cannot
+ * double-apply), and duplicate-free toward the client because the
+ * in-flight entry is erased when the first response relays, so a
+ * late duplicate from a half-dead backend finds no tag and is
+ * dropped. A request whose resubmit budget (Options::maxResubmits)
+ * runs out, or that arrives with no routable backend, earns a clean
+ * ERROR frame — a client never hangs on a dead backend.
+ *
+ * Snapshot frames scatter-gather: STATS and METRICS requests fan out
+ * to every routable backend and the replies merge exactly
+ * (serve/server_stats.hh mergeServerStats, MetricsSnapshot::merge)
+ * before one frame goes back to the client; backends that die
+ * mid-gather simply drop out of the merge. PING is answered at the
+ * gateway itself — it measures the front door, not a backend.
+ *
+ * Thread-safety: start()/stop() serialize on a lifecycle mutex; the
+ * stats/metrics accessors are safe from any thread. Everything else
+ * lives on the gateway's one IO thread (net/event_loop.hh).
+ */
+
+#ifndef SAP_NET_GATEWAY_HH
+#define SAP_NET_GATEWAY_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.hh"
+#include "net/async_client.hh"
+#include "net/event_loop.hh"
+#include "net/protocol.hh"
+#include "obs/metrics.hh"
+
+namespace sap {
+
+/** Monotonic gateway counters (read with Gateway::stats()). */
+struct GatewayStats
+{
+    std::uint64_t connectionsAccepted = 0;
+    std::uint64_t requestsRouted = 0;
+    std::uint64_t responsesRelayed = 0;
+    /** Backend transitions routable → down (any cause). */
+    std::uint64_t failovers = 0;
+    /** In-flight requests re-sent to a surviving backend. */
+    std::uint64_t resubmits = 0;
+    /** ERROR frames sent to clients (protocol + routing failures). */
+    std::uint64_t errorsReturned = 0;
+};
+
+/**
+ * TCP routing tier over several NetServer backends (see file
+ * comment).
+ *
+ * Lifecycle: construct with options, start(); port() reports the
+ * bound client-facing port. stop() closes every connection and
+ * joins; like NetServer, a stopped gateway cannot be restarted.
+ */
+class Gateway
+{
+  public:
+    /** One backend's address (a NetServer reached over TCP). */
+    struct BackendAddr
+    {
+        std::string host = "127.0.0.1";
+        /** Wire-protocol (data plane) port. */
+        std::uint16_t port = 0;
+        /** Admin-plane port for /healthz probing; 0 = no probe,
+         *  PING liveness alone governs routability. */
+        std::uint16_t adminPort = 0;
+    };
+
+    struct Options
+    {
+        /** The backends fronted (at least one). */
+        std::vector<BackendAddr> backends;
+        /** Client-facing TCP port; 0 binds an ephemeral port. */
+        std::uint16_t port = 0;
+        /** Per-frame payload cap, both directions. */
+        std::uint32_t maxPayloadBytes = kDefaultMaxPayloadBytes;
+        /** Client backpressure threshold (as NetServer's). */
+        std::size_t maxQueuedOutputBytes = 64u << 20;
+        /** Liveness PING cadence per routable backend. */
+        int pingIntervalMs = 200;
+        /** Unanswered PINGs in a row before a backend is declared
+         *  down (its connection is dropped and traffic fails over). */
+        int pingMissLimit = 3;
+        /** How long a down backend waits before a reconnect try. */
+        int reconnectIntervalMs = 300;
+        /** /healthz probe cadence for backends with an adminPort;
+         *  0 disables HTTP probing entirely. */
+        int healthzIntervalMs = 500;
+        /** Times one SUBMIT may fail over before the client gets an
+         *  ERROR frame instead. */
+        std::size_t maxResubmits = 2;
+        /** Ring points per backend (cluster/router.hh). */
+        std::size_t virtualNodesPerBackend =
+            ConsistentHashRouter::kDefaultVirtualNodes;
+        /** Gateway obs/ registry (per-backend inflight gauges,
+         *  failover counters, route latency histogram). */
+        bool metrics = true;
+    };
+
+    explicit Gateway(const Options &opts);
+
+    /** Calls stop(). */
+    ~Gateway();
+
+    Gateway(const Gateway &) = delete;
+    Gateway &operator=(const Gateway &) = delete;
+
+    /**
+     * Bind the client port, spawn the IO thread (and the /healthz
+     * prober when configured), and begin connecting backends.
+     * Backends need not be up yet: routing begins per backend as its
+     * first PING answer arrives. @return false with error() set on
+     * socket failure.
+     */
+    bool start();
+
+    /** Close everything and join; idempotent. In-flight requests are
+     *  dropped (their clients see a closed connection). */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** The bound client-facing port (valid after start()). */
+    std::uint16_t port() const { return port_; }
+
+    /** Why start() failed (empty otherwise). */
+    const std::string &error() const { return error_; }
+
+    /** Monotonic counters. */
+    GatewayStats stats() const;
+
+    /** Backends currently in the routable set. */
+    std::size_t routableBackends() const
+    {
+        return routable_count_.load();
+    }
+
+    /** The gateway's own obs/ registry snapshot (empty when
+     *  Options::metrics is off). Backend registries are NOT merged
+     *  in — the METRICS frame does that per request. */
+    MetricsSnapshot metricsSnapshot() const;
+
+  private:
+    /** A client connection (same shape as NetServer's). */
+    struct ClientConn
+    {
+        int fd = -1;
+        FrameDecoder decoder;
+        std::vector<std::uint8_t> outbuf;
+        std::size_t outoff = 0;
+        bool closing = false;
+        std::uint32_t interest = 0;
+
+        ClientConn(int fd_in, std::uint32_t max_payload)
+            : fd(fd_in), decoder(max_payload)
+        {
+        }
+    };
+
+    /** One backend: its async connection plus liveness state. All
+     *  fields IO-thread-only except adminHealthy (prober writes). */
+    struct Backend
+    {
+        BackendAddr addr;
+        AsyncClient conn;
+        /** In the ring: connected, ping-confirmed, admin-healthy. */
+        bool routable = false;
+        /** Liveness probe bookkeeping. */
+        bool pingOutstanding = false;
+        std::uint64_t pingTag = 0;
+        int missedPings = 0;
+        /** Wait ticks before the next reconnect attempt. */
+        int reconnectWaitMs = 0;
+        /** Written by the prober thread, read by the IO thread. */
+        std::atomic<bool> adminHealthy{true};
+        /** FORWARDs sent, responses not yet back. */
+        std::uint64_t inflight = 0;
+        Gauge *inflightGauge = nullptr;
+
+        explicit Backend(const BackendAddr &a,
+                         std::uint32_t max_payload)
+            : addr(a), conn(max_payload)
+        {
+        }
+    };
+
+    /** One routed SUBMIT awaiting its backend response. */
+    struct Inflight
+    {
+        std::uint64_t clientConnId = 0;
+        std::uint64_t clientTag = 0;
+        std::size_t backendIdx = 0;
+        Digest digest = 0;
+        /** The SUBMIT payload bytes, kept for resubmission. */
+        std::vector<std::uint8_t> submitPayload;
+        std::size_t resubmits = 0;
+        std::chrono::steady_clock::time_point start;
+    };
+
+    /** One scatter-gather STATS/METRICS in progress. */
+    struct Gather
+    {
+        std::uint64_t clientConnId = 0;
+        std::uint64_t clientTag = 0;
+        bool wantMetrics = false;
+        std::size_t awaiting = 0;
+        std::vector<ServerStats> statsParts;
+        MetricsSnapshot metricsMerged;
+    };
+
+    void ioLoop();
+    void proberLoop();
+    void acceptReady();
+    bool readReady(std::uint64_t conn_id, ClientConn &conn);
+    /** Flush as much of conn.outbuf as the socket accepts.
+     *  @return false when the socket died. */
+    bool flushClient(ClientConn &conn);
+    void handleClientFrame(std::uint64_t conn_id, ClientConn &conn,
+                           Frame &&frame);
+    void handleBackendFrame(std::size_t idx, Frame &&frame);
+    /** Route a decoded SUBMIT/FORWARD payload to its ring owner. */
+    void routeSubmit(std::uint64_t conn_id, std::uint64_t client_tag,
+                     Digest digest,
+                     std::vector<std::uint8_t> submit_payload);
+    /** Fan a STATS/METRICS request out to every routable backend. */
+    void startGather(std::uint64_t conn_id, std::uint64_t client_tag,
+                     bool want_metrics);
+    void finishGatherIfDone(std::uint64_t gather_id);
+    /** Append bytes to a client connection's output buffer; no-op
+     *  when the connection is gone. IO thread only. */
+    void sendToClient(std::uint64_t conn_id,
+                      std::vector<std::uint8_t> bytes);
+    void sendClientError(std::uint64_t conn_id, std::uint64_t tag,
+                         const std::string &message);
+    /** Install the client conn's interest mask (cf. NetServer). */
+    void updateClientInterest(std::uint64_t conn_id, ClientConn &conn);
+    void updateBackendInterest(std::size_t idx);
+    void closeClientConn(std::uint64_t conn_id);
+    /** Remove backend @p idx from the routable set, drop its
+     *  connection if still open, re-ring, and migrate or fail its
+     *  in-flight requests. */
+    void backendDown(std::size_t idx, const std::string &reason);
+    /** Ping-confirmed (and admin-healthy) backend joins the ring. */
+    void backendUp(std::size_t idx);
+    /** Rebuild ring_ / ring_map_ over the routable set. */
+    void rebuildRing();
+    void sendPings();
+    void tryReconnects(int elapsed_ms);
+    /** Begin a (re)connect of backend @p idx and register its fd. */
+    void tryConnect(std::size_t idx);
+    /** First PING after a connect: routability gates on its answer. */
+    void sendLivenessPing(std::size_t idx);
+    /** True while responses or gather replies are still owed to this
+     *  client (a half-closed conn must survive until delivery). */
+    bool clientOwedWork(std::uint64_t conn_id) const;
+    void wakeIoThread();
+
+    Options opts_;
+    std::string error_;
+
+    std::mutex lifecycle_mutex_;
+    bool stopped_ = false;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> exiting_{false};
+
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    int wake_pipe_[2] = {-1, -1};
+    int listen_backoff_ = 0;
+
+    /** IO-thread only (except where noted). */
+    EventLoop loop_;
+    std::vector<std::unique_ptr<Backend>> backends_;
+    /** Ring over the routable subset; ring_map_[ring shard] =
+     *  backend index. Empty while no backend is routable. */
+    std::unique_ptr<ConsistentHashRouter> ring_;
+    std::vector<std::size_t> ring_map_;
+    std::atomic<std::size_t> routable_count_{0};
+
+    std::uint64_t next_conn_id_ = 16;
+    std::map<std::uint64_t, std::unique_ptr<ClientConn>> conns_;
+    /** Closing clients, swept for close-when-flushed-and-owed-
+     *  nothing each wakeup. */
+    std::set<std::uint64_t> closing_conns_;
+
+    std::uint64_t next_tag_ = 1;
+    std::map<std::uint64_t, Inflight> inflight_;
+    /** One outstanding leg of a scatter-gather: which gather it
+     *  belongs to and which backend owes the reply (so a backend
+     *  death mid-gather releases the leg instead of hanging it). */
+    struct GatherLeg
+    {
+        std::uint64_t gatherId = 0;
+        std::size_t backendIdx = 0;
+    };
+    /** Backend tag → leg, for STATS/METRICS fan-out. */
+    std::map<std::uint64_t, GatherLeg> gather_tags_;
+    std::uint64_t next_gather_id_ = 1;
+    std::map<std::uint64_t, Gather> gathers_;
+
+    std::thread io_thread_;
+    std::thread prober_thread_;
+
+    mutable std::mutex stats_mutex_;
+    GatewayStats stats_;
+
+    std::unique_ptr<MetricsRegistry> metrics_;
+    struct Instruments
+    {
+        Counter *requests = nullptr;
+        Counter *relayed = nullptr;
+        Counter *failovers = nullptr;
+        Counter *resubmits = nullptr;
+        Counter *errors = nullptr;
+        Gauge *backendsRoutable = nullptr;
+        Gauge *clientsLive = nullptr;
+        Histogram *routeMicros = nullptr;
+    } inst_;
+};
+
+/**
+ * One blocking /healthz probe against @p host:@p admin_port with a
+ * short timeout: true when the endpoint answers 200 (Ok or Degraded
+ * both serve 200 — see obs/health.hh). Exposed for tests.
+ */
+bool probeHealthz(const std::string &host, std::uint16_t admin_port,
+                  int timeout_ms);
+
+} // namespace sap
+
+#endif // SAP_NET_GATEWAY_HH

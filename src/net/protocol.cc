@@ -37,6 +37,8 @@ frameTypeName(std::uint16_t type)
         return "ERROR";
     case FrameType::Metrics:
         return "METRICS";
+    case FrameType::Forward:
+        return "FORWARD";
     }
     return "type " + std::to_string(type);
 }
@@ -348,6 +350,18 @@ buildMetricsFrame(std::uint64_t tag, const MetricsSnapshot &snap)
 }
 
 std::vector<std::uint8_t>
+buildForwardFrame(std::uint64_t tag, Digest digest,
+                  const std::vector<std::uint8_t> &submit_payload)
+{
+    WireWriter w;
+    w.u64(digest);
+    std::vector<std::uint8_t> payload = w.take();
+    payload.insert(payload.end(), submit_payload.begin(),
+                   submit_payload.end());
+    return buildFrame(FrameType::Forward, tag, payload);
+}
+
+std::vector<std::uint8_t>
 buildPingFrame(std::uint64_t tag)
 {
     return buildFrame(FrameType::Ping, tag, {});
@@ -401,11 +415,15 @@ encodeSubmit(const ServeRequest &req)
     return w.take();
 }
 
+namespace {
+
+/** decodeSubmit over a raw span, so FORWARD can decode its embedded
+ *  SUBMIT payload without copying it out first. */
 bool
-decodeSubmit(const std::vector<std::uint8_t> &payload,
-             ServeRequest *out, std::string *error)
+decodeSubmitSpan(const std::uint8_t *data, std::size_t size,
+                 ServeRequest *out, std::string *error)
 {
-    WireReader r(payload);
+    WireReader r(data, size);
     ServeRequest req;
     if (!r.str(&req.engine))
         return failDecode(error, "truncated SUBMIT: engine name");
@@ -472,6 +490,32 @@ decodeSubmit(const std::vector<std::uint8_t> &payload,
                           std::to_string(r.remaining()) +
                               " trailing bytes after SUBMIT payload");
     *out = std::move(req);
+    return true;
+}
+
+} // namespace
+
+bool
+decodeSubmit(const std::vector<std::uint8_t> &payload,
+             ServeRequest *out, std::string *error)
+{
+    return decodeSubmitSpan(payload.data(), payload.size(), out,
+                            error);
+}
+
+bool
+decodeForward(const std::vector<std::uint8_t> &payload, Digest *digest,
+              ServeRequest *out, std::string *error)
+{
+    WireReader r(payload);
+    std::uint64_t d;
+    if (!r.u64(&d))
+        return failDecode(error, "truncated FORWARD: digest");
+    if (!decodeSubmitSpan(payload.data() + (payload.size() -
+                                            r.remaining()),
+                          r.remaining(), out, error))
+        return false;
+    *digest = d;
     return true;
 }
 

@@ -33,7 +33,13 @@
  * stored format, so the breaks are accepted and documented here. The
  * METRICS frame (obs/metrics.hh snapshots: counters, gauges with an
  * aggregation byte, sparse log-bucketed histograms) is new in this
- * revision and versioned the same way.
+ * revision and versioned the same way. FORWARD (the gateway tier's
+ * backend hop: a u64 plan digest followed by a complete SUBMIT
+ * payload, so a backend reuses the routing digest the gateway
+ * already computed instead of re-hashing the matrices) is newest; a
+ * pre-gateway server rejects it as an unknown frame type — a
+ * payload-level error, so mixed-version installations degrade to an
+ * explicit ERROR frame, never a desync.
  *
  * Robustness contract: decoding is strictly bounds-checked and never
  * trusts a length against fewer bytes than it promises. Errors split
@@ -100,6 +106,7 @@ enum class FrameType : std::uint16_t
     Ping = 4,     ///< liveness check, echoed verbatim
     Error = 5,    ///< malformed input or unexpected frame
     Metrics = 6,  ///< empty = metrics request; else a merged snapshot
+    Forward = 7,  ///< gateway → server: digest-precomputed SUBMIT
 };
 
 /** Printable frame-type name ("SUBMIT", ... / "type 17"). */
@@ -307,6 +314,18 @@ std::vector<std::uint8_t> buildMetricsFrame(std::uint64_t tag,
                                             const MetricsSnapshot
                                                 &snap);
 
+/**
+ * FORWARD wrapping an already-encoded SUBMIT payload together with
+ * its precomputed plan digest (the gateway relays the payload bytes
+ * it decoded for routing — no re-encode). @p digest MUST equal
+ * planDigest() of the embedded request; it is a cache/routing hint,
+ * and correctness never depends on it (the plan cache confirms every
+ * digest hit with an exact matrix comparison).
+ */
+std::vector<std::uint8_t>
+buildForwardFrame(std::uint64_t tag, Digest digest,
+                  const std::vector<std::uint8_t> &submit_payload);
+
 /** Empty-payload PING. */
 std::vector<std::uint8_t> buildPingFrame(std::uint64_t tag);
 
@@ -326,6 +345,14 @@ std::vector<std::uint8_t> encodeSubmit(const ServeRequest &req);
 /** @return true and fill @p out, or false with @p error set. */
 bool decodeSubmit(const std::vector<std::uint8_t> &payload,
                   ServeRequest *out, std::string *error);
+
+/**
+ * FORWARD payload: u64 plan digest, then the embedded SUBMIT payload
+ * (decoded with the same strictness as decodeSubmit).
+ */
+bool decodeForward(const std::vector<std::uint8_t> &payload,
+                   Digest *digest, ServeRequest *out,
+                   std::string *error);
 
 /** RESPONSE payload. */
 std::vector<std::uint8_t> encodeResponse(const WireResponse &resp);

@@ -8,7 +8,6 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -19,11 +18,17 @@ namespace sap {
 
 namespace {
 
-/** Poll period; also bounds shutdown-flush latency. */
-constexpr int kPollTimeoutMs = 50;
+/** Wait period; also bounds shutdown-flush latency and how long a
+ *  closing connection can linger after its last response flushed. */
+constexpr int kWaitTimeoutMs = 50;
+
+/** Event-loop keys below this are reserved (0 = wake pipe,
+ *  1 = listen socket); connection ids start above them. */
+constexpr std::uint64_t kWakeKey = 0;
+constexpr std::uint64_t kListenKey = 1;
 
 /** Shutdown flush gives a slow client at most this many periods. */
-constexpr int kMaxFlushSpins = 40; // ~2 s
+constexpr int kMaxFlushSpins = 40; // ~2 s with kWaitTimeoutMs
 
 bool
 setNonBlocking(int fd)
@@ -409,6 +414,8 @@ NetServer::closeConnLocked(std::uint64_t conn_id)
     auto it = conns_.find(conn_id);
     if (it == conns_.end())
         return;
+    loop_.remove(it->second->fd); // before close(): see EventLoop
+    closing_conns_.erase(conn_id);
     ::close(it->second->fd);
     conns_.erase(it);
     if (inst_.connectionsLive)
@@ -444,9 +451,31 @@ NetServer::enqueueOutput(std::uint64_t conn_id,
         } else {
             enqueueOutputLocked(conn, bytes);
         }
+        // The IO thread owns the event loop; ask it to pick up the
+        // new write interest when the wake lands.
+        interest_dirty_.push_back(conn_id);
     }
     wakeIoThread();
     return true;
+}
+
+void
+NetServer::updateInterestLocked(std::uint64_t conn_id,
+                                Connection &conn)
+{
+    const std::size_t queued = conn.outbuf.size() - conn.outoff;
+    std::uint32_t mask = 0;
+    // Backpressure: a client that is not reading its responses
+    // stops being read from until its queued output drains.
+    if (serving_.load() && !conn.closing &&
+        queued <= opts_.maxQueuedOutputBytes)
+        mask |= EventLoop::kRead;
+    if (queued > 0)
+        mask |= EventLoop::kWrite;
+    if (mask != conn.interest) {
+        loop_.set(conn.fd, mask, conn_id);
+        conn.interest = mask;
+    }
 }
 
 bool
@@ -501,10 +530,11 @@ NetServer::acceptReady()
         {
             std::lock_guard<std::mutex> lock(conns_mutex_);
             conn_id = next_conn_id_;
-            conns_.emplace(next_conn_id_,
-                           std::make_unique<Connection>(
-                               fd, opts_.maxPayloadBytes));
+            auto [it, inserted] = conns_.emplace(
+                next_conn_id_, std::make_unique<Connection>(
+                                   fd, opts_.maxPayloadBytes));
             ++next_conn_id_;
+            updateInterestLocked(conn_id, *it->second);
         }
         if (inst_.connectionsAccepted) {
             inst_.connectionsAccepted->add();
@@ -618,6 +648,29 @@ NetServer::handleFrame(std::uint64_t conn_id, Connection &conn,
         cluster_->submitToQueue(std::move(req), &queue_, server_tag);
         return;
     }
+    case static_cast<std::uint16_t>(FrameType::Forward): {
+        // The gateway hop: a SUBMIT whose routing digest was already
+        // computed one tier up. Same life cycle as SUBMIT; the
+        // digest rides through to the shard plan cache.
+        Digest digest = 0;
+        ServeRequest req;
+        std::string err;
+        if (!decodeForward(frame.payload, &digest, &req, &err)) {
+            send_error(err);
+            return;
+        }
+        req.trace = collector_.begin();
+        traceStamp(req.trace, TraceStage::Decode);
+        std::uint64_t server_tag;
+        {
+            std::lock_guard<std::mutex> lock(tags_mutex_);
+            server_tag = next_tag_++;
+            tags_[server_tag] = {conn_id, tag};
+        }
+        cluster_->submitToQueue(std::move(req), &queue_, server_tag,
+                                digest);
+        return;
+    }
     case static_cast<std::uint16_t>(FrameType::Ping): {
         // Echoed verbatim, payload included (protocol.hh contract).
         std::vector<std::uint8_t> echo =
@@ -663,9 +716,12 @@ NetServer::handleFrame(std::uint64_t conn_id, Connection &conn,
 void
 NetServer::ioLoop()
 {
-    std::vector<pollfd> pfds;
-    std::vector<std::uint64_t> ids; // 0 = wake, 1 = listen, else conn
+    SAP_ASSERT(loop_.valid(), "event loop creation failed (",
+               EventLoop::backendName(), ")");
+    loop_.set(wake_pipe_[0], EventLoop::kRead, kWakeKey);
+    loop_.set(listen_fd_, EventLoop::kRead, kListenKey);
     int flush_spins = 0;
+    bool was_serving = true;
 
     for (;;) {
         const bool serving = serving_.load();
@@ -676,54 +732,67 @@ NetServer::ioLoop()
         }
         const bool exiting = flush_and_exit_.load();
 
-        pfds.clear();
-        ids.clear();
-        pfds.push_back({wake_pipe_[0], POLLIN, 0});
-        ids.push_back(0);
+        // Listen-socket interest follows the serving flag and the
+        // accept() backoff (see acceptReady()).
         if (serving && listen_backoff_ == 0) {
-            pfds.push_back({listen_fd_, POLLIN, 0});
-            ids.push_back(1);
-        } else if (listen_backoff_ > 0) {
-            --listen_backoff_; // see acceptReady()
+            loop_.set(listen_fd_, EventLoop::kRead, kListenKey);
+        } else {
+            loop_.remove(listen_fd_);
+            if (listen_backoff_ > 0)
+                --listen_backoff_;
         }
 
         bool any_output = false;
         {
             std::lock_guard<std::mutex> lock(conns_mutex_);
-            // Close what is closing, fully flushed, AND owed nothing:
-            // a client may pipeline SUBMITs and shutdown its write
-            // side before reading — its responses are still in
-            // flight in the cluster, so the connection must survive
-            // until the writer has delivered (and we flushed) them.
-            for (auto it = conns_.begin(); it != conns_.end();) {
-                Connection &c = *it->second;
-                if (c.closing && c.outoff >= c.outbuf.size() &&
-                    !hasPendingTags(it->first)) {
-                    std::uint64_t id = it->first;
+            // Interest masks are event-driven, not rebuilt per
+            // wakeup: only connections somebody marked dirty (the
+            // writer buffering a response, backpressure crossings)
+            // are touched — unless the serving flag just flipped or
+            // we are flushing to exit, which changes every mask.
+            if (serving != was_serving || exiting) {
+                for (auto &entry : conns_)
+                    updateInterestLocked(entry.first, *entry.second);
+            } else {
+                for (std::uint64_t id : interest_dirty_) {
+                    auto it = conns_.find(id);
+                    if (it != conns_.end())
+                        updateInterestLocked(id, *it->second);
+                }
+            }
+            interest_dirty_.clear();
+            was_serving = serving;
+
+            // Close what is closing, fully flushed, AND owed
+            // nothing: a client may pipeline SUBMITs and shutdown
+            // its write side before reading — its responses are
+            // still in flight in the cluster, so the connection must
+            // survive until the writer has delivered (and we
+            // flushed) them. Swept every wakeup (bounded by the
+            // closing set, not the connection count) because the
+            // final tag erase happens writer-side without a wake.
+            for (auto it = closing_conns_.begin();
+                 it != closing_conns_.end();) {
+                auto cit = conns_.find(*it);
+                if (cit == conns_.end()) {
+                    it = closing_conns_.erase(it);
+                    continue;
+                }
+                Connection &c = *cit->second;
+                if (c.outoff >= c.outbuf.size() &&
+                    !hasPendingTags(*it)) {
+                    std::uint64_t id = *it;
                     ++it;
-                    closeConnLocked(id);
+                    closeConnLocked(id); // erases from closing_conns_
                 } else {
                     ++it;
                 }
             }
-            for (const auto &entry : conns_) {
-                Connection &c = *entry.second;
-                const std::size_t queued = c.outbuf.size() - c.outoff;
-                short events = 0;
-                // Backpressure: a client that is not reading its
-                // responses stops being read from until it drains.
-                if (serving && !c.closing &&
-                    queued <= opts_.maxQueuedOutputBytes)
-                    events |= POLLIN;
-                if (queued > 0) {
-                    events |= POLLOUT;
-                    any_output = true;
-                }
-                if (events == 0)
-                    continue;
-                pfds.push_back({c.fd, events, 0});
-                ids.push_back(entry.first);
-            }
+
+            if (exiting)
+                for (const auto &entry : conns_)
+                    any_output |= entry.second->outoff <
+                                  entry.second->outbuf.size();
         }
 
         if (exiting) {
@@ -731,61 +800,58 @@ NetServer::ioLoop()
                 break;
         }
 
-        int rc = ::poll(pfds.data(),
-                        static_cast<nfds_t>(pfds.size()),
-                        kPollTimeoutMs);
-        if (rc < 0) {
-            if (errno == EINTR)
-                continue;
-            break; // poll itself failed; shut the loop down
-        }
+        loop_.wait(kWaitTimeoutMs);
 
-        for (std::size_t i = 0; i < pfds.size(); ++i) {
-            if (pfds[i].revents == 0)
-                continue;
-            if (ids[i] == 0) {
+        for (const EventLoop::Ready &ev : loop_.ready()) {
+            if (ev.key == kWakeKey) {
                 std::uint8_t drain[256];
                 while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
                 }
                 continue;
             }
-            if (ids[i] == 1) {
+            if (ev.key == kListenKey) {
                 acceptReady();
                 continue;
             }
-            const std::uint64_t conn_id = ids[i];
+            const std::uint64_t conn_id = ev.key;
             Connection *conn = nullptr;
             {
                 std::lock_guard<std::mutex> lock(conns_mutex_);
                 auto it = conns_.find(conn_id);
                 if (it == conns_.end())
-                    continue;
+                    continue; // closed earlier in this batch
                 conn = it->second.get();
             }
             // Only this thread erases connections, so the pointer
             // stays valid without holding the lock.
-            if (pfds[i].revents & (POLLERR | POLLNVAL)) {
+            if (ev.error) {
                 std::lock_guard<std::mutex> lock(conns_mutex_);
                 closeConnLocked(conn_id);
                 continue;
             }
             bool alive = true;
-            if (pfds[i].revents & POLLOUT) {
+            if (ev.writable) {
                 std::lock_guard<std::mutex> lock(conns_mutex_);
                 alive = flushLocked(*conn);
             }
-            // Gated on `serving` (not just the requested events):
-            // poll() reports POLLHUP even when POLLIN was not asked
-            // for, and once this iteration acknowledged quiesce,
-            // reading — and the submitToQueue it can trigger — must
-            // not race stop()'s cluster teardown.
-            if (alive && serving &&
-                (pfds[i].revents & (POLLIN | POLLHUP)))
+            // Gated on `serving` (not just the installed interest):
+            // both backends report hangup even when reads were not
+            // asked for, and once this iteration acknowledged
+            // quiesce, reading — and the submitToQueue it can
+            // trigger — must not race stop()'s cluster teardown.
+            if (alive && serving && (ev.readable || ev.hangup))
                 alive = readReady(conn_id, *conn);
+            std::lock_guard<std::mutex> lock(conns_mutex_);
             if (!alive) {
-                std::lock_guard<std::mutex> lock(conns_mutex_);
                 closeConnLocked(conn_id);
+                continue;
             }
+            // Reading/flushing changed queued bytes (responses,
+            // ping echoes, error frames) or set closing; reinstall
+            // the mask and track closing conns for the sweep.
+            updateInterestLocked(conn_id, *conn);
+            if (conn->closing)
+                closing_conns_.insert(conn_id);
         }
     }
 

@@ -1,11 +1,15 @@
 /**
  * @file
- * Poll-based multi-client TCP front end over the array cluster.
+ * Event-loop multi-client TCP front end over the array cluster.
  *
  * NetServer is the network boundary of the installation: it owns a
  * Cluster and bridges the socket world to the cluster's async IO
- * surface. One IO thread polls the listening socket and every
- * client connection; decoded SUBMIT frames go straight into
+ * surface. One IO thread runs a level-triggered event loop
+ * (net/event_loop.hh: epoll on Linux, poll elsewhere) over the
+ * listening socket and every client connection — interest masks are
+ * updated where connection state changes rather than rebuilt per
+ * wakeup, so ten thousand mostly-idle connections cost nothing per
+ * event. Decoded SUBMIT frames go straight into
  * Cluster::submitToQueue(), and a writer thread drains the shared
  * CompletionQueue into per-connection output buffers. The shards
  * therefore never block on a client: a slow reader only grows its
@@ -43,11 +47,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "cluster/cluster.hh"
+#include "net/event_loop.hh"
 #include "net/protocol.hh"
 #include "obs/health.hh"
 #include "obs/http_admin.hh"
@@ -214,6 +220,10 @@ class NetServer
         std::size_t outoff = 0;
         /** Stop reading; close once outbuf is flushed. */
         bool closing = false;
+        /** Event-loop interest mask the IO thread last installed
+         *  (EventLoop::kRead|kWrite); updated by
+         *  updateInterestLocked() only. */
+        std::uint32_t interest = 0;
 
         explicit Connection(int fd_in, std::uint32_t max_payload)
             : fd(fd_in), decoder(max_payload)
@@ -250,6 +260,12 @@ class NetServer
      *  @return false when the socket died. */
     bool flushLocked(Connection &conn);
     void closeConnLocked(std::uint64_t conn_id);
+    /**
+     * Recompute and install the connection's event-loop interest
+     * mask from its current state (serving, closing, queued output,
+     * backpressure). IO thread only, conns_mutex_ held.
+     */
+    void updateInterestLocked(std::uint64_t conn_id, Connection &conn);
     void wakeIoThread();
     /** Drop completions addressed to a dead connection. */
     void forgetTags(std::uint64_t conn_id);
@@ -280,9 +296,23 @@ class NetServer
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;
     int wake_pipe_[2] = {-1, -1};
-    /** IO-thread only: poll periods left to skip the listen socket
+    /** IO-thread only: wait periods left to skip the listen socket
      *  after a persistent accept() failure (EMFILE and friends). */
     int listen_backoff_ = 0;
+
+    /**
+     * The IO thread's readiness multiplexer. Owned and touched by
+     * the IO thread alone — other threads request interest updates
+     * via interest_dirty_ + the wake pipe.
+     */
+    EventLoop loop_;
+    /** Connections whose interest mask may be stale (e.g. the
+     *  writer buffered output for them); drained by the IO thread
+     *  each wakeup. Guarded by conns_mutex_. */
+    std::vector<std::uint64_t> interest_dirty_;
+    /** IO-thread only: connections in the closing state, swept each
+     *  wakeup for close-when-flushed-and-owed-nothing. */
+    std::set<std::uint64_t> closing_conns_;
 
     std::atomic<bool> running_{false};
     /** One-shot lifecycle: set by stop(); start() then refuses (the

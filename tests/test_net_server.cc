@@ -480,6 +480,47 @@ TEST(NetServer, HalfClosedClientStillGetsEveryResponse)
     EXPECT_TRUE(conn.awaitClose());
 }
 
+TEST(NetServer, PipelinedBatchSurvivesServerBackpressure)
+{
+    // Regression: submitBatch() used to write the whole pipeline
+    // before reading anything. With the server's per-connection
+    // output cap tripped (it stops reading clients whose pending
+    // responses exceed maxQueuedOutputBytes) and a deliberately tiny
+    // client send buffer, that wedges both sides forever: the server
+    // waits for the client to drain responses, the client waits for
+    // the socket to accept more SUBMIT bytes. The fixed client
+    // interleaves sends with reads, so this completes instead of
+    // deadlocking (a hang here fails via the ctest timeout).
+    NetServer::Options opts = smallServerOptions();
+    opts.maxQueuedOutputBytes = 16u << 10;
+    NetServer server(opts);
+    ASSERT_TRUE(server.start()) << server.error();
+
+    NetClient client;
+    client.setSendBufferBytes(4096);
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port()))
+        << client.lastError();
+
+    // ~40 matmuls at n=16: a few hundred KiB of requests and well
+    // over the 16 KiB response cap, so backpressure engages while
+    // most of the pipeline is still unsent.
+    std::vector<ServeRequest> reqs;
+    for (int i = 0; i < 40; ++i)
+        reqs.push_back(matMulRequest(9000 + i, /*n=*/16));
+    std::vector<NetClient::Result> results = client.submitBatch(reqs);
+
+    ASSERT_EQ(results.size(), reqs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        ASSERT_TRUE(results[i].transportOk)
+            << i << ": " << results[i].transportError;
+        ASSERT_TRUE(results[i].response.ok)
+            << i << ": " << results[i].response.error;
+        EXPECT_TRUE(
+            NetClient::matchesOracle(reqs[i], results[i].response))
+            << i;
+    }
+}
+
 TEST(NetServer, RestartAfterStopIsRefused)
 {
     NetServer server(smallServerOptions());
