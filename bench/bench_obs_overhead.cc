@@ -38,11 +38,13 @@
 #include "bench/bench_common.hh"
 
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "mat/generate.hh"
 #include "net/client.hh"
+#include "net/gateway.hh"
 #include "net/server.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_ring.hh"
@@ -150,6 +152,96 @@ measure(const ObsConfig &cfg, int clients, int rounds, int batch,
     return static_cast<double>(clients) * rounds * batch / best_wall;
 }
 
+/**
+ * The cross-tier run: the same warm-cache workload through a gateway
+ * over two backends, with or without sampled edge tracing. When
+ * @p tracing is on the gateway head-samples at 1-in-64 and the
+ * backends commit only what the propagated flag tells them to — the
+ * recommended production-debug configuration for the tier. Returns
+ * requests per second (best of @p repeats).
+ */
+double
+measureGateway(bool tracing, int clients, int rounds, int batch,
+               Index s, Index w, int repeats)
+{
+    double best_wall = 0;
+    for (int rep = 0; rep < repeats; ++rep) {
+        std::vector<std::unique_ptr<NetServer>> backends;
+        std::vector<Gateway::BackendAddr> addrs;
+        for (int b = 0; b < 2; ++b) {
+            NetServer::Options opts;
+            opts.cluster.shards = 2;
+            opts.cluster.threadsPerShard = 2;
+            opts.trace.enabled = tracing;
+            opts.trace.sampleEvery = 0; // commits ride the flag
+            backends.push_back(std::make_unique<NetServer>(opts));
+            SAP_ASSERT(backends.back()->start(),
+                       "obs bench backend failed to start");
+            addrs.push_back({"127.0.0.1", backends.back()->port(), 0});
+        }
+        Gateway::Options gopts;
+        gopts.backends = std::move(addrs);
+        gopts.trace.enabled = tracing;
+        gopts.trace.sampleEvery = 64;
+        Gateway gw(gopts);
+        SAP_ASSERT(gw.start(), "obs bench gateway failed to start");
+        while (gw.routableBackends() < 2)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+        Dense<Scalar> a = randomIntDense(s, s, 42);
+        auto makeBatch = [&](int c, int r) {
+            std::vector<ServeRequest> reqs;
+            for (int i = 0; i < batch; ++i) {
+                ServeRequest req;
+                req.engine = "linear";
+                req.plan = EnginePlan::matVec(
+                    a,
+                    randomIntVec(s, static_cast<std::uint64_t>(
+                                        100 * c + 10 * r + i)),
+                    randomIntVec(s, static_cast<std::uint64_t>(
+                                        7000 + 100 * c + 10 * r + i)),
+                    w);
+                reqs.push_back(std::move(req));
+            }
+            return reqs;
+        };
+
+        {
+            NetClient warm;
+            SAP_ASSERT(warm.connect("127.0.0.1", gw.port()),
+                       "obs bench gateway warm-up connect failed");
+            for (const NetClient::Result &r :
+                 warm.submitBatch(makeBatch(99, 99)))
+                SAP_ASSERT(r.transportOk && r.response.ok,
+                           "obs bench gateway warm-up request failed");
+        }
+
+        auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::thread> threads;
+        for (int c = 0; c < clients; ++c) {
+            threads.emplace_back([&, c] {
+                NetClient client;
+                SAP_ASSERT(client.connect("127.0.0.1", gw.port()),
+                           "obs bench gateway connect failed");
+                for (int r = 0; r < rounds; ++r)
+                    for (const NetClient::Result &res :
+                         client.submitBatch(makeBatch(c, r)))
+                        SAP_ASSERT(res.transportOk && res.response.ok,
+                                   "obs bench gateway request failed");
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+        double wall = secondsSince(t0);
+        gw.stop();
+        for (std::unique_ptr<NetServer> &b : backends)
+            b->stop();
+        if (rep == 0 || wall < best_wall)
+            best_wall = wall;
+    }
+    return static_cast<double>(clients) * rounds * batch / best_wall;
+}
+
 void
 print()
 {
@@ -207,6 +299,52 @@ print()
               {"clients", std::to_string(kClients)},
               {"sample_every", std::to_string(cfg.sampleEvery)},
               {"admin", cfg.admin ? "on" : "off"}},
+             {{"req_per_s", rps},
+              {"overhead_pct", overhead_pct},
+              {"budget_pct", cfg.budgetPct}}});
+    }
+
+    // The cross-tier pair: gateway + 2 backends, tracing off as its
+    // own baseline vs 1-in-64 edge-sampled tracing with propagation.
+    // The budget mirrors the single-tier sampled one: the context
+    // block on the wire plus the gateway's own stamps must stay
+    // inside 3%.
+    std::printf("\ncross-tier: gateway over 2 backends\n");
+    std::printf("%-16s %10s %10s %10s\n", "config", "req/s",
+                "overhead", "budget");
+    double gw_base_rps = 0;
+    struct
+    {
+        const char *name;
+        bool tracing;
+        double budgetPct;
+    } gwConfigs[] = {
+        {"gateway_baseline", false, 0.0},
+        {"gateway-tracing", true, 3.0},
+    };
+    for (const auto &cfg : gwConfigs) {
+        double rps = measureGateway(cfg.tracing, kClients, kRounds,
+                                    kBatch, s, w, kRepeats);
+        if (cfg.budgetPct == 0.0)
+            gw_base_rps = rps;
+        double overhead_pct = (gw_base_rps / rps - 1.0) * 100.0;
+        char budget[24] = "-";
+        if (cfg.budgetPct > 0)
+            std::snprintf(budget, sizeof(budget), "<=%.0f%% %s",
+                          cfg.budgetPct,
+                          overhead_pct <= cfg.budgetPct ? "ok"
+                                                        : "OVER");
+        std::printf("%-16s %10.0f %9.2f%% %10s\n", cfg.name, rps,
+                    overhead_pct, budget);
+        json.push_back(
+            {"obs_overhead",
+             {{"config", cfg.name},
+              {"engine", "linear"},
+              {"s", std::to_string(s)},
+              {"w", std::to_string(w)},
+              {"clients", std::to_string(kClients)},
+              {"sample_every", cfg.tracing ? "64" : "0"},
+              {"admin", "off"}},
              {{"req_per_s", rps},
               {"overhead_pct", overhead_pct},
               {"budget_pct", cfg.budgetPct}}});

@@ -360,6 +360,33 @@ NetClient::metrics(MetricsSnapshot *out)
 }
 
 bool
+NetClient::traces(std::vector<RequestTrace> *out,
+                  std::uint64_t *totalCommitted)
+{
+    std::uint64_t tag = next_tag_++;
+    if (!sendAll(buildTracesRequestFrame(tag)))
+        return false;
+    Frame frame;
+    if (!readFrame(&frame))
+        return false;
+    if (frame.header.type !=
+            static_cast<std::uint16_t>(FrameType::Traces) ||
+        frame.header.tag != tag)
+        return fail("unexpected " + frameTypeName(frame.header.type) +
+                    " frame in reply to TRACES");
+    std::vector<RequestTrace> traces;
+    std::uint64_t total = 0;
+    std::string err;
+    if (!decodeTraces(frame.payload, &traces, &total, &err))
+        return fail("undecodable TRACES: " + err);
+    if (out)
+        *out = std::move(traces);
+    if (totalCommitted)
+        *totalCommitted = total;
+    return true;
+}
+
+bool
 NetClient::ping()
 {
     std::uint64_t tag = next_tag_++;

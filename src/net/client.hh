@@ -129,6 +129,17 @@ class NetClient
      */
     bool metrics(MetricsSnapshot *out);
 
+    /**
+     * Request the server's committed request traces (the TRACES
+     * frame). Against a NetServer this is its trace rings; against a
+     * gateway it is the stitchable cross-tier set — the gateway's
+     * own traces plus a scatter-gather over every routable backend.
+     * @p totalCommitted receives the commit counter (≥ out->size());
+     * either out-param may be null.
+     */
+    bool traces(std::vector<RequestTrace> *out,
+                std::uint64_t *totalCommitted);
+
     /** PING round-trip. */
     bool ping();
 

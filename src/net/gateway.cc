@@ -13,6 +13,9 @@
 #include <unistd.h>
 
 #include "base/logging.hh"
+#include "engine/engine.hh"
+#include "net/client.hh"
+#include "obs/trace_export.hh"
 #include "serve/plan_cache.hh"
 #include "serve/server_stats.hh"
 
@@ -42,6 +45,14 @@ errnoString(const char *what)
     return std::string(what) + ": " + std::strerror(errno);
 }
 
+/** " trace=<32hex>" when @p ctx is valid, "" otherwise — the log ↔
+ *  trace correlation suffix for failover/resubmit lines. */
+std::string
+traceSuffix(const TraceContext &ctx)
+{
+    return ctx.valid() ? " trace=" + traceIdHex(ctx) : std::string();
+}
+
 } // namespace
 
 //----------------------------------------------------------------------
@@ -51,7 +62,8 @@ errnoString(const char *what)
 Gateway::Gateway(const Options &opts)
     : opts_(opts),
       metrics_(opts.metrics ? std::make_unique<MetricsRegistry>()
-                            : nullptr)
+                            : nullptr),
+      collector_(opts.trace, metrics_.get())
 {
     SAP_ASSERT(!opts_.backends.empty(),
                "gateway needs at least one backend");
@@ -153,6 +165,34 @@ Gateway::start()
     next_conn_id_ = std::max<std::uint64_t>(
         16, kBackendKeyBase + backends_.size());
 
+    // Admin plane before the IO thread (as NetServer): if its port
+    // cannot bind, start() fails with only sockets to unwind.
+    if (opts_.adminEnabled) {
+        health_ = std::make_unique<HealthModel>(opts_.health);
+        FlightRecorderConfig rc;
+        rc.intervalSeconds = opts_.samplerIntervalSeconds;
+        rc.retainSamples = opts_.samplerRetainSamples;
+        recorder_ = std::make_unique<FlightRecorder>(
+            [this] { return metricsSnapshot(); }, rc);
+        HttpAdminServer::Options admin_opts;
+        admin_opts.port = opts_.adminPort;
+        admin_ = std::make_unique<HttpAdminServer>(admin_opts);
+        registerAdminRoutes(*admin_);
+        if (!admin_->start()) {
+            error_ = "admin: " + admin_->error();
+            admin_.reset();
+            recorder_.reset();
+            health_.reset();
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+            ::close(wake_pipe_[0]);
+            ::close(wake_pipe_[1]);
+            wake_pipe_[0] = wake_pipe_[1] = -1;
+            return false;
+        }
+        recorder_->start();
+    }
+
     exiting_.store(false);
     running_.store(true);
     io_thread_ = std::thread([this] { ioLoop(); });
@@ -175,6 +215,13 @@ Gateway::stop()
     std::lock_guard<std::mutex> lifecycle(lifecycle_mutex_);
     if (!running_.load())
         return;
+    // Admin plane first: its /tracez handler round-trips through the
+    // still-live data plane; stopping it before the IO thread keeps
+    // that path well-defined.
+    if (admin_)
+        admin_->stop();
+    if (recorder_)
+        recorder_->stop();
     exiting_.store(true);
     wakeIoThread();
     if (io_thread_.joinable())
@@ -344,15 +391,26 @@ Gateway::backendDown(std::size_t idx, const std::string &reason)
         Inflight &fl = inflight_[gwtag];
         if (fl.resubmits < opts_.maxResubmits && ring_ != nullptr) {
             ++fl.resubmits;
+            // The attempt counter rides the propagated context so
+            // both tiers' traces record which delivery this was.
+            fl.ctx.attempt =
+                static_cast<std::uint8_t>(fl.resubmits);
+            if (fl.trace)
+                fl.trace->addEvent("resubmit attempt " +
+                                   std::to_string(fl.resubmits));
             fl.backendIdx = ring_map_[ring_->shardFor(fl.digest)];
             Backend &nb = *backends_[fl.backendIdx];
-            nb.conn.send(buildForwardFrame(gwtag, fl.digest,
-                                           fl.submitPayload));
+            nb.conn.send(buildForwardFrame(
+                gwtag, fl.digest, fl.submitPayload,
+                fl.ctx.valid() ? &fl.ctx : nullptr));
             ++nb.inflight;
             if (nb.inflightGauge)
                 nb.inflightGauge->set(
                     static_cast<double>(nb.inflight));
             updateBackendInterest(fl.backendIdx);
+            SAP_LOG_WARN("gateway: resubmitting request to backend ",
+                         fl.backendIdx, " attempt ", fl.resubmits,
+                         traceSuffix(fl.ctx));
             {
                 std::lock_guard<std::mutex> lock(stats_mutex_);
                 ++stats_.resubmits;
@@ -362,6 +420,14 @@ Gateway::backendDown(std::size_t idx, const std::string &reason)
         } else {
             Inflight fl_copy = std::move(fl);
             inflight_.erase(gwtag);
+            SAP_LOG_WARN("gateway: resubmit budget spent after ",
+                         fl_copy.resubmits, " tries",
+                         traceSuffix(fl_copy.ctx));
+            if (fl_copy.trace) {
+                fl_copy.trace->addEvent("resubmit budget spent");
+                fl_copy.trace->ok = false;
+                collector_.finish(fl_copy.trace);
+            }
             sendClientError(fl_copy.clientConnId, fl_copy.clientTag,
                             "backend failed (" + reason +
                                 ") and the resubmit budget is spent");
@@ -589,7 +655,9 @@ Gateway::flushClient(ClientConn &conn)
 void
 Gateway::routeSubmit(std::uint64_t conn_id, std::uint64_t client_tag,
                      Digest digest,
-                     std::vector<std::uint8_t> submit_payload)
+                     std::vector<std::uint8_t> submit_payload,
+                     const TraceContext &ctx,
+                     std::shared_ptr<RequestTrace> trace)
 {
     if (inst_.requests)
         inst_.requests->add();
@@ -599,12 +667,19 @@ Gateway::routeSubmit(std::uint64_t conn_id, std::uint64_t client_tag,
     }
     if (ring_ == nullptr) {
         sendClientError(conn_id, client_tag, "no routable backend");
+        if (trace) {
+            trace->ok = false;
+            collector_.finish(trace);
+        }
         return;
     }
     const std::size_t idx = ring_map_[ring_->shardFor(digest)];
+    traceStamp(trace, TraceStage::Route);
     const std::uint64_t gwtag = next_tag_++;
     Backend &b = *backends_[idx];
-    b.conn.send(buildForwardFrame(gwtag, digest, submit_payload));
+    b.conn.send(buildForwardFrame(gwtag, digest, submit_payload,
+                                  ctx.valid() ? &ctx : nullptr));
+    traceStamp(trace, TraceStage::Dequeue); // "gw_forward"
     ++b.inflight;
     if (b.inflightGauge)
         b.inflightGauge->set(static_cast<double>(b.inflight));
@@ -616,28 +691,38 @@ Gateway::routeSubmit(std::uint64_t conn_id, std::uint64_t client_tag,
     fl.digest = digest;
     fl.submitPayload = std::move(submit_payload);
     fl.start = std::chrono::steady_clock::now();
+    fl.ctx = ctx;
+    fl.trace = std::move(trace);
     inflight_.emplace(gwtag, std::move(fl));
 }
 
 void
 Gateway::startGather(std::uint64_t conn_id, std::uint64_t client_tag,
-                     bool want_metrics)
+                     Gather::Kind kind)
 {
     const std::uint64_t gather_id = next_gather_id_++;
     Gather g;
     g.clientConnId = conn_id;
     g.clientTag = client_tag;
-    g.wantMetrics = want_metrics;
-    if (want_metrics)
+    g.kind = kind;
+    if (kind == Gather::Kind::Metrics)
         g.metricsMerged = metricsSnapshot();
+    if (kind == Gather::Kind::Traces) {
+        // Seed with the gateway's own rings; backend parts append.
+        g.tracesMerged = collector_.snapshot();
+        g.tracesTotal = collector_.totalCommitted();
+    }
     for (std::size_t i = 0; i < backends_.size(); ++i) {
         Backend &b = *backends_[i];
         if (!b.routable)
             continue;
         const std::uint64_t gwtag = next_tag_++;
         gather_tags_[gwtag] = {gather_id, i};
-        b.conn.send(want_metrics ? buildMetricsRequestFrame(gwtag)
-                                 : buildStatsRequestFrame(gwtag));
+        b.conn.send(kind == Gather::Kind::Metrics
+                        ? buildMetricsRequestFrame(gwtag)
+                    : kind == Gather::Kind::Traces
+                        ? buildTracesRequestFrame(gwtag)
+                        : buildStatsRequestFrame(gwtag));
         updateBackendInterest(i);
         ++g.awaiting;
     }
@@ -653,12 +738,40 @@ Gateway::finishGatherIfDone(std::uint64_t gather_id)
         return;
     Gather g = std::move(it->second);
     gathers_.erase(it);
-    sendToClient(g.clientConnId,
-                 g.wantMetrics
-                     ? buildMetricsFrame(g.clientTag, g.metricsMerged)
-                     : buildStatsFrame(g.clientTag,
-                                       mergeServerStats(
-                                           g.statsParts)));
+    std::vector<std::uint8_t> reply;
+    switch (g.kind) {
+    case Gather::Kind::Metrics:
+        reply = buildMetricsFrame(g.clientTag, g.metricsMerged);
+        break;
+    case Gather::Kind::Traces:
+        reply = buildTracesFrame(g.clientTag, g.tracesMerged,
+                                 g.tracesTotal);
+        break;
+    case Gather::Kind::Stats:
+        reply = buildStatsFrame(g.clientTag,
+                                mergeServerStats(g.statsParts));
+        break;
+    }
+    sendToClient(g.clientConnId, std::move(reply));
+}
+
+std::shared_ptr<RequestTrace>
+Gateway::admitTrace(TraceContext *ctx, const ServeRequest &req)
+{
+    // The edge owns the head-sampling decision: a request that
+    // arrives without a context gets one minted here (sampled 1-in-N
+    // by the gateway's counter); one that arrives with a context
+    // keeps it — sampling is decided exactly once per request.
+    if (!ctx->valid() && collector_.enabled())
+        *ctx = makeTraceContext(collector_.headSample());
+    std::shared_ptr<RequestTrace> trace = collector_.adopt(*ctx);
+    if (trace) {
+        trace->tier = TraceTier::Gateway;
+        trace->label = req.engine;
+        trace->kind = problemKindName(req.plan.kind);
+        trace->stamp(TraceStage::Decode);
+    }
+    return trace;
 }
 
 void
@@ -678,8 +791,11 @@ Gateway::handleClientFrame(std::uint64_t conn_id, ClientConn &conn,
             sendClientError(conn_id, tag, err);
             return;
         }
+        TraceContext ctx = req.traceContext;
+        std::shared_ptr<RequestTrace> trace = admitTrace(&ctx, req);
         Digest digest = planDigest(req.engine, req.plan);
-        routeSubmit(conn_id, tag, digest, std::move(frame.payload));
+        routeSubmit(conn_id, tag, digest, std::move(frame.payload),
+                    ctx, std::move(trace));
         return;
     }
     case static_cast<std::uint16_t>(FrameType::Forward): {
@@ -693,9 +809,19 @@ Gateway::handleClientFrame(std::uint64_t conn_id, ClientConn &conn,
             sendClientError(conn_id, tag, err);
             return;
         }
+        // Strip the FORWARD envelope: digest (8) + context marker
+        // (1) + the context block when the marker says so (the
+        // decode above validated both).
+        const std::size_t strip =
+            9 + (frame.payload[8] == 1 ? kTraceContextBytes : 0);
         std::vector<std::uint8_t> submit_payload(
-            frame.payload.begin() + 8, frame.payload.end());
-        routeSubmit(conn_id, tag, digest, std::move(submit_payload));
+            frame.payload.begin() +
+                static_cast<std::ptrdiff_t>(strip),
+            frame.payload.end());
+        TraceContext ctx = req.traceContext;
+        std::shared_ptr<RequestTrace> trace = admitTrace(&ctx, req);
+        routeSubmit(conn_id, tag, digest, std::move(submit_payload),
+                    ctx, std::move(trace));
         return;
     }
     case static_cast<std::uint16_t>(FrameType::Ping): {
@@ -705,10 +831,13 @@ Gateway::handleClientFrame(std::uint64_t conn_id, ClientConn &conn,
         return;
     }
     case static_cast<std::uint16_t>(FrameType::Stats):
-        startGather(conn_id, tag, /*want_metrics=*/false);
+        startGather(conn_id, tag, Gather::Kind::Stats);
         return;
     case static_cast<std::uint16_t>(FrameType::Metrics):
-        startGather(conn_id, tag, /*want_metrics=*/true);
+        startGather(conn_id, tag, Gather::Kind::Metrics);
+        return;
+    case static_cast<std::uint16_t>(FrameType::Traces):
+        startGather(conn_id, tag, Gather::Kind::Traces);
         return;
     default:
         sendClientError(conn_id, tag,
@@ -741,11 +870,21 @@ Gateway::handleBackendFrame(std::size_t idx, Frame &&frame)
             --b.inflight;
         if (b.inflightGauge)
             b.inflightGauge->set(static_cast<double>(b.inflight));
+        if (fl.trace) {
+            fl.trace->stamp(TraceStage::WriterPop); // "gw_relay_pop"
+            fl.trace->ok =
+                frame.header.type ==
+                static_cast<std::uint16_t>(FrameType::Response);
+        }
         // Relay the payload bytes verbatim under the client's tag.
         sendToClient(
             fl.clientConnId,
             buildFrame(static_cast<FrameType>(frame.header.type),
                        fl.clientTag, frame.payload));
+        if (fl.trace) {
+            fl.trace->stamp(TraceStage::Flush); // "gw_flush"
+            collector_.finish(fl.trace);
+        }
         if (inst_.routeMicros)
             inst_.routeMicros->record(
                 std::chrono::duration<double, std::micro>(
@@ -767,7 +906,8 @@ Gateway::handleBackendFrame(std::size_t idx, Frame &&frame)
         return;
     }
     case static_cast<std::uint16_t>(FrameType::Stats):
-    case static_cast<std::uint16_t>(FrameType::Metrics): {
+    case static_cast<std::uint16_t>(FrameType::Metrics):
+    case static_cast<std::uint16_t>(FrameType::Traces): {
         auto it = gather_tags_.find(tag);
         if (it == gather_tags_.end())
             return;
@@ -778,10 +918,19 @@ Gateway::handleBackendFrame(std::size_t idx, Frame &&frame)
             return;
         Gather &g = git->second;
         std::string err;
-        if (g.wantMetrics) {
+        if (g.kind == Gather::Kind::Metrics) {
             MetricsSnapshot part;
             if (decodeMetrics(frame.payload, &part, &err))
                 g.metricsMerged.merge(part);
+        } else if (g.kind == Gather::Kind::Traces) {
+            std::vector<RequestTrace> part;
+            std::uint64_t part_total = 0;
+            if (decodeTraces(frame.payload, &part, &part_total,
+                             &err)) {
+                g.tracesTotal += part_total;
+                for (RequestTrace &t : part)
+                    g.tracesMerged.push_back(std::move(t));
+            }
         } else {
             ServerStats part;
             if (decodeStats(frame.payload, &part, &err))
@@ -935,6 +1084,154 @@ Gateway::ioLoop()
     ring_.reset();
     ring_map_.clear();
     routable_count_.store(0);
+}
+
+//----------------------------------------------------------------------
+// The admin plane.
+//----------------------------------------------------------------------
+
+HealthReport
+Gateway::evaluateHealth() const
+{
+    HealthInputs in;
+    // "Serving" for a gateway means the front door is open AND at
+    // least one backend can take traffic.
+    in.serving = running_.load() && routable_count_.load() > 0;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        in.protocolErrors = stats_.errorsReturned;
+    }
+    if (recorder_)
+        in.p99Micros =
+            recorder_->latestValue("gateway_route_micros:p99");
+    in.nowSeconds = monotonicSeconds();
+    return health_->evaluate(in);
+}
+
+HealthReport
+Gateway::healthReport() const
+{
+    if (!health_) {
+        HealthReport report;
+        report.state = HealthState::Ok;
+        report.live = true;
+        report.ready = running_.load() && routable_count_.load() > 0;
+        return report;
+    }
+    return evaluateHealth();
+}
+
+bool
+Gateway::gatherTracesForAdmin(std::vector<RequestTrace> *out,
+                              std::uint64_t *total) const
+{
+    // Round-trip a TRACES frame through our own front door: the IO
+    // thread answers it with the gateway's rings plus a scatter-
+    // gather over every routable backend — exactly what a wire
+    // client would see. The admin worker thread blocks here; the IO
+    // thread does the serving, so there is no self-deadlock.
+    NetClient client(opts_.maxPayloadBytes);
+    if (!client.connect("127.0.0.1", port_))
+        return false;
+    return client.traces(out, total);
+}
+
+void
+Gateway::registerAdminRoutes(HttpAdminServer &admin)
+{
+    admin.addHandler("/", [](const HttpRequest &) {
+        HttpResponse resp;
+        resp.contentType = "text/html; charset=utf-8";
+        resp.body =
+            "<!doctype html><title>sap gateway admin</title>"
+            "<h1>sap gateway admin</h1><ul>"
+            "<li><a href=\"/metrics\">/metrics</a> — Prometheus "
+            "text exposition</li>"
+            "<li><a href=\"/healthz\">/healthz</a> — liveness "
+            "(200/503)</li>"
+            "<li><a href=\"/readyz\">/readyz</a> — readiness "
+            "(200/503)</li>"
+            "<li><a href=\"/tracez\">/tracez</a> — stitched "
+            "cross-tier traces (<a href=\"/tracez?format=chrome\">"
+            "Perfetto format</a>)</li>"
+            "<li><a href=\"/varz\">/varz</a> — full metrics "
+            "snapshot as JSON</li>"
+            "<li><a href=\"/timeseriesz\">/timeseriesz</a> — "
+            "flight-recorder time series</li>"
+            "</ul>";
+        return resp;
+    });
+    admin.addHandler("/metrics", [this](const HttpRequest &) {
+        HttpResponse resp;
+        resp.contentType = "text/plain; version=0.0.4; charset=utf-8";
+        resp.body = renderPrometheus(metricsSnapshot());
+        return resp;
+    });
+    admin.addHandler("/varz", [this](const HttpRequest &) {
+        HttpResponse resp;
+        resp.contentType = "application/json";
+        resp.body = renderMetricsJson(metricsSnapshot());
+        return resp;
+    });
+    admin.addHandler("/healthz", [this](const HttpRequest &) {
+        const HealthReport report = evaluateHealth();
+        HttpResponse resp;
+        resp.status = report.live ? 200 : 503;
+        resp.body = std::string(healthStateName(report.state));
+        if (!report.reason.empty())
+            resp.body += ": " + report.reason;
+        resp.body += "\n";
+        return resp;
+    });
+    admin.addHandler("/readyz", [this](const HttpRequest &) {
+        const HealthReport report = evaluateHealth();
+        HttpResponse resp;
+        resp.status = report.ready ? 200 : 503;
+        resp.body = std::string(report.ready ? "ready" : "not ready");
+        if (!report.reason.empty())
+            resp.body += ": " + report.reason;
+        resp.body += "\n";
+        return resp;
+    });
+    admin.addHandler("/tracez", [this](const HttpRequest &req) {
+        HttpResponse resp;
+        resp.contentType = "application/json";
+        std::uint64_t min_us = 0;
+        std::string kind, parse_err;
+        if (!parseTraceQuery(req.query, &min_us, &kind, &parse_err)) {
+            resp.status = 400;
+            resp.contentType = "text/plain; charset=utf-8";
+            resp.body = parse_err + "\n";
+            return resp;
+        }
+        std::vector<RequestTrace> traces;
+        std::uint64_t total = 0;
+        if (!gatherTracesForAdmin(&traces, &total)) {
+            // Degraded: the gateway-only view still serves.
+            traces = collector_.snapshot();
+            total = collector_.totalCommitted();
+        }
+        traces = filterTraces(std::move(traces), min_us, kind);
+        auto it = req.query.find("format");
+        if (it != req.query.end() && it->second == "chrome") {
+            // The multi-process view: pid 2 = gateway lane, pid 1 =
+            // backend lanes, joined by trace id in args.
+            resp.body = toChromeTraceJson(traces);
+            resp.extraHeaders.emplace_back(
+                "Content-Disposition",
+                "attachment; filename=\"sap_gateway_trace.json\"");
+        } else {
+            resp.body = toStitchedTracezJson(
+                stitchTraces(std::move(traces)), total);
+        }
+        return resp;
+    });
+    admin.addHandler("/timeseriesz", [this](const HttpRequest &) {
+        HttpResponse resp;
+        resp.contentType = "application/json";
+        resp.body = toTimeseriesJson(recorder_->snapshot());
+        return resp;
+    });
 }
 
 //----------------------------------------------------------------------

@@ -34,12 +34,26 @@
  * runs out, or that arrives with no routable backend, earns a clean
  * ERROR frame — a client never hangs on a dead backend.
  *
- * Snapshot frames scatter-gather: STATS and METRICS requests fan out
- * to every routable backend and the replies merge exactly
- * (serve/server_stats.hh mergeServerStats, MetricsSnapshot::merge)
- * before one frame goes back to the client; backends that die
- * mid-gather simply drop out of the merge. PING is answered at the
- * gateway itself — it measures the front door, not a backend.
+ * Snapshot frames scatter-gather: STATS, METRICS, and TRACES
+ * requests fan out to every routable backend and the replies merge
+ * exactly (serve/server_stats.hh mergeServerStats,
+ * MetricsSnapshot::merge; TRACES concatenates — the export layer
+ * stitches by trace id) before one frame goes back to the client;
+ * backends that die mid-gather simply drop out of the merge. PING is
+ * answered at the gateway itself — it measures the front door, not a
+ * backend.
+ *
+ * Tracing: the gateway is the *edge* of the cross-tier trace path.
+ * With Options::trace enabled it head-samples once per request,
+ * mints a TraceContext (obs/trace_ring.hh) unless the request
+ * already carried one, FORWARDs the context so backends honor the
+ * same decision, and records its own gateway-tier trace (gw_decode →
+ * gw_route → gw_forward → gw_relay_pop → gw_flush, plus failover /
+ * resubmit point events carrying the attempt number). The embedded
+ * admin plane (Options::adminEnabled) serves the same routes as
+ * NetServer's plus a stitched /tracez: backend rings are gathered
+ * over the wire and joined with the gateway's own by trace id, so
+ * one request renders as two process lanes in Perfetto.
  *
  * Thread-safety: start()/stop() serialize on a lifecycle mutex; the
  * stats/metrics accessors are safe from any thread. Everything else
@@ -64,7 +78,11 @@
 #include "net/async_client.hh"
 #include "net/event_loop.hh"
 #include "net/protocol.hh"
+#include "obs/health.hh"
+#include "obs/http_admin.hh"
 #include "obs/metrics.hh"
+#include "obs/timeseries.hh"
+#include "obs/trace_ring.hh"
 
 namespace sap {
 
@@ -133,6 +151,32 @@ class Gateway
         /** Gateway obs/ registry (per-backend inflight gauges,
          *  failover counters, route latency histogram). */
         bool metrics = true;
+        /**
+         * Gateway tracing (obs/trace_ring.hh). The gateway is the
+         * edge tier: when enabled it makes the head-sampling decision
+         * once per request, stamps its own gw_* stages, and
+         * propagates a TraceContext on every FORWARD so backends
+         * honor the same decision. A request that already arrives
+         * with a context (a gateway one tier up, or a client that
+         * opted in) keeps it — sampling is decided exactly once.
+         */
+        TraceConfig trace;
+        /**
+         * Embedded HTTP admin plane (obs/http_admin.hh), mirroring
+         * NetServer's: /metrics, /varz, /healthz, /readyz,
+         * /timeseriesz, plus the stitched cross-tier /tracez that
+         * scatter-gathers backend trace rings and joins them with the
+         * gateway's own by trace id.
+         */
+        bool adminEnabled = false;
+        /** Admin TCP port; 0 binds an ephemeral port (adminPort()). */
+        std::uint16_t adminPort = 0;
+        /** Health state machine thresholds (obs/health.hh). */
+        HealthThresholds health;
+        /** Flight recorder sample interval (admin plane only). */
+        int samplerIntervalSeconds = 1;
+        /** Flight recorder ring capacity per series. */
+        std::size_t samplerRetainSamples = 300;
     };
 
     explicit Gateway(const Options &opts);
@@ -177,6 +221,24 @@ class Gateway
      *  Options::metrics is off). Backend registries are NOT merged
      *  in — the METRICS frame does that per request. */
     MetricsSnapshot metricsSnapshot() const;
+
+    /** The admin plane's bound TCP port (0 unless adminEnabled and
+     *  started). */
+    std::uint16_t adminPort() const
+    {
+        return admin_ ? admin_->port() : 0;
+    }
+
+    /** Current health verdict (degenerate always-healthy report when
+     *  the admin plane is off, as NetServer's). */
+    HealthReport healthReport() const;
+
+    /** The gateway's own committed traces (not the backends'; the
+     *  TRACES frame and /tracez scatter-gather those per request). */
+    std::vector<RequestTrace> traceSnapshot() const
+    {
+        return collector_.snapshot();
+    }
 
   private:
     /** A client connection (same shape as NetServer's). */
@@ -233,17 +295,33 @@ class Gateway
         std::vector<std::uint8_t> submitPayload;
         std::size_t resubmits = 0;
         std::chrono::steady_clock::time_point start;
+        /** The context FORWARDed with this request (!valid() = the
+         *  request rides untraced). attempt tracks resubmits. */
+        TraceContext ctx;
+        /** The gateway's own trace of this request (null unless the
+         *  request is sampled here). */
+        std::shared_ptr<RequestTrace> trace;
     };
 
-    /** One scatter-gather STATS/METRICS in progress. */
+    /** One scatter-gather STATS/METRICS/TRACES in progress. */
     struct Gather
     {
+        enum class Kind : std::uint8_t
+        {
+            Stats,
+            Metrics,
+            Traces,
+        };
+
         std::uint64_t clientConnId = 0;
         std::uint64_t clientTag = 0;
-        bool wantMetrics = false;
+        Kind kind = Kind::Stats;
         std::size_t awaiting = 0;
         std::vector<ServerStats> statsParts;
         MetricsSnapshot metricsMerged;
+        /** Traces gathered so far (seeded with the gateway's own). */
+        std::vector<RequestTrace> tracesMerged;
+        std::uint64_t tracesTotal = 0;
     };
 
     void ioLoop();
@@ -256,13 +334,18 @@ class Gateway
     void handleClientFrame(std::uint64_t conn_id, ClientConn &conn,
                            Frame &&frame);
     void handleBackendFrame(std::size_t idx, Frame &&frame);
-    /** Route a decoded SUBMIT/FORWARD payload to its ring owner. */
+    /** Route a decoded SUBMIT/FORWARD payload to its ring owner,
+     *  FORWARDing @p ctx when valid and stamping @p trace (may be
+     *  null) through the gateway stages. */
     void routeSubmit(std::uint64_t conn_id, std::uint64_t client_tag,
                      Digest digest,
-                     std::vector<std::uint8_t> submit_payload);
-    /** Fan a STATS/METRICS request out to every routable backend. */
+                     std::vector<std::uint8_t> submit_payload,
+                     const TraceContext &ctx,
+                     std::shared_ptr<RequestTrace> trace);
+    /** Fan a STATS/METRICS/TRACES request out to every routable
+     *  backend. */
     void startGather(std::uint64_t conn_id, std::uint64_t client_tag,
-                     bool want_metrics);
+                     Gather::Kind kind);
     void finishGatherIfDone(std::uint64_t gather_id);
     /** Append bytes to a client connection's output buffer; no-op
      *  when the connection is gone. IO thread only. */
@@ -292,6 +375,20 @@ class Gateway
      *  client (a half-closed conn must survive until delivery). */
     bool clientOwedWork(std::uint64_t conn_id) const;
     void wakeIoThread();
+    /** Begin (or continue) tracing a request admitted at the front
+     *  door: mint a context when none arrived and tracing is on,
+     *  adopt it into a gateway-tier trace, stamp Decode. */
+    std::shared_ptr<RequestTrace>
+    admitTrace(TraceContext *ctx, const ServeRequest &req);
+    /** Register the admin routes on @p admin (start() helper). */
+    void registerAdminRoutes(HttpAdminServer &admin);
+    /** Gather HealthInputs and run them through health_. */
+    HealthReport evaluateHealth() const;
+    /** Fetch the stitchable cross-tier trace set (the gateway's own
+     *  rings plus every routable backend's) by round-tripping a
+     *  TRACES frame through the gateway's own front door. */
+    bool gatherTracesForAdmin(std::vector<RequestTrace> *out,
+                              std::uint64_t *total) const;
 
     Options opts_;
     std::string error_;
@@ -354,6 +451,14 @@ class Gateway
         Gauge *clientsLive = nullptr;
         Histogram *routeMicros = nullptr;
     } inst_;
+
+    /** Declared after metrics_: stage histograms feed the registry. */
+    TraceCollector collector_;
+
+    /** Admin plane (all null when Options::adminEnabled is off). */
+    std::unique_ptr<HealthModel> health_;
+    std::unique_ptr<FlightRecorder> recorder_;
+    std::unique_ptr<HttpAdminServer> admin_;
 };
 
 /**

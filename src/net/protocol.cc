@@ -39,6 +39,8 @@ frameTypeName(std::uint16_t type)
         return "METRICS";
     case FrameType::Forward:
         return "FORWARD";
+    case FrameType::Traces:
+        return "TRACES";
     }
     return "type " + std::to_string(type);
 }
@@ -351,14 +353,36 @@ buildMetricsFrame(std::uint64_t tag, const MetricsSnapshot &snap)
 
 std::vector<std::uint8_t>
 buildForwardFrame(std::uint64_t tag, Digest digest,
-                  const std::vector<std::uint8_t> &submit_payload)
+                  const std::vector<std::uint8_t> &submit_payload,
+                  const TraceContext *ctx)
 {
     WireWriter w;
     w.u64(digest);
+    if (ctx && ctx->valid()) {
+        w.u8(1);
+        encodeTraceContext(w, *ctx);
+    } else {
+        w.u8(0);
+    }
     std::vector<std::uint8_t> payload = w.take();
     payload.insert(payload.end(), submit_payload.begin(),
                    submit_payload.end());
     return buildFrame(FrameType::Forward, tag, payload);
+}
+
+std::vector<std::uint8_t>
+buildTracesRequestFrame(std::uint64_t tag)
+{
+    return buildFrame(FrameType::Traces, tag, {});
+}
+
+std::vector<std::uint8_t>
+buildTracesFrame(std::uint64_t tag,
+                 const std::vector<RequestTrace> &traces,
+                 std::uint64_t totalCommitted)
+{
+    return buildFrame(FrameType::Traces, tag,
+                      encodeTraces(traces, totalCommitted));
 }
 
 std::vector<std::uint8_t>
@@ -371,6 +395,44 @@ std::vector<std::uint8_t>
 buildErrorFrame(std::uint64_t tag, const std::string &message)
 {
     return buildFrame(FrameType::Error, tag, encodeError(message));
+}
+
+//----------------------------------------------------------------------
+// Trace-context block
+//----------------------------------------------------------------------
+
+void
+encodeTraceContext(WireWriter &w, const TraceContext &ctx)
+{
+    w.u64(ctx.traceIdHi);
+    w.u64(ctx.traceIdLo);
+    w.u8(ctx.sampled ? kTraceCtxFlagSampled : 0);
+    w.u64(ctx.originNanos);
+    w.u8(ctx.attempt);
+}
+
+bool
+decodeTraceContext(WireReader &r, TraceContext *out, const char *what,
+                   std::string *error)
+{
+    TraceContext ctx;
+    std::uint8_t flags;
+    if (!r.u64(&ctx.traceIdHi) || !r.u64(&ctx.traceIdLo) ||
+        !r.u8(&flags) || !r.u64(&ctx.originNanos) ||
+        !r.u8(&ctx.attempt))
+        return failDecode(error, std::string("truncated ") + what +
+                                     ": trace context");
+    if ((flags & ~kTraceCtxFlagSampled) != 0)
+        return failDecode(error,
+                          std::string("reserved trace-context flag "
+                                      "bits set in ") +
+                              what);
+    ctx.sampled = (flags & kTraceCtxFlagSampled) != 0;
+    if (!ctx.valid())
+        return failDecode(error, std::string("all-zero trace id in ") +
+                                     what);
+    *out = ctx;
+    return true;
 }
 
 //----------------------------------------------------------------------
@@ -395,7 +457,11 @@ encodeSubmit(const ServeRequest &req)
         static_cast<std::uint8_t>(req.plan.mode) << kSubmitModeShift);
     if (req.plan.recordTrace)
         flags |= kSubmitFlagRecordTrace;
+    if (req.traceContext.valid())
+        flags |= kSubmitFlagTraceContext;
     w.u8(flags);
+    if (req.traceContext.valid())
+        encodeTraceContext(w, req.traceContext);
     switch (req.plan.kind) {
     case ProblemKind::MatVec:
         w.dense(req.plan.a);
@@ -456,6 +522,9 @@ decodeSubmitSpan(const std::uint8_t *data, std::size_t size,
                           "frames carry no trace");
     if ((flags & ~kSubmitFlagsKnown) != 0)
         return failDecode(error, "reserved SUBMIT flag bits set");
+    if ((flags & kSubmitFlagTraceContext) != 0 &&
+        !decodeTraceContext(r, &req.traceContext, "SUBMIT", error))
+        return false;
 
     if (!r.dense(&req.plan.a))
         return failDecode(error, "truncated SUBMIT: matrix A");
@@ -511,11 +580,136 @@ decodeForward(const std::vector<std::uint8_t> &payload, Digest *digest,
     std::uint64_t d;
     if (!r.u64(&d))
         return failDecode(error, "truncated FORWARD: digest");
+    std::uint8_t ctx_present;
+    if (!r.u8(&ctx_present))
+        return failDecode(error,
+                          "truncated FORWARD: trace-context marker");
+    if (ctx_present > 1)
+        return failDecode(error, "bad FORWARD trace-context marker " +
+                                     std::to_string(ctx_present));
+    TraceContext ctx;
+    if (ctx_present == 1 &&
+        !decodeTraceContext(r, &ctx, "FORWARD", error))
+        return false;
     if (!decodeSubmitSpan(payload.data() + (payload.size() -
                                             r.remaining()),
                           r.remaining(), out, error))
         return false;
+    // The gateway's FORWARD-level context wins over any context the
+    // client embedded in the SUBMIT (the gateway owns the attempt
+    // counter).
+    if (ctx_present == 1)
+        out->traceContext = ctx;
     *digest = d;
+    return true;
+}
+
+//----------------------------------------------------------------------
+// TRACES payload
+//----------------------------------------------------------------------
+
+std::vector<std::uint8_t>
+encodeTraces(const std::vector<RequestTrace> &traces,
+             std::uint64_t totalCommitted)
+{
+    WireWriter w;
+    w.u64(totalCommitted);
+    w.u32(static_cast<std::uint32_t>(traces.size()));
+    for (const RequestTrace &t : traces) {
+        w.u64(t.requestId);
+        w.str(t.label);
+        w.str(t.kind);
+        w.u8(t.ok ? 1 : 0);
+        w.u8(t.cacheHit ? 1 : 0);
+        w.u8(static_cast<std::uint8_t>(t.tier));
+        if (t.ctx.valid()) {
+            w.u8(1);
+            encodeTraceContext(w, t.ctx);
+        } else {
+            w.u8(0);
+        }
+        for (std::size_t i = 0; i < kTraceStages; ++i)
+            w.u64(t.stageNanos[i]);
+        w.u32(static_cast<std::uint32_t>(t.events.size()));
+        for (const TracePoint &e : t.events) {
+            w.str(e.name);
+            w.u64(e.nanos);
+        }
+    }
+    return w.take();
+}
+
+bool
+decodeTraces(const std::vector<std::uint8_t> &payload,
+             std::vector<RequestTrace> *out,
+             std::uint64_t *totalCommitted, std::string *error)
+{
+    WireReader r(payload);
+    std::uint64_t total;
+    std::uint32_t count;
+    if (!r.u64(&total) || !r.u32(&count))
+        return failDecode(error, "truncated TRACES payload");
+    // Each trace record is at least 8+4+4+4+1+64+4 = 89 bytes (empty
+    // strings, no context, no events); /88 stays conservative.
+    if (count > r.remaining() / 88)
+        return failDecode(error, "TRACES count " +
+                                     std::to_string(count) +
+                                     " exceeds payload");
+    std::vector<RequestTrace> traces;
+    traces.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        RequestTrace t;
+        std::uint8_t ok_byte, hit_byte, tier_byte, ctx_present;
+        if (!r.u64(&t.requestId) || !r.str(&t.label) ||
+            !r.str(&t.kind) || !r.u8(&ok_byte) || !r.u8(&hit_byte) ||
+            !r.u8(&tier_byte) || !r.u8(&ctx_present))
+            return failDecode(error, "truncated TRACES record " +
+                                         std::to_string(i));
+        if (tier_byte >
+            static_cast<std::uint8_t>(TraceTier::Gateway))
+            return failDecode(error, "unknown trace tier " +
+                                         std::to_string(tier_byte) +
+                                         " in TRACES record");
+        t.tier = static_cast<TraceTier>(tier_byte);
+        if (ctx_present > 1)
+            return failDecode(error,
+                              "bad TRACES trace-context marker " +
+                                  std::to_string(ctx_present));
+        if (ctx_present == 1 &&
+            !decodeTraceContext(r, &t.ctx, "TRACES", error))
+            return false;
+        t.ok = ok_byte != 0;
+        t.cacheHit = hit_byte != 0;
+        for (std::size_t s = 0; s < kTraceStages; ++s)
+            if (!r.u64(&t.stageNanos[s]))
+                return failDecode(error, "truncated TRACES record " +
+                                             std::to_string(i) +
+                                             ": stage nanos");
+        std::uint32_t event_count;
+        if (!r.u32(&event_count))
+            return failDecode(error, "truncated TRACES record " +
+                                         std::to_string(i) +
+                                         ": event count");
+        // Each event is at least 12 bytes (empty name + u64 nanos).
+        if (event_count > r.remaining() / 12)
+            return failDecode(error, "TRACES event count " +
+                                         std::to_string(event_count) +
+                                         " exceeds payload");
+        t.events.reserve(event_count);
+        for (std::uint32_t e = 0; e < event_count; ++e) {
+            TracePoint ev;
+            if (!r.str(&ev.name) || !r.u64(&ev.nanos))
+                return failDecode(error, "truncated TRACES event " +
+                                             std::to_string(e));
+            t.events.push_back(std::move(ev));
+        }
+        traces.push_back(std::move(t));
+    }
+    if (r.remaining() != 0)
+        return failDecode(error,
+                          "trailing bytes after TRACES payload");
+    *out = std::move(traces);
+    *totalCommitted = total;
     return true;
 }
 

@@ -34,12 +34,19 @@
  * METRICS frame (obs/metrics.hh snapshots: counters, gauges with an
  * aggregation byte, sparse log-bucketed histograms) is new in this
  * revision and versioned the same way. FORWARD (the gateway tier's
- * backend hop: a u64 plan digest followed by a complete SUBMIT
- * payload, so a backend reuses the routing digest the gateway
- * already computed instead of re-hashing the matrices) is newest; a
- * pre-gateway server rejects it as an unknown frame type — a
- * payload-level error, so mixed-version installations degrade to an
- * explicit ERROR frame, never a desync.
+ * backend hop: a u64 plan digest, a trace-context presence byte plus
+ * optional context block, then a complete SUBMIT payload, so a
+ * backend reuses the routing digest the gateway already computed
+ * instead of re-hashing the matrices) and TRACES (empty payload =
+ * "send me your committed trace rings"; non-empty = a ring snapshot,
+ * the scatter-gather leg behind the gateway's stitched /tracez) are
+ * newest; a pre-gateway server rejects them as unknown frame types —
+ * a payload-level error, so mixed-version installations degrade to
+ * an explicit ERROR frame, never a desync. Cross-tier tracing rides
+ * a compact trace-context block (128-bit trace id, sampled flag,
+ * edge-origin monotonic nanos, attempt counter — see
+ * encodeTraceContext) carried on FORWARD and, behind SUBMIT flag
+ * bit 4, on direct client submissions.
  *
  * Robustness contract: decoding is strictly bounds-checked and never
  * trusts a length against fewer bytes than it promises. Errors split
@@ -86,16 +93,30 @@ constexpr std::uint16_t kWireVersion = 1;
  *            RESPONSE frames carry no trace; encoding it (rather
  *            than dropping it client-side) turns a silently-lossy
  *            request into an explicit error
- *   bits 4–7 reserved, must be zero
+ *   bit 4    a trace-context block (kTraceContextBytes) immediately
+ *            follows the flags byte — direct clients opting into
+ *            cross-tier tracing (see encodeTraceContext)
+ *   bits 5–7 reserved, must be zero
  */
 constexpr std::uint8_t kSubmitFlagCrossCheck = 1u << 0;
 constexpr unsigned kSubmitModeShift = 1;
 constexpr std::uint8_t kSubmitModeMask = 0x3;
 constexpr std::uint8_t kSubmitFlagRecordTrace = 1u << 3;
+constexpr std::uint8_t kSubmitFlagTraceContext = 1u << 4;
 /** Every flag bit a version-1 decoder understands. */
 constexpr std::uint8_t kSubmitFlagsKnown =
     kSubmitFlagCrossCheck | (kSubmitModeMask << kSubmitModeShift) |
-    kSubmitFlagRecordTrace;
+    kSubmitFlagRecordTrace | kSubmitFlagTraceContext;
+
+/**
+ * Encoded size of a TraceContext block: u64 trace id hi, u64 trace
+ * id lo, u8 flags (bit 0 = sampled, rest reserved-zero), u64 origin
+ * nanos, u8 attempt.
+ */
+constexpr std::size_t kTraceContextBytes = 26;
+
+/** TraceContext flags byte: bit 0 = sampled; bits 1–7 reserved. */
+constexpr std::uint8_t kTraceCtxFlagSampled = 1u << 0;
 
 /** Frame types on the wire (u16). */
 enum class FrameType : std::uint16_t
@@ -107,6 +128,7 @@ enum class FrameType : std::uint16_t
     Error = 5,    ///< malformed input or unexpected frame
     Metrics = 6,  ///< empty = metrics request; else a merged snapshot
     Forward = 7,  ///< gateway → server: digest-precomputed SUBMIT
+    Traces = 8,   ///< empty = trace-ring request; else a snapshot
 };
 
 /** Printable frame-type name ("SUBMIT", ... / "type 17"). */
@@ -321,10 +343,27 @@ std::vector<std::uint8_t> buildMetricsFrame(std::uint64_t tag,
  * planDigest() of the embedded request; it is a cache/routing hint,
  * and correctness never depends on it (the plan cache confirms every
  * digest hit with an exact matrix comparison).
+ *
+ * Layout: u64 digest | u8 ctx-present (0 or 1) | [trace-context
+ * block when 1] | embedded SUBMIT payload. @p ctx (optional) is the
+ * gateway's propagated trace context; when present it takes
+ * precedence over any context embedded in the SUBMIT payload, so
+ * the gateway can stamp the resubmit attempt counter without
+ * re-encoding the client's bytes.
  */
 std::vector<std::uint8_t>
 buildForwardFrame(std::uint64_t tag, Digest digest,
-                  const std::vector<std::uint8_t> &submit_payload);
+                  const std::vector<std::uint8_t> &submit_payload,
+                  const TraceContext *ctx = nullptr);
+
+/** Empty-payload TRACES: "send me your committed trace rings". */
+std::vector<std::uint8_t> buildTracesRequestFrame(std::uint64_t tag);
+
+/** TRACES carrying a ring snapshot (see encodeTraces). */
+std::vector<std::uint8_t>
+buildTracesFrame(std::uint64_t tag,
+                 const std::vector<RequestTrace> &traces,
+                 std::uint64_t totalCommitted);
 
 /** Empty-payload PING. */
 std::vector<std::uint8_t> buildPingFrame(std::uint64_t tag);
@@ -339,7 +378,11 @@ std::vector<std::uint8_t> buildErrorFrame(std::uint64_t tag,
 // zero/negative or over-cap dimensions); they never assert.
 //----------------------------------------------------------------------
 
-/** SUBMIT payload from a request. */
+/**
+ * SUBMIT payload from a request. When req.traceContext.valid() the
+ * flags byte gets kSubmitFlagTraceContext and the context block is
+ * encoded after it.
+ */
 std::vector<std::uint8_t> encodeSubmit(const ServeRequest &req);
 
 /** @return true and fill @p out, or false with @p error set. */
@@ -347,12 +390,42 @@ bool decodeSubmit(const std::vector<std::uint8_t> &payload,
                   ServeRequest *out, std::string *error);
 
 /**
- * FORWARD payload: u64 plan digest, then the embedded SUBMIT payload
- * (decoded with the same strictness as decodeSubmit).
+ * FORWARD payload: u64 plan digest, u8 ctx-present byte, optional
+ * trace-context block, then the embedded SUBMIT payload (decoded
+ * with the same strictness as decodeSubmit). A FORWARD-level
+ * context overrides any context the embedded SUBMIT carries in
+ * out->traceContext.
  */
 bool decodeForward(const std::vector<std::uint8_t> &payload,
                    Digest *digest, ServeRequest *out,
                    std::string *error);
+
+/** Append a TraceContext block (kTraceContextBytes) to @p w. */
+void encodeTraceContext(WireWriter &w, const TraceContext &ctx);
+
+/**
+ * Read a TraceContext block from @p r. Strict: reserved flag bits
+ * and an all-zero trace id are rejected (@p error gets the reason,
+ * prefixed with @p what).
+ */
+bool decodeTraceContext(WireReader &r, TraceContext *out,
+                        const char *what, std::string *error);
+
+/**
+ * TRACES payload: u64 totalCommitted, u32 trace count, then per
+ * trace: u64 requestId, str label, str kind, u8 ok, u8 cacheHit,
+ * u8 tier (TraceTier; >1 rejected), u8 ctx-present, optional
+ * trace-context block, kTraceStages × u64 stage nanos, u32 event
+ * count, then (str name, u64 nanos) per event.
+ */
+std::vector<std::uint8_t>
+encodeTraces(const std::vector<RequestTrace> &traces,
+             std::uint64_t totalCommitted);
+
+/** @copydoc decodeSubmit() */
+bool decodeTraces(const std::vector<std::uint8_t> &payload,
+                  std::vector<RequestTrace> *out,
+                  std::uint64_t *totalCommitted, std::string *error);
 
 /** RESPONSE payload. */
 std::vector<std::uint8_t> encodeResponse(const WireResponse &resp);

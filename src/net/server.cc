@@ -349,16 +349,26 @@ NetServer::registerAdminRoutes(HttpAdminServer &admin)
     admin.addHandler("/tracez", [this](const HttpRequest &req) {
         HttpResponse resp;
         resp.contentType = "application/json";
+        std::uint64_t min_us = 0;
+        std::string kind, parse_err;
+        if (!parseTraceQuery(req.query, &min_us, &kind, &parse_err)) {
+            resp.status = 400;
+            resp.contentType = "text/plain; charset=utf-8";
+            resp.body = parse_err + "\n";
+            return resp;
+        }
+        std::vector<RequestTrace> traces =
+            filterTraces(traceSnapshot(), min_us, kind);
         auto it = req.query.find("format");
         if (it != req.query.end() && it->second == "chrome") {
-            resp.body = toChromeTraceJson(traceSnapshot());
+            resp.body = toChromeTraceJson(traces);
             // A download, not a page: chrome://tracing / Perfetto
             // load the saved file.
             resp.extraHeaders.emplace_back(
                 "Content-Disposition",
                 "attachment; filename=\"sap_trace.json\"");
         } else {
-            resp.body = toTracezJson(traceSnapshot(),
+            resp.body = toTracezJson(traces,
                                      collector_.totalCommitted());
         }
         return resp;
@@ -637,7 +647,11 @@ NetServer::handleFrame(std::uint64_t conn_id, Connection &conn,
         }
         // Tracing begins at the network boundary: the Decode stamp
         // anchors every later span to the IO thread's hand-off time.
-        req.trace = collector_.begin();
+        // A request carrying a propagated context adopts the edge's
+        // sampling decision instead of rolling a local one.
+        req.trace = req.traceContext.valid()
+                        ? collector_.adopt(req.traceContext)
+                        : collector_.begin();
         traceStamp(req.trace, TraceStage::Decode);
         std::uint64_t server_tag;
         {
@@ -659,7 +673,9 @@ NetServer::handleFrame(std::uint64_t conn_id, Connection &conn,
             send_error(err);
             return;
         }
-        req.trace = collector_.begin();
+        req.trace = req.traceContext.valid()
+                        ? collector_.adopt(req.traceContext)
+                        : collector_.begin();
         traceStamp(req.trace, TraceStage::Decode);
         std::uint64_t server_tag;
         {
@@ -687,7 +703,7 @@ NetServer::handleFrame(std::uint64_t conn_id, Connection &conn,
         // thread only hands the request over via the tag-0 marker.
         {
             std::lock_guard<std::mutex> lock(stats_requests_mutex_);
-            stats_requests_.push_back({conn_id, tag, false});
+            stats_requests_.push_back({conn_id, tag, SnapKind::Stats});
         }
         queue_.push({0, {}});
         return;
@@ -697,7 +713,20 @@ NetServer::handleFrame(std::uint64_t conn_id, Connection &conn,
         // snapshot is the writer thread's job.
         {
             std::lock_guard<std::mutex> lock(stats_requests_mutex_);
-            stats_requests_.push_back({conn_id, tag, true});
+            stats_requests_.push_back(
+                {conn_id, tag, SnapKind::Metrics});
+        }
+        queue_.push({0, {}});
+        return;
+    }
+    case static_cast<std::uint16_t>(FrameType::Traces): {
+        // Ring snapshots follow the STATS/METRICS hand-off: the
+        // writer serializes them, the IO thread never stalls. This
+        // is the scatter leg of the gateway's stitched /tracez.
+        {
+            std::lock_guard<std::mutex> lock(stats_requests_mutex_);
+            stats_requests_.push_back(
+                {conn_id, tag, SnapKind::Traces});
         }
         queue_.push({0, {}});
         return;
@@ -887,13 +916,19 @@ NetServer::writerLoop()
                     continue;
                 stats_req = stats_requests_.front();
             }
-            if (stats_req.wantMetrics) {
+            if (stats_req.kind == SnapKind::Metrics) {
                 // metricsSnapshot() takes cluster_mutex_ itself and
                 // degrades to the wire-level half during shutdown —
                 // still a well-formed frame, so always deliver.
                 enqueueOutput(stats_req.connId,
                               buildMetricsFrame(stats_req.clientTag,
                                                 metricsSnapshot()));
+            } else if (stats_req.kind == SnapKind::Traces) {
+                enqueueOutput(
+                    stats_req.connId,
+                    buildTracesFrame(stats_req.clientTag,
+                                     collector_.snapshot(),
+                                     collector_.totalCommitted()));
             } else {
                 ServerStats stats;
                 bool have = false;

@@ -231,13 +231,21 @@ class NetServer
         }
     };
 
+    /** Which snapshot a tag-0 marker requests (see writerLoop()). */
+    enum class SnapKind : std::uint8_t
+    {
+        Stats,
+        Metrics,
+        Traces,
+    };
+
     /** Where a completion must be delivered. */
     struct PendingTag
     {
         std::uint64_t connId;
         std::uint64_t clientTag;
-        /** Snapshot requests only: METRICS rather than STATS. */
-        bool wantMetrics = false;
+        /** Snapshot requests only: which snapshot frame to serve. */
+        SnapKind kind = SnapKind::Stats;
     };
 
     void ioLoop();

@@ -1,5 +1,6 @@
 #include "obs/trace_export.hh"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -32,9 +33,23 @@ fmtMicros(std::uint64_t nanos)
     return buf;
 }
 
+/** pid = tier + 1: backend lane 1 (the pre-gateway value, so
+ *  single-tier exports render unchanged), gateway lane 2. */
+int
+tierPid(TraceTier tier)
+{
+    return static_cast<int>(tier) + 1;
+}
+
+const char *
+tierName(TraceTier tier)
+{
+    return tier == TraceTier::Gateway ? "gateway" : "backend";
+}
+
 void
 appendEvent(std::string *out, bool *first, const std::string &name,
-            std::uint64_t tid, std::uint64_t tsNanos,
+            int pid, std::uint64_t tid, std::uint64_t tsNanos,
             std::uint64_t durNanos, const std::string &args)
 {
     if (!*first)
@@ -42,10 +57,81 @@ appendEvent(std::string *out, bool *first, const std::string &name,
     *first = false;
     *out += "    {\"name\": \"" + name + "\", \"ph\": \"X\", \"ts\": " +
             fmtMicros(tsNanos) + ", \"dur\": " + fmtMicros(durNanos) +
-            ", \"pid\": 1, \"tid\": " + std::to_string(tid);
+            ", \"pid\": " + std::to_string(pid) +
+            ", \"tid\": " + std::to_string(tid);
     if (!args.empty())
         *out += ", \"args\": {" + args + "}";
     *out += "}";
+}
+
+void
+appendInstant(std::string *out, bool *first, const std::string &name,
+              int pid, std::uint64_t tid, std::uint64_t tsNanos)
+{
+    if (!*first)
+        *out += ",\n";
+    *first = false;
+    *out += "    {\"name\": \"" + name +
+            "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " +
+            fmtMicros(tsNanos) + ", \"pid\": " + std::to_string(pid) +
+            ", \"tid\": " + std::to_string(tid) + "}";
+}
+
+void
+appendProcessName(std::string *out, bool *first, TraceTier tier)
+{
+    if (!*first)
+        *out += ",\n";
+    *first = false;
+    *out += std::string("    {\"name\": \"process_name\", \"ph\": "
+                        "\"M\", \"pid\": ") +
+            std::to_string(tierPid(tier)) +
+            ", \"args\": {\"name\": \"" + tierName(tier) + "\"}}";
+}
+
+/** The per-trace object body shared by flat and stitched /tracez. */
+std::string
+tracezTraceJson(const RequestTrace &t)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.3f", t.totalMicros());
+    std::string out =
+        "{\"request_id\":" + std::to_string(t.requestId) +
+        ",\"label\":\"" + jsonEscape(t.label) + "\",\"kind\":\"" +
+        jsonEscape(t.kind) + "\",\"tier\":\"" + tierName(t.tier) +
+        "\",\"ok\":" + (t.ok ? "true" : "false") + ",\"cache_hit\":" +
+        (t.cacheHit ? "true" : "false") + ",\"total_micros\":" + buf;
+    if (t.ctx.valid()) {
+        out += ",\"trace_id\":\"" + traceIdHex(t.ctx) +
+               "\",\"attempt\":" + std::to_string(t.ctx.attempt);
+    }
+    out += ",\"stages\":{";
+    bool firstStage = true;
+    for (std::size_t i = 0; i < kTraceStages; ++i) {
+        if (!t.stageNanos[i])
+            continue;
+        if (!firstStage)
+            out += ",";
+        firstStage = false;
+        out += std::string("\"") +
+               traceStageName(static_cast<TraceStage>(i), t.tier) +
+               "\":" + fmtMicros(t.stageNanos[i]);
+    }
+    out += "}";
+    if (!t.events.empty()) {
+        out += ",\"events\":[";
+        bool firstEvent = true;
+        for (const TracePoint &e : t.events) {
+            if (!firstEvent)
+                out += ",";
+            firstEvent = false;
+            out += "{\"name\":\"" + jsonEscape(e.name) +
+                   "\",\"t_micros\":" + fmtMicros(e.nanos) + "}";
+        }
+        out += "]";
+    }
+    out += "}";
+    return out;
 }
 
 } // namespace
@@ -55,24 +141,41 @@ toChromeTraceJson(const std::vector<RequestTrace> &traces)
 {
     std::string out = "{\n  \"traceEvents\": [\n";
     bool first = true;
+    // One named process lane per tier present, backend then gateway.
+    bool tierPresent[2] = {false, false};
+    for (const RequestTrace &t : traces)
+        tierPresent[static_cast<std::size_t>(t.tier) & 1] = true;
+    for (TraceTier tier : {TraceTier::Backend, TraceTier::Gateway})
+        if (tierPresent[static_cast<std::size_t>(tier)])
+            appendProcessName(&out, &first, tier);
     for (const RequestTrace &t : traces) {
         const std::uint64_t start = t.startNanos();
         const std::uint64_t end = t.endNanos();
         if (!start)
             continue;
-        const std::string args =
+        const int pid = tierPid(t.tier);
+        std::string args =
             "\"label\": \"" + jsonEscape(t.label) + "\", \"ok\": " +
             (t.ok ? "true" : "false") +
             ", \"cache_hit\": " + (t.cacheHit ? "true" : "false");
-        appendEvent(&out, &first, "request", t.requestId, start,
+        if (t.ctx.valid()) {
+            args += ", \"trace_id\": \"" + traceIdHex(t.ctx) +
+                    "\", \"attempt\": " +
+                    std::to_string(t.ctx.attempt);
+        }
+        appendEvent(&out, &first, "request", pid, t.requestId, start,
                     end > start ? end - start : 0, args);
         for (const TraceSpan &span : traceSpans(t)) {
             const std::uint64_t from = t.nanosAt(span.from);
             const std::uint64_t to = t.nanosAt(span.to);
-            appendEvent(&out, &first, traceStageName(span.to),
+            appendEvent(&out, &first,
+                        traceStageName(span.to, t.tier), pid,
                         t.requestId, from, to > from ? to - from : 0,
                         "");
         }
+        for (const TracePoint &e : t.events)
+            appendInstant(&out, &first, e.name, pid, t.requestId,
+                          e.nanos);
     }
     out += "\n  ],\n  \"displayTimeUnit\": \"ns\"\n}\n";
     return out;
@@ -91,27 +194,118 @@ toTracezJson(const std::vector<RequestTrace> &traces,
         if (!firstTrace)
             out += ",";
         firstTrace = false;
-        char buf[40];
-        std::snprintf(buf, sizeof(buf), "%.3f", t.totalMicros());
-        out += "{\"request_id\":" + std::to_string(t.requestId) +
-               ",\"label\":\"" + jsonEscape(t.label) + "\",\"ok\":" +
-               (t.ok ? "true" : "false") + ",\"cache_hit\":" +
-               (t.cacheHit ? "true" : "false") + ",\"total_micros\":" +
-               buf + ",\"stages\":{";
-        bool firstStage = true;
-        for (std::size_t i = 0; i < kTraceStages; ++i) {
-            if (!t.stageNanos[i])
-                continue;
-            if (!firstStage)
-                out += ",";
-            firstStage = false;
-            out += std::string("\"") +
-                   traceStageName(static_cast<TraceStage>(i)) +
-                   "\":" + fmtMicros(t.stageNanos[i]);
-        }
-        out += "}}";
+        out += tracezTraceJson(t);
     }
     out += "]}";
+    return out;
+}
+
+std::vector<StitchedTrace>
+stitchTraces(std::vector<RequestTrace> traces)
+{
+    std::vector<StitchedTrace> out;
+    std::map<std::string, std::size_t> byId;
+    for (RequestTrace &t : traces) {
+        if (!t.ctx.valid()) {
+            out.push_back({"", {std::move(t)}});
+            continue;
+        }
+        const std::string id = traceIdHex(t.ctx);
+        auto [it, inserted] = byId.emplace(id, out.size());
+        if (inserted)
+            out.push_back({id, {}});
+        out[it->second].parts.push_back(std::move(t));
+    }
+    for (StitchedTrace &st : out) {
+        std::sort(st.parts.begin(), st.parts.end(),
+                  [](const RequestTrace &a, const RequestTrace &b) {
+                      return a.startNanos() < b.startNanos();
+                  });
+    }
+    return out;
+}
+
+std::string
+toStitchedTracezJson(const std::vector<StitchedTrace> &stitched,
+                     std::uint64_t totalCommitted)
+{
+    std::string out = "{\"total_committed\":" +
+                      std::to_string(totalCommitted) + ",\"count\":" +
+                      std::to_string(stitched.size()) +
+                      ",\"stitched\":[";
+    bool firstGroup = true;
+    for (const StitchedTrace &st : stitched) {
+        if (!firstGroup)
+            out += ",";
+        firstGroup = false;
+        out += "{\"trace_id\":";
+        out += st.traceId.empty() ? std::string("null")
+                                  : "\"" + st.traceId + "\"";
+        out += ",\"parts\":[";
+        bool firstPart = true;
+        for (const RequestTrace &t : st.parts) {
+            if (!firstPart)
+                out += ",";
+            firstPart = false;
+            out += tracezTraceJson(t);
+        }
+        out += "]}";
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+parseTraceQuery(const std::map<std::string, std::string> &query,
+                std::uint64_t *minMicros, std::string *kind,
+                std::string *error)
+{
+    *minMicros = 0;
+    kind->clear();
+    auto it = query.find("min_us");
+    if (it != query.end()) {
+        const std::string &v = it->second;
+        if (v.empty() ||
+            v.find_first_not_of("0123456789") != std::string::npos ||
+            v.size() > 19) {
+            *error = "bad min_us value '" + v +
+                     "' (want a decimal microsecond count)";
+            return false;
+        }
+        std::uint64_t n = 0;
+        for (char c : v)
+            n = n * 10 + static_cast<std::uint64_t>(c - '0');
+        *minMicros = n;
+    }
+    it = query.find("kind");
+    if (it != query.end()) {
+        const std::string &v = it->second;
+        if (v != "matvec" && v != "matmul" && v != "trisolve") {
+            *error = "bad kind value '" + v +
+                     "' (want matvec, matmul, or trisolve)";
+            return false;
+        }
+        *kind = v;
+    }
+    return true;
+}
+
+std::vector<RequestTrace>
+filterTraces(std::vector<RequestTrace> traces, std::uint64_t minMicros,
+             const std::string &kind)
+{
+    if (minMicros == 0 && kind.empty())
+        return traces;
+    std::vector<RequestTrace> out;
+    out.reserve(traces.size());
+    for (RequestTrace &t : traces) {
+        if (minMicros > 0 &&
+            t.totalMicros() < static_cast<double>(minMicros))
+            continue;
+        if (!kind.empty() && t.kind != kind)
+            continue;
+        out.push_back(std::move(t));
+    }
     return out;
 }
 

@@ -10,11 +10,21 @@
  * requests render as parallel rows. Timestamps are the trace's raw
  * monotonic nanoseconds converted to microseconds — Perfetto only
  * needs them mutually consistent, not epoch-anchored.
+ *
+ * Cross-tier convention: pid = tier + 1 (backend lane pid 1, gateway
+ * lane pid 2), with one process_name metadata event (ph "M") per
+ * tier present, so a stitched gateway+backend trace renders as two
+ * named process lanes on one timeline and the gateway→backend gap
+ * reads directly as wire + queue time. Traces that share a 128-bit
+ * trace id are the same request seen from different tiers;
+ * stitchTraces() groups them, and point events (gateway failover /
+ * resubmit) export as instant events (ph "i").
  */
 
 #ifndef SAP_OBS_TRACE_EXPORT_HH
 #define SAP_OBS_TRACE_EXPORT_HH
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -36,12 +46,61 @@ std::string toTraceCsv(const std::vector<RequestTrace> &traces);
  * The /tracez payload: strict-JSON object with "total_committed"
  * (traces committed since start, including ones the rings have since
  * overwritten), "count", and "traces" — one object per trace with
- * request id, label, ok, cache_hit, total_micros, and a "stages"
- * object mapping stage name → absolute microsecond timestamp
- * (unstamped stages omitted).
+ * request id, label, kind, tier, ok, cache_hit, total_micros, the
+ * trace id / attempt when the trace carries a cross-tier context, a
+ * "stages" object mapping (tier-aware) stage name → absolute
+ * microsecond timestamp (unstamped stages omitted), and an "events"
+ * array when the trace has point events.
  */
 std::string toTracezJson(const std::vector<RequestTrace> &traces,
                          std::uint64_t totalCommitted);
+
+/**
+ * One cross-tier request: every committed trace that shares a trace
+ * id, across tiers. traceId is the 32-hex id ("" for a trace that
+ * carried no context and so forms a singleton group).
+ */
+struct StitchedTrace
+{
+    std::string traceId;
+    std::vector<RequestTrace> parts;
+};
+
+/**
+ * Join @p traces by 128-bit trace id: traces sharing an id become one
+ * StitchedTrace (parts ordered by start time), context-less traces
+ * stay singleton groups. Group order follows first appearance.
+ */
+std::vector<StitchedTrace>
+stitchTraces(std::vector<RequestTrace> traces);
+
+/**
+ * The gateway's stitched /tracez payload: like toTracezJson but
+ * grouped — {"total_committed":N,"count":N,"stitched":[{"trace_id":
+ * "...","parts":[...]}]} where each part is a toTracezJson trace
+ * object.
+ */
+std::string
+toStitchedTracezJson(const std::vector<StitchedTrace> &stitched,
+                     std::uint64_t totalCommitted);
+
+/**
+ * Parse /tracez filter parameters out of @p query with admin-parser
+ * strictness: `min_us` must be all decimal digits, `kind` must be
+ * one of matvec/matmul/trisolve; anything else fails with *error
+ * set (the handler answers 400). Unrelated keys (format=...) pass
+ * through untouched. Absent filters leave *minMicros at 0 and *kind
+ * empty.
+ */
+bool parseTraceQuery(const std::map<std::string, std::string> &query,
+                     std::uint64_t *minMicros, std::string *kind,
+                     std::string *error);
+
+/** Traces with totalMicros ≥ @p minMicros and (when @p kind is
+ *  non-empty) a matching problem kind. */
+std::vector<RequestTrace>
+filterTraces(std::vector<RequestTrace> traces, std::uint64_t minMicros,
+             const std::string &kind);
 
 } // namespace sap
 

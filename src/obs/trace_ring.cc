@@ -30,6 +30,80 @@ traceStageName(TraceStage stage)
     return "?";
 }
 
+const char *
+traceStageName(TraceStage stage, TraceTier tier)
+{
+    if (tier == TraceTier::Backend)
+        return traceStageName(stage);
+    // Gateway tier: the monotone slot subset it stamps gets gateway
+    // names; any other slot would be a bug, named loudly.
+    switch (stage) {
+      case TraceStage::Decode:
+        return "gw_decode";
+      case TraceStage::Route:
+        return "gw_route";
+      case TraceStage::Dequeue:
+        return "gw_forward";
+      case TraceStage::WriterPop:
+        return "gw_relay_pop";
+      case TraceStage::Flush:
+        return "gw_flush";
+      default:
+        return "gw_?";
+    }
+}
+
+std::string
+traceIdHex(const TraceContext &ctx)
+{
+    static const char kHex[] = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 0; i < 16; ++i)
+        out[15 - i] =
+            kHex[(ctx.traceIdHi >> (4 * i)) & 0xf];
+    for (int i = 0; i < 16; ++i)
+        out[31 - i] =
+            kHex[(ctx.traceIdLo >> (4 * i)) & 0xf];
+    return out;
+}
+
+namespace {
+
+/** splitmix64: every distinct input yields a distinct output. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+TraceContext
+makeTraceContext(bool sampled)
+{
+    static std::atomic<std::uint64_t> counter{1};
+    const std::uint64_t n =
+        counter.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t now = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    TraceContext ctx;
+    // Mix a per-process counter with the clock so ids stay unique
+    // across processes on one host (two tiers mint ids).
+    ctx.traceIdHi = mix64(n ^ (now << 1));
+    ctx.traceIdLo = mix64(now ^ (n << 32));
+    if (!ctx.valid())
+        ctx.traceIdLo = 1; // all-zero means "no context" on the wire
+    ctx.sampled = sampled;
+    ctx.originNanos = now;
+    ctx.attempt = 0;
+    return ctx;
+}
+
 std::uint64_t
 RequestTrace::startNanos() const
 {
@@ -108,6 +182,29 @@ TraceCollector::begin()
     return trace;
 }
 
+std::shared_ptr<RequestTrace>
+TraceCollector::adopt(const TraceContext &ctx)
+{
+    if (!config_.enabled || !ctx.valid() || !ctx.sampled)
+        return nullptr;
+    std::shared_ptr<RequestTrace> trace = begin();
+    if (trace)
+        trace->ctx = ctx;
+    return trace;
+}
+
+bool
+TraceCollector::headSample()
+{
+    if (!config_.enabled || config_.sampleEvery == 0)
+        return false;
+    if (config_.sampleEvery == 1)
+        return true;
+    return sample_counter_.fetch_add(1, std::memory_order_relaxed) %
+               config_.sampleEvery ==
+           0;
+}
+
 bool
 TraceCollector::finish(const std::shared_ptr<RequestTrace> &trace)
 {
@@ -117,7 +214,11 @@ TraceCollector::finish(const std::shared_ptr<RequestTrace> &trace)
     const bool slow =
         config_.slowMicros > 0 && total >= config_.slowMicros;
     bool sampled = false;
-    if (config_.sampleEvery == 1) {
+    if (trace->ctx.valid()) {
+        // The edge decided once for the whole request; honor it so a
+        // sampled request is sampled on every tier it touches.
+        sampled = trace->ctx.sampled;
+    } else if (config_.sampleEvery == 1) {
         sampled = true;
     } else if (config_.sampleEvery > 1) {
         sampled = sample_counter_.fetch_add(
@@ -126,9 +227,16 @@ TraceCollector::finish(const std::shared_ptr<RequestTrace> &trace)
                   0;
     }
     if (slow) {
-        SAP_LOG_WARN("slow request id=", trace->requestId, " [",
-                     trace->label, "] total=", total, "us (threshold ",
-                     config_.slowMicros, "us)");
+        if (trace->ctx.valid()) {
+            SAP_LOG_WARN("slow request id=", trace->requestId,
+                         " trace=", traceIdHex(trace->ctx), " [",
+                         trace->label, "] total=", total,
+                         "us (threshold ", config_.slowMicros, "us)");
+        } else {
+            SAP_LOG_WARN("slow request id=", trace->requestId, " [",
+                         trace->label, "] total=", total,
+                         "us (threshold ", config_.slowMicros, "us)");
+        }
     }
     if (!sampled && !slow)
         return false;
@@ -136,7 +244,8 @@ TraceCollector::finish(const std::shared_ptr<RequestTrace> &trace)
         for (const TraceSpan &span : traceSpans(*trace)) {
             stage_metrics_
                 ->histogram(std::string("trace_stage_") +
-                            traceStageName(span.to) + "_micros")
+                            traceStageName(span.to, trace->tier) +
+                            "_micros")
                 .record(span.micros);
         }
         stage_metrics_->histogram("trace_total_micros").record(total);

@@ -69,8 +69,66 @@ enum class TraceStage : std::uint8_t
 /** Number of TraceStage values. */
 constexpr std::size_t kTraceStages = 8;
 
+/**
+ * Which tier of the serving stack stamped a trace. Backends reuse the
+ * eight TraceStage slots with their pipeline meaning; the gateway
+ * reuses a monotone subset of the same slots for its own stages
+ * (Decode=gw_decode, Route=gw_route, Dequeue=gw_forward,
+ * WriterPop=gw_relay_pop, Flush=gw_flush) so span math works
+ * unchanged while names and export lanes stay distinct.
+ */
+enum class TraceTier : std::uint8_t
+{
+    Backend = 0,
+    Gateway = 1,
+};
+
 /** Printable stage name ("decode", "route", ...). */
 const char *traceStageName(TraceStage stage);
+
+/** Tier-aware stage name (gateway slots read "gw_decode", ...). */
+const char *traceStageName(TraceStage stage, TraceTier tier);
+
+/**
+ * The cross-tier trace identity a request carries on the wire: a
+ * 128-bit trace id, the edge's head-sampling decision, the edge's
+ * monotonic clock at admission (so stitched views can show the
+ * gateway→backend gap even though the tiers run separate steady
+ * clocks on one host), and the delivery attempt (0 = first send,
+ * bumped per gateway resubmit).
+ *
+ * An all-zero trace id means "no context" — makeTraceContext never
+ * produces one and the wire codec rejects it.
+ */
+struct TraceContext
+{
+    std::uint64_t traceIdHi = 0;
+    std::uint64_t traceIdLo = 0;
+    bool sampled = false;
+    std::uint64_t originNanos = 0;
+    std::uint8_t attempt = 0;
+
+    bool valid() const { return (traceIdHi | traceIdLo) != 0; }
+};
+
+/** 32-hex-digit lowercase rendering of the 128-bit trace id. */
+std::string traceIdHex(const TraceContext &ctx);
+
+/**
+ * Mint a fresh context at the edge: unique nonzero 128-bit id,
+ * @p sampled as decided by the edge's head sampler, originNanos =
+ * steady_clock now, attempt 0.
+ */
+TraceContext makeTraceContext(bool sampled);
+
+/** A point-in-time annotation on a trace (failover, resubmit, ...).
+ *  Named TracePoint to stay clear of the simulator's TraceEvent
+ *  (sim/trace.hh) — both live in namespace sap. */
+struct TracePoint
+{
+    std::string name;
+    std::uint64_t nanos = 0;
+};
 
 /**
  * One request's trace: id, metadata, and a monotonic nanosecond
@@ -84,9 +142,28 @@ struct RequestTrace
     std::uint64_t requestId = 0;
     /** Engine + shape label filled in by the shard ("linear mv ..."). */
     std::string label;
+    /** Problem kind ("matvec"/"matmul"/"trisolve"); "" = unknown. */
+    std::string kind;
     bool cacheHit = false;
     bool ok = true;
+    /** Which tier's stage vocabulary stageNanos uses. */
+    TraceTier tier = TraceTier::Backend;
+    /** Cross-tier identity; !ctx.valid() = locally-sampled trace. */
+    TraceContext ctx;
     std::uint64_t stageNanos[kTraceStages] = {};
+    /** Point events (gateway failover/resubmit), stamp order. */
+    std::vector<TracePoint> events;
+
+    void addEvent(std::string name)
+    {
+        events.push_back(
+            {std::move(name),
+             static_cast<std::uint64_t>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now()
+                         .time_since_epoch())
+                     .count())});
+    }
 
     void stamp(TraceStage stage)
     {
@@ -182,8 +259,29 @@ class TraceCollector
     std::shared_ptr<RequestTrace> begin();
 
     /**
+     * Begin tracing a request that arrived with a propagated
+     * TraceContext: the edge already made the sampling decision, so
+     * this returns null unless tracing is enabled here *and* the
+     * context is marked sampled — honoring the edge's 1-in-N instead
+     * of rolling a second one (which would sample 1-in-N² of
+     * cross-tier requests). The returned trace carries @p ctx and is
+     * committed unconditionally by finish().
+     */
+    std::shared_ptr<RequestTrace> adopt(const TraceContext &ctx);
+
+    /**
+     * Consume one tick of the 1-in-N head sampler and return whether
+     * this request is sampled. For the edge tier, which decides once
+     * per request and stamps the decision into the TraceContext it
+     * propagates. False when tracing is disabled.
+     */
+    bool headSample();
+
+    /**
      * Finish a trace: decide sampled-or-slow, record per-stage span
-     * histograms, and commit into the calling thread's ring. Safe to
+     * histograms, and commit into the calling thread's ring. Traces
+     * carrying a valid TraceContext commit iff the context is marked
+     * sampled (the edge's decision) or the trace is slow. Safe to
      * call with null (no-op). Returns true when the trace committed.
      */
     bool finish(const std::shared_ptr<RequestTrace> &trace);

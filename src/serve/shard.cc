@@ -395,6 +395,7 @@ Shard::finish(const ServeRequest &req, const SystolicEngine &engine,
     }
     if (req.trace) {
         req.trace->label = shape.label();
+        req.trace->kind = problemKindName(req.plan.kind);
         req.trace->cacheHit = cacheHit;
     }
     return resp;

@@ -58,6 +58,12 @@ struct ServeRequest
      * Prepare / Execute and hands the pointer back on the response.
      */
     std::shared_ptr<RequestTrace> trace;
+    /**
+     * Cross-tier trace identity, when the request arrived with one
+     * on the wire (FORWARD, or SUBMIT with the trace-context flag).
+     * !valid() = none; the serving layers never require it.
+     */
+    TraceContext traceContext;
 };
 
 /** What a request resolves to. */

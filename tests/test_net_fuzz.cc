@@ -112,6 +112,12 @@ exercisePayloadDecoders(const Frame &frame)
     if (!decodeError(p, &message, &err)) {
         ASSERT_FALSE(err.empty());
     }
+    err.clear();
+    std::vector<RequestTrace> traces;
+    std::uint64_t total = 0;
+    if (!p.empty() && !decodeTraces(p, &traces, &total, &err)) {
+        ASSERT_FALSE(err.empty());
+    }
 }
 
 /**

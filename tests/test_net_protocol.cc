@@ -562,7 +562,8 @@ TEST(NetProtocol, RecordTraceOverTheWireRejectedNotDropped)
 
 TEST(NetProtocol, ReservedSubmitFlagBitsRejected)
 {
-    for (std::uint8_t bit = 4; bit < 8; ++bit) {
+    // Bit 4 is the trace-context flag now; 5-7 stay reserved.
+    for (std::uint8_t bit = 5; bit < 8; ++bit) {
         ServeRequest out;
         std::string err;
         EXPECT_FALSE(decodeSubmit(
@@ -593,6 +594,330 @@ TEST(NetProtocol, TruncatedStatsAndErrorPayloadsFailCleanly)
     }
     std::string message, err;
     EXPECT_FALSE(decodeError({1, 2}, &message, &err));
+}
+
+//---------------------------------------------------------------------
+// Cross-tier trace context and the TRACES payload
+//---------------------------------------------------------------------
+
+TraceContext
+sampleContext()
+{
+    TraceContext ctx;
+    ctx.traceIdHi = 0x0123456789abcdefull;
+    ctx.traceIdLo = 0xfedcba9876543210ull;
+    ctx.sampled = true;
+    ctx.originNanos = 123456789;
+    ctx.attempt = 2;
+    return ctx;
+}
+
+TEST(NetProtocol, SubmitCarriesTraceContextBehindFlagBit)
+{
+    ServeRequest req;
+    req.engine = "linear";
+    req.plan = EnginePlan::matVec(randomIntDense(3, 3, 1),
+                                  randomIntVec(3, 2),
+                                  randomIntVec(3, 3), 2);
+    req.traceContext = sampleContext();
+    std::vector<std::uint8_t> payload = encodeSubmit(req);
+    ServeRequest back;
+    std::string err;
+    ASSERT_TRUE(decodeSubmit(payload, &back, &err)) << err;
+    EXPECT_EQ(back.traceContext.traceIdHi, req.traceContext.traceIdHi);
+    EXPECT_EQ(back.traceContext.traceIdLo, req.traceContext.traceIdLo);
+    EXPECT_EQ(back.traceContext.sampled, req.traceContext.sampled);
+    EXPECT_EQ(back.traceContext.originNanos,
+              req.traceContext.originNanos);
+    EXPECT_EQ(back.traceContext.attempt, req.traceContext.attempt);
+    // A context-free request encodes without the flag bit and decodes
+    // to an invalid (absent) context.
+    req.traceContext = TraceContext{};
+    ASSERT_TRUE(decodeSubmit(encodeSubmit(req), &back, &err)) << err;
+    EXPECT_FALSE(back.traceContext.valid());
+}
+
+TEST(NetProtocol, TracedSubmitEveryPrefixFailsCleanly)
+{
+    ServeRequest req;
+    req.engine = "linear";
+    req.plan = EnginePlan::matVec(randomIntDense(2, 2, 1),
+                                  randomIntVec(2, 2),
+                                  randomIntVec(2, 3), 1);
+    req.traceContext = sampleContext();
+    std::vector<std::uint8_t> payload = encodeSubmit(req);
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+        std::vector<std::uint8_t> cut(payload.begin(),
+                                      payload.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              len));
+        ServeRequest out;
+        std::string err;
+        EXPECT_FALSE(decodeSubmit(cut, &out, &err)) << "len=" << len;
+        EXPECT_FALSE(err.empty()) << "len=" << len;
+    }
+}
+
+/** The ctx block starts right after the flags byte; find it by
+ *  layout: str engine + kind u8 + w i64 + flags u8. */
+std::size_t
+submitCtxOffset()
+{
+    return 4 + 6 + 1 + 8 + 1;
+}
+
+TEST(NetProtocol, ReservedTraceContextFlagBitsRejected)
+{
+    ServeRequest req;
+    req.engine = "linear";
+    req.plan = EnginePlan::matVec(randomIntDense(3, 3, 1),
+                                  randomIntVec(3, 2),
+                                  randomIntVec(3, 3), 2);
+    req.traceContext = sampleContext();
+    std::vector<std::uint8_t> payload = encodeSubmit(req);
+    // ctx layout: u64 hi, u64 lo, u8 flags, ...
+    payload[submitCtxOffset() + 16] |= 0x80;
+    ServeRequest out;
+    std::string err;
+    EXPECT_FALSE(decodeSubmit(payload, &out, &err));
+    EXPECT_NE(err.find("reserved trace-context"), std::string::npos)
+        << err;
+}
+
+TEST(NetProtocol, AllZeroTraceIdRejected)
+{
+    ServeRequest req;
+    req.engine = "linear";
+    req.plan = EnginePlan::matVec(randomIntDense(3, 3, 1),
+                                  randomIntVec(3, 2),
+                                  randomIntVec(3, 3), 2);
+    req.traceContext = sampleContext();
+    std::vector<std::uint8_t> payload = encodeSubmit(req);
+    for (std::size_t i = 0; i < 16; ++i)
+        payload[submitCtxOffset() + i] = 0;
+    ServeRequest out;
+    std::string err;
+    EXPECT_FALSE(decodeSubmit(payload, &out, &err));
+    EXPECT_NE(err.find("all-zero trace id"), std::string::npos)
+        << err;
+}
+
+/** The payload of a FORWARD frame built over goodSubmitPayload(). */
+std::vector<std::uint8_t>
+forwardPayload(const TraceContext *ctx)
+{
+    std::vector<std::uint8_t> frame =
+        buildForwardFrame(1, 0x1122334455667788ull,
+                          goodSubmitPayload(), ctx);
+    return std::vector<std::uint8_t>(frame.begin() + 20, frame.end());
+}
+
+TEST(NetProtocol, ForwardRoundTripsWithAndWithoutContext)
+{
+    Digest digest = 0;
+    ServeRequest out;
+    std::string err;
+    ASSERT_TRUE(
+        decodeForward(forwardPayload(nullptr), &digest, &out, &err))
+        << err;
+    EXPECT_EQ(digest, 0x1122334455667788ull);
+    EXPECT_FALSE(out.traceContext.valid());
+
+    TraceContext ctx = sampleContext();
+    ASSERT_TRUE(
+        decodeForward(forwardPayload(&ctx), &digest, &out, &err))
+        << err;
+    EXPECT_TRUE(out.traceContext.valid());
+    EXPECT_EQ(out.traceContext.traceIdHi, ctx.traceIdHi);
+    EXPECT_EQ(out.traceContext.attempt, ctx.attempt);
+}
+
+TEST(NetProtocol, ForwardContextOverridesEmbeddedSubmitContext)
+{
+    // The gateway owns the attempt counter: when both the FORWARD
+    // envelope and the embedded SUBMIT carry a context, the
+    // envelope's wins.
+    ServeRequest req;
+    req.engine = "linear";
+    req.plan = EnginePlan::matVec(randomIntDense(3, 3, 1),
+                                  randomIntVec(3, 2),
+                                  randomIntVec(3, 3), 2);
+    req.traceContext = sampleContext();
+    req.traceContext.attempt = 0;
+    TraceContext fwd_ctx = sampleContext();
+    fwd_ctx.attempt = 2;
+    std::vector<std::uint8_t> frame = buildForwardFrame(
+        1, 42, encodeSubmit(req), &fwd_ctx);
+    std::vector<std::uint8_t> payload(frame.begin() + 20,
+                                      frame.end());
+    Digest digest = 0;
+    ServeRequest out;
+    std::string err;
+    ASSERT_TRUE(decodeForward(payload, &digest, &out, &err)) << err;
+    EXPECT_EQ(out.traceContext.attempt, 2);
+}
+
+TEST(NetProtocol, ForwardBadContextMarkerRejected)
+{
+    std::vector<std::uint8_t> payload = forwardPayload(nullptr);
+    payload[8] = 2; // marker must be 0 or 1
+    Digest digest = 0;
+    ServeRequest out;
+    std::string err;
+    EXPECT_FALSE(decodeForward(payload, &digest, &out, &err));
+    EXPECT_NE(err.find("trace-context marker"), std::string::npos)
+        << err;
+}
+
+TEST(NetProtocol, TracedForwardEveryPrefixFailsCleanly)
+{
+    TraceContext ctx = sampleContext();
+    std::vector<std::uint8_t> payload = forwardPayload(&ctx);
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+        std::vector<std::uint8_t> cut(payload.begin(),
+                                      payload.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              len));
+        Digest digest = 0;
+        ServeRequest out;
+        std::string err;
+        EXPECT_FALSE(decodeForward(cut, &digest, &out, &err))
+            << "len=" << len;
+        EXPECT_FALSE(err.empty()) << "len=" << len;
+    }
+}
+
+std::vector<RequestTrace>
+sampleTraces()
+{
+    std::vector<RequestTrace> traces;
+    RequestTrace t1;
+    t1.requestId = 7;
+    t1.label = "linear mv 4x4";
+    t1.kind = "matvec";
+    t1.ok = true;
+    t1.cacheHit = true;
+    t1.tier = TraceTier::Gateway;
+    t1.ctx = sampleContext();
+    for (std::size_t s = 0; s < kTraceStages; ++s)
+        t1.stageNanos[s] = 1000 * (s + 1);
+    t1.events.push_back({"resubmit attempt 1", 4500});
+    t1.events.push_back({"resubmit budget spent", 5500});
+    traces.push_back(std::move(t1));
+    RequestTrace t2;
+    t2.requestId = 9;
+    t2.label = "hex mm 2x2";
+    t2.kind = "matmul";
+    t2.ok = false;
+    t2.tier = TraceTier::Backend;
+    t2.stageNanos[0] = 100;
+    t2.stageNanos[7] = 900;
+    traces.push_back(std::move(t2));
+    return traces;
+}
+
+TEST(NetProtocol, TracesEncodeDecodeIsIdentity)
+{
+    std::vector<std::uint8_t> payload = encodeTraces(sampleTraces(),
+                                                     31);
+    std::vector<RequestTrace> back;
+    std::uint64_t total = 0;
+    std::string err;
+    ASSERT_TRUE(decodeTraces(payload, &back, &total, &err)) << err;
+    EXPECT_EQ(total, 31u);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].requestId, 7u);
+    EXPECT_EQ(back[0].label, "linear mv 4x4");
+    EXPECT_EQ(back[0].kind, "matvec");
+    EXPECT_TRUE(back[0].ok);
+    EXPECT_TRUE(back[0].cacheHit);
+    EXPECT_EQ(back[0].tier, TraceTier::Gateway);
+    EXPECT_TRUE(back[0].ctx.valid());
+    EXPECT_EQ(back[0].ctx.traceIdLo, sampleContext().traceIdLo);
+    EXPECT_EQ(back[0].ctx.attempt, 2);
+    for (std::size_t s = 0; s < kTraceStages; ++s)
+        EXPECT_EQ(back[0].stageNanos[s], 1000 * (s + 1));
+    ASSERT_EQ(back[0].events.size(), 2u);
+    EXPECT_EQ(back[0].events[0].name, "resubmit attempt 1");
+    EXPECT_EQ(back[0].events[0].nanos, 4500u);
+    EXPECT_EQ(back[1].tier, TraceTier::Backend);
+    EXPECT_FALSE(back[1].ctx.valid());
+    EXPECT_TRUE(back[1].events.empty());
+}
+
+TEST(NetProtocol, EmptyTracesSnapshotRoundTrips)
+{
+    std::vector<RequestTrace> back;
+    std::uint64_t total = 99;
+    std::string err;
+    ASSERT_TRUE(decodeTraces(encodeTraces({}, 0), &back, &total,
+                             &err))
+        << err;
+    EXPECT_TRUE(back.empty());
+    EXPECT_EQ(total, 0u);
+}
+
+TEST(NetProtocol, TracesEveryPrefixFailsCleanly)
+{
+    std::vector<std::uint8_t> payload = encodeTraces(sampleTraces(),
+                                                     31);
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+        std::vector<std::uint8_t> cut(payload.begin(),
+                                      payload.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              len));
+        std::vector<RequestTrace> back;
+        std::uint64_t total = 0;
+        std::string err;
+        EXPECT_FALSE(decodeTraces(cut, &back, &total, &err))
+            << "len=" << len;
+        EXPECT_FALSE(err.empty()) << "len=" << len;
+    }
+}
+
+TEST(NetProtocol, TracesTrailingBytesRejected)
+{
+    std::vector<std::uint8_t> payload = encodeTraces(sampleTraces(),
+                                                     31);
+    payload.push_back(0);
+    std::vector<RequestTrace> back;
+    std::uint64_t total = 0;
+    std::string err;
+    EXPECT_FALSE(decodeTraces(payload, &back, &total, &err));
+    EXPECT_NE(err.find("trailing"), std::string::npos) << err;
+}
+
+TEST(NetProtocol, TracesBadTierAndCountRejected)
+{
+    std::vector<std::uint8_t> payload = encodeTraces(sampleTraces(),
+                                                     31);
+    // Record layout after the 12-byte header: u64 id, str label
+    // (4 + 13), str kind (4 + 6), ok u8, cacheHit u8, then tier.
+    const std::size_t tier_at = 12 + 8 + 4 + 13 + 4 + 6 + 1 + 1;
+    {
+        std::vector<std::uint8_t> bad = payload;
+        bad[tier_at] = 7;
+        std::vector<RequestTrace> back;
+        std::uint64_t total = 0;
+        std::string err;
+        EXPECT_FALSE(decodeTraces(bad, &back, &total, &err));
+        EXPECT_NE(err.find("tier"), std::string::npos) << err;
+    }
+    {
+        // A count claiming far more records than the payload holds
+        // must be rejected up front, not by allocation.
+        std::vector<std::uint8_t> bad = payload;
+        bad[8] = 0xff;
+        bad[9] = 0xff;
+        bad[10] = 0xff;
+        bad[11] = 0x7f;
+        std::vector<RequestTrace> back;
+        std::uint64_t total = 0;
+        std::string err;
+        EXPECT_FALSE(decodeTraces(bad, &back, &total, &err));
+        EXPECT_NE(err.find("exceeds payload"), std::string::npos)
+            << err;
+    }
 }
 
 } // namespace

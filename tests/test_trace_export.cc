@@ -204,12 +204,14 @@ TEST(TraceExport, ChromeJsonIsStrictlyValid)
     EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
     EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
     EXPECT_NE(json.find("\"name\": \"request\""), std::string::npos);
-    // One request event + 7 spans per trace, 3 traces.
+    // One process_name metadata event for the backend lane, then
+    // one request event + 7 spans per trace, 3 traces.
     std::size_t events = 0;
     for (std::size_t at = json.find("\"ph\"");
          at != std::string::npos; at = json.find("\"ph\"", at + 1))
         ++events;
-    EXPECT_EQ(events, 3u * (1 + (kTraceStages - 1)));
+    EXPECT_EQ(events, 1 + 3u * (1 + (kTraceStages - 1)));
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
 }
 
 TEST(TraceExport, EmptyTraceListIsValidJson)
@@ -252,6 +254,172 @@ TEST(TraceExport, CsvHasHeaderAndOneRowPerTrace)
     // The label's embedded quote must be doubled per CSV quoting.
     EXPECT_NE(lines[1].find("\"linear \"\"q\"\" \\ tab\t 8x8\""),
               std::string::npos);
+}
+
+//---------------------------------------------------------------------
+// Stitching, filters, and the strict query parser
+//---------------------------------------------------------------------
+
+TraceContext
+contextWithLo(std::uint64_t lo, std::uint8_t attempt = 0)
+{
+    TraceContext ctx;
+    ctx.traceIdHi = 0xaa00000000000000ull;
+    ctx.traceIdLo = lo;
+    ctx.sampled = true;
+    ctx.originNanos = 1;
+    ctx.attempt = attempt;
+    return ctx;
+}
+
+/** A gateway part and a backend part sharing trace id @p lo, plus a
+ *  context-less straggler — the canonical stitch input. */
+std::vector<RequestTrace>
+crossTierTraces(std::uint64_t lo)
+{
+    std::vector<RequestTrace> traces;
+    RequestTrace backend;
+    backend.requestId = 11;
+    backend.label = "linear";
+    backend.kind = "matvec";
+    backend.ok = true;
+    for (std::size_t s = 0; s < kTraceStages; ++s)
+        backend.stageNanos[s] = 2'000'000 + 500 * s;
+    backend.ctx = contextWithLo(lo);
+    traces.push_back(std::move(backend));
+
+    RequestTrace gateway;
+    gateway.requestId = 3;
+    gateway.label = "linear";
+    gateway.kind = "matvec";
+    gateway.ok = true;
+    gateway.tier = TraceTier::Gateway;
+    gateway.ctx = contextWithLo(lo, 1);
+    gateway.stamp(TraceStage::Decode);
+    gateway.stageNanos[0] = 1'000'000;
+    gateway.stageNanos[1] = 1'000'500;
+    gateway.stageNanos[2] = 1'001'000;
+    gateway.stageNanos[6] = 3'000'000;
+    gateway.stageNanos[7] = 3'000'500;
+    gateway.events.push_back({"resubmit attempt 1", 1'500'000});
+    traces.push_back(std::move(gateway));
+
+    RequestTrace lone;
+    lone.requestId = 12;
+    lone.label = "hex";
+    lone.kind = "matmul";
+    for (std::size_t s = 0; s < kTraceStages; ++s)
+        lone.stageNanos[s] = 5'000'000 + 500 * s;
+    traces.push_back(std::move(lone));
+    return traces;
+}
+
+TEST(TraceStitch, GroupsByIdAndOrdersPartsByStart)
+{
+    std::vector<StitchedTrace> stitched =
+        stitchTraces(crossTierTraces(0x42));
+    ASSERT_EQ(stitched.size(), 2u);
+    // Group order follows first appearance; the gateway part starts
+    // earlier so it sorts first within the group.
+    EXPECT_EQ(stitched[0].traceId,
+              traceIdHex(contextWithLo(0x42)));
+    ASSERT_EQ(stitched[0].parts.size(), 2u);
+    EXPECT_EQ(stitched[0].parts[0].tier, TraceTier::Gateway);
+    EXPECT_EQ(stitched[0].parts[1].tier, TraceTier::Backend);
+    // The context-less trace stays a singleton with no id.
+    EXPECT_TRUE(stitched[1].traceId.empty());
+    ASSERT_EQ(stitched[1].parts.size(), 1u);
+    EXPECT_EQ(stitched[1].parts[0].requestId, 12u);
+}
+
+TEST(TraceStitch, StitchedJsonIsStrictlyValid)
+{
+    const std::string json = toStitchedTracezJson(
+        stitchTraces(crossTierTraces(0x43)), 17);
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"total_committed\":17"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"stitched\""), std::string::npos);
+    // Gateway parts use the tier-aware stage names.
+    EXPECT_NE(json.find("\"gw_decode\":"), std::string::npos);
+    EXPECT_NE(json.find("\"decode\":"), std::string::npos);
+    // The context-less singleton reports a null trace id.
+    EXPECT_NE(json.find("\"trace_id\":null"), std::string::npos);
+    EXPECT_TRUE(JsonChecker(toStitchedTracezJson({}, 0)).valid());
+}
+
+TEST(TraceStitch, ChromeJsonRendersBothProcessLanes)
+{
+    const std::string json =
+        toChromeTraceJson(crossTierTraces(0x44));
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    // One process_name metadata event per tier present.
+    std::size_t names = 0;
+    for (std::size_t at = json.find("\"process_name\"");
+         at != std::string::npos;
+         at = json.find("\"process_name\"", at + 1))
+        ++names;
+    EXPECT_EQ(names, 2u);
+    EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);
+    // The gateway's point event exports as an instant event.
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(json.find("resubmit attempt 1"), std::string::npos);
+    // Context-carrying events are tagged with the hex id.
+    EXPECT_NE(json.find(traceIdHex(contextWithLo(0x44))),
+              std::string::npos);
+}
+
+TEST(TraceFilter, QueryParserIsStrict)
+{
+    std::uint64_t min_us = 7;
+    std::string kind = "x";
+    std::string err;
+    // Absent filters reset the out-params.
+    EXPECT_TRUE(parseTraceQuery({{"format", "chrome"}}, &min_us,
+                                &kind, &err));
+    EXPECT_EQ(min_us, 0u);
+    EXPECT_TRUE(kind.empty());
+
+    EXPECT_TRUE(parseTraceQuery({{"min_us", "2500"},
+                                 {"kind", "trisolve"}},
+                                &min_us, &kind, &err));
+    EXPECT_EQ(min_us, 2500u);
+    EXPECT_EQ(kind, "trisolve");
+
+    for (const char *bad : {"", "12x", "-1", "1.5", " 12",
+                            "99999999999999999999"}) {
+        SCOPED_TRACE(std::string("min_us='") + bad + "'");
+        EXPECT_FALSE(parseTraceQuery({{"min_us", bad}}, &min_us,
+                                     &kind, &err));
+        EXPECT_NE(err.find("bad min_us value"), std::string::npos)
+            << err;
+    }
+    for (const char *bad : {"", "matrix", "MATVEC", "matvec "}) {
+        SCOPED_TRACE(std::string("kind='") + bad + "'");
+        EXPECT_FALSE(parseTraceQuery({{"kind", bad}}, &min_us, &kind,
+                                     &err));
+        EXPECT_NE(err.find("bad kind value"), std::string::npos)
+            << err;
+    }
+}
+
+TEST(TraceFilter, FiltersByDurationAndKind)
+{
+    std::vector<RequestTrace> traces = crossTierTraces(0x45);
+    // All pass with no filter.
+    EXPECT_EQ(filterTraces(traces, 0, "").size(), 3u);
+    // Kind filter keeps both matvec parts, drops the matmul one.
+    EXPECT_EQ(filterTraces(traces, 0, "matvec").size(), 2u);
+    EXPECT_EQ(filterTraces(traces, 0, "matmul").size(), 1u);
+    EXPECT_EQ(filterTraces(traces, 0, "trisolve").size(), 0u);
+    // The gateway part spans 1.0ms→3.0005ms (~2000µs); a 1ms floor
+    // keeps only it (the others span 3.5µs).
+    std::vector<RequestTrace> slow =
+        filterTraces(traces, 1'000, "");
+    ASSERT_EQ(slow.size(), 1u);
+    EXPECT_EQ(slow[0].tier, TraceTier::Gateway);
 }
 
 //---------------------------------------------------------------------

@@ -13,9 +13,15 @@
  * gateway's counters are printed: requests routed, responses
  * relayed, failovers, resubmits, errors returned, routable backends.
  *
+ * --admin-port starts the embedded admin plane (/metrics, /varz,
+ * /healthz, /readyz, /timeseriesz, and the stitched cross-tier
+ * /tracez); --trace turns on edge head-sampled request tracing,
+ * propagated to the backends over the FORWARD trace-context block.
+ *
  * Usage:
  *   sap_gateway --backend SPEC [--backend SPEC ...]
- *               [--port P] [--stats-interval SECS]
+ *               [--port P] [--admin-port P] [--stats-interval SECS]
+ *               [--trace] [--sample-every N] [--slow-us MICROS]
  */
 
 #include <atomic>
@@ -58,7 +64,20 @@ usage(const char *argv0)
         "                        printed on startup)\n"
         "  --stats-interval S    print counters every S seconds "
         "(default\n"
-        "                        10; 0 = only on exit)\n",
+        "                        10; 0 = only on exit)\n"
+        "  --admin-port P        serve the admin HTTP plane (incl. "
+        "the\n"
+        "                        stitched cross-tier /tracez) on P "
+        "(0 =\n"
+        "                        ephemeral, printed on startup)\n"
+        "  --trace               head-sample request traces at the "
+        "edge\n"
+        "                        and propagate them to the backends\n"
+        "  --sample-every N      trace 1 in N requests (default 64;\n"
+        "                        1 = all)\n"
+        "  --slow-us MICROS      always trace+warn requests slower "
+        "than\n"
+        "                        MICROS (default 0 = off)\n",
         argv0);
 }
 
@@ -144,6 +163,34 @@ main(int argc, char **argv)
                 return 2;
             }
             stats_interval = std::atoi(p);
+        } else if (arg == "--admin-port") {
+            const char *p = next();
+            if (!p) {
+                usage(argv[0]);
+                return 2;
+            }
+            opts.adminEnabled = true;
+            opts.adminPort =
+                static_cast<std::uint16_t>(std::atoi(p));
+        } else if (arg == "--trace") {
+            opts.trace.enabled = true;
+        } else if (arg == "--sample-every") {
+            const char *p = next();
+            if (!p) {
+                usage(argv[0]);
+                return 2;
+            }
+            opts.trace.enabled = true;
+            opts.trace.sampleEvery =
+                static_cast<std::uint32_t>(std::atoi(p));
+        } else if (arg == "--slow-us") {
+            const char *p = next();
+            if (!p) {
+                usage(argv[0]);
+                return 2;
+            }
+            opts.trace.enabled = true;
+            opts.trace.slowMicros = std::atof(p);
         } else {
             usage(argv[0]);
             return arg == "--help" ? 0 : 2;
@@ -164,6 +211,10 @@ main(int argc, char **argv)
     std::printf("gateway listening on 127.0.0.1:%u over %zu "
                 "backends\n",
                 gw.port(), opts.backends.size());
+    if (opts.adminEnabled)
+        std::printf("admin plane on 127.0.0.1:%u (curl /tracez for "
+                    "stitched traces)\n",
+                    gw.adminPort());
     std::fflush(stdout);
 
     std::signal(SIGINT, onSignal);
